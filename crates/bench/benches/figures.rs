@@ -1,0 +1,26 @@
+//! Criterion benches: one reduced-size run per paper experiment, so
+//! `cargo bench` exercises every figure/table pipeline end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fvl_bench::{experiments, ExperimentContext};
+
+fn bench_experiments(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    // The profiling studies and the headline cache experiments; the
+    // heavyweight full sweeps (fig12/fig13) are exercised via the
+    // `experiments` binary instead.
+    for (name, runner) in experiments::all() {
+        if matches!(name, "fig12" | "fig13" | "table2") {
+            continue;
+        }
+        group.bench_function(BenchmarkId::new("quick", name), |b| {
+            b.iter(|| runner(&ctx).tables.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

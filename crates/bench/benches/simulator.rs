@@ -1,0 +1,43 @@
+//! Criterion benches: trace-replay throughput of every controller.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fvl_bench::ExperimentContext;
+use fvl_cache::{CacheGeometry, CacheSim};
+use fvl_core::{FrequentValueSet, HybridCache, HybridConfig, VictimHybrid};
+
+fn bench_controllers(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick();
+    let data = ctx.capture("li");
+    let accesses = data.trace.accesses();
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+    let values = FrequentValueSet::from_ranking(&data.counter.ranking(), 7).unwrap();
+
+    let mut group = c.benchmark_group("replay");
+    group.throughput(Throughput::Elements(accesses));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("dmc", "16KB"), |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(geom);
+            data.trace.replay(&mut sim);
+            sim.stats().misses()
+        })
+    });
+    group.bench_function(BenchmarkId::new("dmc+fvc", "16KB+512"), |b| {
+        b.iter(|| {
+            let mut sim = HybridCache::new(HybridConfig::new(geom, 512, values.clone()));
+            data.trace.replay(&mut sim);
+            sim.hybrid_stats().overall.misses()
+        })
+    });
+    group.bench_function(BenchmarkId::new("dmc+vc", "16KB+4"), |b| {
+        b.iter(|| {
+            let mut sim = VictimHybrid::new(geom, 4);
+            data.trace.replay(&mut sim);
+            fvl_cache::Simulator::stats(&sim).misses()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controllers);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benches: workload trace-generation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fvl_mem::{NullSink, TracedMemory};
+use fvl_workloads::{by_name, InputSize};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for name in ["go", "m88ksim", "gcc", "li", "perl", "vortex", "compress", "ijpeg"] {
+        group.bench_function(BenchmarkId::new("int", name), |b| {
+            b.iter(|| {
+                let mut sink = NullSink;
+                let mut mem = TracedMemory::new(&mut sink);
+                by_name(name, InputSize::Test, 1).unwrap().run(&mut mem);
+                mem.finish();
+            })
+        });
+    }
+    for name in ["tomcatv", "swim", "hydro2d", "mgrid", "applu", "wave5"] {
+        group.bench_function(BenchmarkId::new("fp", name), |b| {
+            b.iter(|| {
+                let mut sink = NullSink;
+                let mut mem = TracedMemory::new(&mut sink);
+                by_name(name, InputSize::Test, 1).unwrap().run(&mut mem);
+                mem.finish();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

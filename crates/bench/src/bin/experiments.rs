@@ -1,0 +1,88 @@
+//! CLI regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments <name>... [--quick|--train] [--seed N]
+//! experiments all [--quick]
+//! experiments list
+//! ```
+
+use fvl_bench::experiments;
+use fvl_bench::ExperimentContext;
+use fvl_workloads::InputSize;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments <name>... [--quick|--train] [--seed N]\n\
+         names: {} | all | list\n\
+         --quick uses test inputs (seconds); default is reference inputs (minutes)",
+        experiments::all().iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" | ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let mut input = InputSize::Ref;
+    let mut seed = 1u64;
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => input = InputSize::Test,
+            "--train" => input = InputSize::Train,
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage(),
+            },
+            "list" => {
+                for (name, _) in experiments::all() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => return usage(),
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        return usage();
+    }
+    let registry = experiments::all();
+    let selected: Vec<_> = if names.iter().any(|n| n == "all") {
+        registry
+    } else {
+        let mut picked = Vec::new();
+        for name in &names {
+            match registry.iter().find(|(n, _)| n == name) {
+                Some(&entry) => picked.push(entry),
+                None => {
+                    eprintln!("unknown experiment: {name}");
+                    return usage();
+                }
+            }
+        }
+        picked
+    };
+
+    let ctx = ExperimentContext { input, seed };
+    println!(
+        "# FVC reproduction experiments ({} inputs, seed {seed})\n",
+        match input {
+            InputSize::Test => "test",
+            InputSize::Train => "train",
+            InputSize::Ref => "reference",
+        }
+    );
+    for (name, runner) in selected {
+        let start = Instant::now();
+        let report = runner(&ctx);
+        println!("{report}");
+        println!("_{name} completed in {:.1?}_\n", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

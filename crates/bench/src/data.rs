@@ -1,0 +1,145 @@
+//! Workload execution and profiling shared by all experiments.
+
+use fvl_mem::{Trace, TraceBuffer, TracedMemory, Word};
+use fvl_profile::{OccurrenceSampler, ValueCounter};
+use fvl_workloads::{by_name, InputSize, Workload};
+use std::fmt;
+
+/// Number of occurrence snapshots per run (the paper samples every 10M
+/// instructions; we sample ~20 times per execution).
+pub const SNAPSHOTS_PER_RUN: u64 = 20;
+
+/// One workload's recorded trace plus its value profiles — everything an
+/// experiment needs, produced by a single execution + two replays.
+pub struct WorkloadData {
+    /// Short workload name (e.g. `"m88ksim"`).
+    pub name: String,
+    /// The recorded event log.
+    pub trace: Trace,
+    /// Frequently *accessed* value profile.
+    pub counter: ValueCounter,
+    /// Frequently *occurring* value profile (snapshot census).
+    pub occ: OccurrenceSampler,
+    /// Snapshot interval used for the occurrence census.
+    pub sample_every: u64,
+}
+
+impl WorkloadData {
+    /// Runs `workload` to completion, recording and profiling it.
+    pub fn capture(mut workload: Box<dyn Workload>) -> Self {
+        let mut buf = TraceBuffer::new();
+        {
+            let mut mem = TracedMemory::new(&mut buf);
+            workload.run(&mut mem);
+            mem.finish();
+        }
+        let trace = buf.into_trace();
+        let mut counter = ValueCounter::new();
+        trace.replay(&mut counter);
+        let sample_every = (trace.accesses() / SNAPSHOTS_PER_RUN).max(1);
+        let mut occ = OccurrenceSampler::new();
+        trace.replay_with_snapshots(&mut occ, sample_every);
+        WorkloadData { name: workload.name().to_string(), trace, counter, occ, sample_every }
+    }
+
+    /// The top `k` frequently accessed values (the set the FVC uses).
+    pub fn top_accessed(&self, k: usize) -> Vec<Word> {
+        self.counter.top_k(k)
+    }
+
+    /// The top `k` frequently occurring values.
+    pub fn top_occurring(&self, k: usize) -> Vec<Word> {
+        self.occ.top_k(k)
+    }
+}
+
+impl fmt::Debug for WorkloadData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadData")
+            .field("name", &self.name)
+            .field("accesses", &self.trace.accesses())
+            .finish()
+    }
+}
+
+/// Shared configuration for a batch of experiments: input size and the
+/// base seed (experiments that compare inputs derive further seeds).
+#[derive(Copy, Clone, Debug)]
+pub struct ExperimentContext {
+    /// Problem size used for every workload.
+    pub input: InputSize,
+    /// Base deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        ExperimentContext { input: InputSize::Ref, seed: 1 }
+    }
+}
+
+impl ExperimentContext {
+    /// A quick configuration for tests and Criterion benches.
+    pub fn quick() -> Self {
+        ExperimentContext { input: InputSize::Test, seed: 1 }
+    }
+
+    /// Captures one workload by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn capture(&self, name: &str) -> WorkloadData {
+        self.capture_with(name, self.input, self.seed)
+    }
+
+    /// Captures one workload with explicit input size and seed (used by
+    /// the Table 2 input-sensitivity study).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    pub fn capture_with(&self, name: &str, input: InputSize, seed: u64) -> WorkloadData {
+        let w = by_name(name, input, seed)
+            .unwrap_or_else(|| panic!("unknown workload {name}"));
+        WorkloadData::capture(w)
+    }
+
+    /// The paper's six frequent-value benchmarks, in its order.
+    pub fn fv_six(&self) -> [&'static str; 6] {
+        ["go", "m88ksim", "gcc", "li", "perl", "vortex"]
+    }
+
+    /// All eight SPECint95-like workloads.
+    pub fn all_int(&self) -> [&'static str; 8] {
+        ["go", "m88ksim", "gcc", "li", "perl", "vortex", "compress", "ijpeg"]
+    }
+
+    /// The SPECfp95-like workloads.
+    pub fn all_fp(&self) -> [&'static str; 6] {
+        ["tomcatv", "swim", "hydro2d", "mgrid", "applu", "wave5"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_profiles_a_workload() {
+        let ctx = ExperimentContext::quick();
+        let data = ctx.capture("li");
+        assert_eq!(data.name, "li");
+        assert!(data.trace.accesses() > 10_000);
+        assert_eq!(data.top_accessed(3).len(), 3);
+        assert!(data.occ.samples() >= SNAPSHOTS_PER_RUN - 1);
+        // Zero should top both profiles for the lisp heap.
+        assert_eq!(data.top_accessed(1)[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_name_panics() {
+        let _ = ExperimentContext::quick().capture("nope");
+    }
+}

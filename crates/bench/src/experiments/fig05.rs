@@ -1,0 +1,56 @@
+//! Figure 5: spatial distribution of frequent values in memory.
+
+use super::Report;
+use crate::data::ExperimentContext;
+use crate::table::Table;
+use fvl_profile::SpatialAnalyzer;
+
+/// Runs the Figure 5 study: half-way through the gcc analogue, split the
+/// referenced memory into 800-word blocks (100 lines of 8 words) and
+/// measure the average number of top-7 occurring values per line.
+pub fn run(ctx: &ExperimentContext) -> Report {
+    let mut report = Report::new(
+        "Figure 5",
+        "frequent occurrence of the top-7 values across memory blocks",
+    );
+    let data = ctx.capture("gcc");
+    let focus = data.top_occurring(7);
+    let halfway = data.trace.accesses() / 2;
+    let mut analyzer = SpatialAnalyzer::new(focus, halfway);
+    // Paper fidelity: heap frees untracked, so the referenced-memory
+    // census matches the paper's (and yields many more blocks).
+    data.trace.replay_with_snapshots_opts(&mut analyzer, data.sample_every, false);
+    let profile = analyzer.into_profile().expect("halfway snapshot exists");
+
+    let mut table = Table::with_headers(&["block", "avg top-7 values per 8-word line"]);
+    // Print up to 40 evenly spaced blocks so the series stays readable.
+    let n = profile.block_averages.len();
+    let step = (n / 40).max(1);
+    for (i, avg) in profile.block_averages.iter().enumerate().step_by(step) {
+        table.row(vec![i.to_string(), format!("{avg:.2}")]);
+    }
+    report.table(
+        format!("{n} blocks of 800 consecutive referenced words (sampled every {step})"),
+        table,
+    );
+    report.note(format!(
+        "mean {:.2} values/line, std-dev {:.2} across blocks — frequent values are spread \
+         fairly uniformly through memory (paper: ~4 per line throughout for 126.gcc)",
+        profile.mean(),
+        profile.std_dev()
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_values_are_spread_across_blocks() {
+        let ctx = ExperimentContext::quick();
+        let report = run(&ctx);
+        assert!(!report.tables[0].1.is_empty());
+        assert!(report.notes[0].contains("mean"));
+    }
+}

@@ -1,0 +1,140 @@
+//! One module per table/figure of the paper.
+
+pub mod ext1;
+pub mod ext2;
+pub mod ext3;
+pub mod ext4;
+pub mod verify;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use crate::data::{ExperimentContext, WorkloadData};
+use crate::table::Table;
+use fvl_cache::{CacheGeometry, CacheSim, CacheStats};
+use fvl_core::{FrequentValueSet, HybridCache, HybridConfig};
+use std::fmt;
+
+/// A rendered experiment: identification, result tables, and notes.
+#[derive(Debug)]
+pub struct Report {
+    /// Paper artifact id, e.g. `"Figure 10"`.
+    pub id: &'static str,
+    /// What the experiment measures.
+    pub title: String,
+    /// Captioned result tables.
+    pub tables: Vec<(String, Table)>,
+    /// Observations/caveats recorded with the results.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Report { id, title: title.into(), tables: Vec::new(), notes: Vec::new() }
+    }
+
+    fn table(&mut self, caption: impl Into<String>, table: Table) -> &mut Self {
+        self.tables.push((caption.into(), table));
+        self
+    }
+
+    fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        for (caption, table) in &self.tables {
+            writeln!(f, "\n**{caption}**\n")?;
+            write!(f, "{table}")?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f)?;
+            for note in &self.notes {
+                writeln!(f, "- {note}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An experiment entry point.
+pub type Runner = fn(&ExperimentContext) -> Report;
+
+/// All experiments in paper order, as `(cli-name, runner)` pairs.
+pub fn all() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("fig1", fig01::run as Runner),
+        ("fig2", fig02::run),
+        ("fig3", fig03::run),
+        ("fig4", fig04::run),
+        ("fig5", fig05::run),
+        ("table1", table1::run),
+        ("table2", table2::run),
+        ("table3", table3::run),
+        ("table4", table4::run),
+        ("fig9", fig09::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        ("fig14", fig14::run),
+        ("fig15", fig15::run),
+        ("ext1", ext1::run),
+        ("ext2", ext2::run),
+        ("ext3", ext3::run),
+        ("ext4", ext4::run),
+        ("verify", verify::run),
+    ]
+}
+
+// ---- shared simulation helpers -------------------------------------------
+
+pub(crate) fn geom(kb: u64, line_bytes: u32, assoc: u32) -> CacheGeometry {
+    CacheGeometry::new(kb * 1024, line_bytes, assoc)
+        .expect("experiment geometries are valid by construction")
+}
+
+/// Replays the captured trace through a conventional cache.
+pub(crate) fn baseline(data: &WorkloadData, geometry: CacheGeometry) -> CacheStats {
+    let mut sim = CacheSim::new(geometry);
+    data.trace.replay(&mut sim);
+    *sim.stats()
+}
+
+/// Replays the captured trace through a DMC+FVC hybrid using the
+/// workload's top-`k` frequently accessed values.
+pub(crate) fn hybrid(
+    data: &WorkloadData,
+    geometry: CacheGeometry,
+    fvc_entries: u32,
+    top_k: usize,
+) -> HybridCache {
+    let values = FrequentValueSet::from_ranking(&data.counter.ranking(), top_k)
+        .expect("profiled workloads have at least one value");
+    let config = HybridConfig::new(geometry, fvc_entries, values);
+    let mut sim = HybridCache::new(config);
+    data.trace.replay(&mut sim);
+    sim
+}
+
+/// Percentage reduction of `new` vs `base` miss rates.
+pub(crate) fn reduction(base: &CacheStats, new: &CacheStats) -> f64 {
+    new.miss_reduction_vs(base)
+}

@@ -1,0 +1,26 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each `figNN`/`tableN` module produces a typed result that renders to
+//! the same rows/series the paper reports. The `experiments` binary
+//! exposes them as subcommands:
+//!
+//! ```text
+//! cargo run --release -p fvl-bench --bin experiments -- fig10
+//! cargo run --release -p fvl-bench --bin experiments -- all
+//! ```
+//!
+//! Absolute numbers differ from the paper (the workloads are the
+//! synthetic SPEC95 analogues described in `DESIGN.md`), but each
+//! experiment's *shape* — who wins, by roughly what factor, where the
+//! crossovers fall — is the reproduction target, recorded in
+//! `EXPERIMENTS.md`.
+
+#![deny(missing_docs)]
+
+pub mod data;
+pub mod experiments;
+pub mod sweep;
+pub mod table;
+
+pub use data::{ExperimentContext, WorkloadData};
+pub use table::Table;

@@ -1,0 +1,117 @@
+//! Parallel design-space sweeps.
+//!
+//! The paper's figures evaluate dozens of cache configurations over the
+//! same trace. Simulations are embarrassingly parallel — the trace is
+//! immutable — so the sweep driver fans configurations out across OS
+//! threads (scoped; no dependencies) and returns results in input order.
+
+use fvl_mem::Trace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `run(trace, config)` for every configuration, in parallel,
+/// preserving input order in the result vector.
+///
+/// # Example
+///
+/// ```
+/// use fvl_bench::sweep::parallel;
+/// use fvl_cache::{CacheGeometry, CacheSim, Simulator};
+/// use fvl_mem::{Access, Trace, TraceEvent};
+///
+/// let trace = Trace::from_events(
+///     (0..64).map(|i| TraceEvent::Access(Access::load(i * 64, 0))).collect(),
+/// );
+/// let sizes = vec![1u64, 2, 4];
+/// let misses = parallel(&trace, sizes, |trace, kb| {
+///     let mut sim = CacheSim::new(CacheGeometry::new(kb * 1024, 32, 1).unwrap());
+///     trace.replay(&mut sim);
+///     sim.stats().misses()
+/// });
+/// assert_eq!(misses.len(), 3);
+/// ```
+pub fn parallel<C, R, F>(trace: &Trace, configs: Vec<C>, run: F) -> Vec<R>
+where
+    C: Send,
+    R: Send,
+    F: Fn(&Trace, C) -> R + Sync,
+{
+    let n = configs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    if workers <= 1 {
+        return configs.into_iter().map(|c| run(trace, c)).collect();
+    }
+    // Work queue: indexed configs behind a mutex; results slotted by index.
+    let queue: Mutex<Vec<Option<C>>> =
+        Mutex::new(configs.into_iter().map(Some).collect());
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let config = queue
+                    .lock()
+                    .expect("queue lock")
+                    .get_mut(index)
+                    .and_then(Option::take)
+                    .expect("each index taken once");
+                let result = run(trace, config);
+                *results[index].lock().expect("result lock") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result lock").expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::{Access, TraceEvent};
+
+    fn tiny_trace() -> Trace {
+        Trace::from_events(
+            (0..100u32).map(|i| TraceEvent::Access(Access::load((i % 16) * 4, 0))).collect(),
+        )
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let trace = tiny_trace();
+        let configs: Vec<u32> = (0..37).collect();
+        let results = parallel(&trace, configs.clone(), |t, c| (c, t.accesses()));
+        let expected: Vec<(u32, u64)> = configs.into_iter().map(|c| (c, 100)).collect();
+        assert_eq!(results, expected);
+    }
+
+    #[test]
+    fn empty_sweep_is_empty() {
+        let trace = tiny_trace();
+        let results: Vec<u32> = parallel(&trace, Vec::<u32>::new(), |_, c| c);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial_simulation() {
+        use fvl_cache::{CacheGeometry, CacheSim, Simulator};
+        let trace = tiny_trace();
+        let configs = vec![(1u64, 16u32), (1, 32), (2, 16), (4, 64)];
+        let simulate = |t: &Trace, (kb, line): (u64, u32)| {
+            let mut sim = CacheSim::new(CacheGeometry::new(kb * 1024, line, 1).unwrap());
+            t.replay(&mut sim);
+            sim.stats().misses()
+        };
+        let par = parallel(&trace, configs.clone(), simulate);
+        let ser: Vec<u64> = configs.into_iter().map(|c| simulate(&trace, c)).collect();
+        assert_eq!(par, ser);
+    }
+}

@@ -1,0 +1,124 @@
+//! Minimal aligned-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple column-aligned table that renders as GitHub-flavoured
+/// markdown (which also reads fine as plain text).
+///
+/// # Example
+///
+/// ```
+/// use fvl_bench::Table;
+///
+/// let mut t = Table::new(vec!["benchmark".into(), "miss %".into()]);
+/// t.row(vec!["m88ksim".into(), "0.441".into()]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("| m88ksim"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_headers(headers: &[&str]) -> Self {
+        Self::new(headers.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Formats a float with 3 decimals (the paper's miss-rate precision).
+pub fn pct(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal (the paper's reduction precision).
+pub fn pct1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            f.write_str("|")?;
+            let empty = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).unwrap_or(&empty);
+                write!(f, " {cell:<w$} |", w = width)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        f.write_str("|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::with_headers(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| name"));
+        assert!(lines[1].starts_with("|---"));
+        assert_eq!(lines[2].len(), lines[3].len(), "aligned");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::with_headers(&["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        assert!(t.to_string().lines().nth(2).unwrap().matches('|').count() == 4);
+    }
+
+    #[test]
+    fn float_helpers() {
+        assert_eq!(pct(1.23456), "1.235");
+        assert_eq!(pct1(12.34), "12.3");
+    }
+}

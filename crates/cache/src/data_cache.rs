@@ -1,0 +1,352 @@
+//! Set-associative write-back data cache with true LRU replacement.
+
+use crate::geometry::CacheGeometry;
+use fvl_mem::{Addr, Word};
+use std::fmt;
+
+#[derive(Clone)]
+struct Line {
+    /// Full line address (tag + index bits); comparing line addresses is
+    /// equivalent to comparing tags within a set.
+    line_addr: Addr,
+    valid: bool,
+    dirty: bool,
+    data: Box<[Word]>,
+    stamp: u64,
+}
+
+/// A line evicted from a cache, carrying everything needed to write it
+/// back or to forward it to a victim/frequent-value cache.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct EvictedLine {
+    /// Address of the first byte of the line.
+    pub line_addr: Addr,
+    /// Whether the line was modified since it was fetched.
+    pub dirty: bool,
+    /// The line's words.
+    pub data: Vec<Word>,
+}
+
+/// A read-only view of a valid cache line (for occupancy statistics).
+#[derive(Copy, Clone, Debug)]
+pub struct LineRef<'a> {
+    /// Address of the first byte of the line.
+    pub line_addr: Addr,
+    /// Whether the line is dirty.
+    pub dirty: bool,
+    /// The line's words.
+    pub data: &'a [Word],
+}
+
+/// A set-associative, true-LRU cache holding real line data.
+///
+/// `DataCache` is a passive structure: it never talks to memory itself.
+/// Controllers ([`crate::CacheSim`], the hybrid controllers in
+/// `fvl-core`) decide when to fetch, install, and write back, which keeps
+/// each policy in exactly one place.
+///
+/// # Example
+///
+/// ```
+/// use fvl_cache::{CacheGeometry, DataCache};
+///
+/// let mut dmc = DataCache::new(CacheGeometry::new(1024, 16, 1)?);
+/// assert!(dmc.probe(0x40).is_none());
+/// dmc.install(0x40, &[1, 2, 3, 4], false);
+/// let idx = dmc.probe(0x44).expect("line resident");
+/// assert_eq!(dmc.read_word(idx, 0x44), 2);
+/// # Ok::<(), fvl_cache::GeometryError>(())
+/// ```
+#[derive(Clone)]
+pub struct DataCache {
+    geom: CacheGeometry,
+    lines: Vec<Line>,
+    clock: u64,
+}
+
+impl DataCache {
+    /// Creates an empty (all-invalid) cache of the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let wpl = geom.words_per_line() as usize;
+        let lines = (0..geom.lines())
+            .map(|_| Line {
+                line_addr: 0,
+                valid: false,
+                dirty: false,
+                data: vec![0; wpl].into_boxed_slice(),
+                stamp: 0,
+            })
+            .collect();
+        DataCache { geom, lines, clock: 0 }
+    }
+
+    /// The cache's organization.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    #[inline]
+    fn set_range(&self, addr: Addr) -> std::ops::Range<usize> {
+        let set = self.geom.set_index(addr) as usize;
+        let assoc = self.geom.associativity() as usize;
+        set * assoc..(set + 1) * assoc
+    }
+
+    /// Looks up the line containing `addr`. Returns an opaque slot index
+    /// on hit. Does **not** update LRU state; call [`DataCache::touch`]
+    /// when the probe corresponds to a real access.
+    #[inline]
+    pub fn probe(&self, addr: Addr) -> Option<usize> {
+        let line_addr = self.geom.line_addr(addr);
+        let range = self.set_range(addr);
+        self.lines[range.clone()]
+            .iter()
+            .position(|l| l.valid && l.line_addr == line_addr)
+            .map(|way| range.start + way)
+    }
+
+    /// Marks the line in `slot` most-recently-used.
+    #[inline]
+    pub fn touch(&mut self, slot: usize) {
+        self.clock += 1;
+        self.lines[slot].stamp = self.clock;
+    }
+
+    /// Reads the word at `addr` from the resident line in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` does not hold the line containing `addr`.
+    #[inline]
+    pub fn read_word(&self, slot: usize, addr: Addr) -> Word {
+        let line = &self.lines[slot];
+        debug_assert!(line.valid && line.line_addr == self.geom.line_addr(addr));
+        line.data[self.geom.word_offset(addr) as usize]
+    }
+
+    /// Writes the word at `addr` into the resident line in `slot` and
+    /// marks it dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` does not hold the line containing `addr`.
+    #[inline]
+    pub fn write_word(&mut self, slot: usize, addr: Addr, value: Word) {
+        let off = self.geom.word_offset(addr) as usize;
+        let line = &mut self.lines[slot];
+        debug_assert!(line.valid && line.line_addr == self.geom.line_addr(addr));
+        line.data[off] = value;
+        line.dirty = true;
+    }
+
+    /// Installs a line, evicting the set's LRU victim if the set is full.
+    /// Returns the evicted line (valid victims only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one line long, or if the line is
+    /// already resident (installing a duplicate would break the
+    /// one-copy invariant).
+    pub fn install(&mut self, line_addr: Addr, data: &[Word], dirty: bool) -> Option<EvictedLine> {
+        assert_eq!(data.len(), self.geom.words_per_line() as usize, "wrong line length");
+        assert_eq!(line_addr, self.geom.line_addr(line_addr), "not a line address");
+        assert!(self.probe(line_addr).is_none(), "line {line_addr:#x} already resident");
+        let range = self.set_range(line_addr);
+        // Choose an invalid way first, else the LRU way.
+        let slot = self.lines[range.clone()]
+            .iter()
+            .position(|l| !l.valid)
+            .map(|w| range.start + w)
+            .unwrap_or_else(|| {
+                self.lines[range.clone()]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.stamp)
+                    .map(|(w, _)| range.start + w)
+                    .expect("associativity is at least 1")
+            });
+        let evicted = if self.lines[slot].valid {
+            Some(EvictedLine {
+                line_addr: self.lines[slot].line_addr,
+                dirty: self.lines[slot].dirty,
+                data: self.lines[slot].data.to_vec(),
+            })
+        } else {
+            None
+        };
+        self.clock += 1;
+        let line = &mut self.lines[slot];
+        line.line_addr = line_addr;
+        line.valid = true;
+        line.dirty = dirty;
+        line.data.copy_from_slice(data);
+        line.stamp = self.clock;
+        evicted
+    }
+
+    /// Clears the dirty bit of the line in `slot` (write-through mode
+    /// keeps lines clean because memory was updated in the same cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is invalid.
+    pub fn clean(&mut self, slot: usize) {
+        assert!(self.lines[slot].valid, "clean on invalid line");
+        self.lines[slot].dirty = false;
+    }
+
+    /// Removes and returns the line in `slot` (used for victim-cache
+    /// swaps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is invalid.
+    pub fn take(&mut self, slot: usize) -> EvictedLine {
+        let line = &mut self.lines[slot];
+        assert!(line.valid, "take on invalid line");
+        line.valid = false;
+        EvictedLine { line_addr: line.line_addr, dirty: line.dirty, data: line.data.to_vec() }
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_lines(&self) -> u32 {
+        self.lines.iter().filter(|l| l.valid).count() as u32
+    }
+
+    /// Iterates over all valid lines.
+    pub fn iter_valid(&self) -> impl Iterator<Item = LineRef<'_>> {
+        self.lines.iter().filter(|l| l.valid).map(|l| LineRef {
+            line_addr: l.line_addr,
+            dirty: l.dirty,
+            data: &l.data,
+        })
+    }
+
+    /// Drains every valid line (end-of-simulation flush). The cache is
+    /// left empty.
+    pub fn drain(&mut self) -> Vec<EvictedLine> {
+        let mut out = Vec::new();
+        for line in &mut self.lines {
+            if line.valid {
+                line.valid = false;
+                out.push(EvictedLine {
+                    line_addr: line.line_addr,
+                    dirty: line.dirty,
+                    data: line.data.to_vec(),
+                });
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for DataCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DataCache")
+            .field("geometry", &self.geom)
+            .field("valid_lines", &self.valid_lines())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm_1k() -> DataCache {
+        DataCache::new(CacheGeometry::new(1024, 16, 1).unwrap())
+    }
+
+    #[test]
+    fn probe_miss_then_install_then_hit() {
+        let mut c = dm_1k();
+        assert!(c.probe(0x100).is_none());
+        assert!(c.install(0x100, &[1, 2, 3, 4], false).is_none());
+        let slot = c.probe(0x108).unwrap();
+        assert_eq!(c.read_word(slot, 0x108), 3);
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn conflicting_install_evicts_and_reports() {
+        let mut c = dm_1k();
+        c.install(0x100, &[1, 1, 1, 1], false);
+        let slot = c.probe(0x100).unwrap();
+        c.write_word(slot, 0x104, 9);
+        // 0x100 + 1024 maps to the same set in a 1KB DM cache.
+        let evicted = c.install(0x100 + 1024, &[2, 2, 2, 2], false).unwrap();
+        assert_eq!(evicted.line_addr, 0x100);
+        assert!(evicted.dirty);
+        assert_eq!(evicted.data, vec![1, 9, 1, 1]);
+        assert!(c.probe(0x100).is_none());
+        assert!(c.probe(0x100 + 1024).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_in_set() {
+        // 2-way, one set touches both ways.
+        let mut c = DataCache::new(CacheGeometry::new(64, 16, 2).unwrap());
+        // Two sets; addresses 0x00 and 0x20 share set 0.
+        c.install(0x00, &[0; 4], false);
+        c.install(0x40, &[1; 4], false); // also set 0 (64B cache, 2 sets? verify below)
+        let s0 = c.geometry().set_index(0x00);
+        let s1 = c.geometry().set_index(0x40);
+        assert_eq!(s0, s1, "test assumes same set");
+        // Touch 0x00 so 0x40 becomes LRU.
+        let slot = c.probe(0x00).unwrap();
+        c.touch(slot);
+        let evicted = c.install(0x80, &[2; 4], false).unwrap();
+        assert_eq!(evicted.line_addr, 0x40);
+        assert!(c.probe(0x00).is_some());
+    }
+
+    #[test]
+    fn write_marks_dirty_and_data_round_trips() {
+        let mut c = dm_1k();
+        c.install(0x200, &[5, 6, 7, 8], false);
+        let slot = c.probe(0x204).unwrap();
+        c.write_word(slot, 0x204, 66);
+        assert_eq!(c.read_word(slot, 0x204), 66);
+        let line = c.iter_valid().next().unwrap();
+        assert!(line.dirty);
+        assert_eq!(line.data, &[5, 66, 7, 8]);
+    }
+
+    #[test]
+    fn take_removes_line() {
+        let mut c = dm_1k();
+        c.install(0x300, &[1, 2, 3, 4], true);
+        let slot = c.probe(0x300).unwrap();
+        let line = c.take(slot);
+        assert_eq!(line.line_addr, 0x300);
+        assert!(line.dirty);
+        assert!(c.probe(0x300).is_none());
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn drain_empties_cache() {
+        let mut c = dm_1k();
+        c.install(0x000, &[0; 4], false);
+        c.install(0x010, &[0; 4], true);
+        let drained = c.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(c.valid_lines(), 0);
+        assert!(c.drain().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn duplicate_install_panics() {
+        let mut c = dm_1k();
+        c.install(0x100, &[0; 4], false);
+        c.install(0x100, &[0; 4], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong line length")]
+    fn wrong_length_install_panics() {
+        let mut c = dm_1k();
+        c.install(0x100, &[0; 3], false);
+    }
+}

@@ -1,0 +1,54 @@
+//! A common interface over all trace-driven cache controllers.
+
+use crate::stats::CacheStats;
+use fvl_mem::AccessSink;
+
+/// Implemented by every cache controller in the workspace
+/// ([`crate::CacheSim`], and the hybrid DMC+FVC / DMC+VC controllers in
+/// `fvl-core`), so experiment drivers can sweep heterogeneous
+/// configurations generically.
+pub trait Simulator: AccessSink {
+    /// Combined hit/miss statistics for the whole controller.
+    fn stats(&self) -> &CacheStats;
+
+    /// Total off-chip traffic in words (fetches + write-backs), valid
+    /// after `on_finish`.
+    fn traffic_words(&self) -> u64;
+
+    /// A short human-readable configuration label for report rows.
+    fn label(&self) -> String;
+}
+
+impl Simulator for crate::CacheSim {
+    fn stats(&self) -> &CacheStats {
+        CacheSim::stats(self)
+    }
+
+    fn traffic_words(&self) -> u64 {
+        CacheSim::traffic_words(self)
+    }
+
+    fn label(&self) -> String {
+        self.geometry().to_string()
+    }
+}
+
+use crate::sim::CacheSim;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CacheGeometry;
+    use fvl_mem::Access;
+
+    #[test]
+    fn cache_sim_implements_simulator() {
+        let mut sim = CacheSim::new(CacheGeometry::new(1024, 16, 1).unwrap());
+        let dynsim: &mut dyn Simulator = &mut sim;
+        dynsim.on_access(Access::store(0x40, 1));
+        dynsim.on_finish();
+        assert_eq!(dynsim.stats().misses(), 1);
+        assert!(dynsim.traffic_words() > 0);
+        assert_eq!(dynsim.label(), "1KB direct-mapped (16B lines)");
+    }
+}

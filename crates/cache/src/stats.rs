@@ -1,0 +1,159 @@
+//! Hit/miss and traffic statistics.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counters for one simulated cache (or cache pair).
+///
+/// The primary figure of merit throughout the paper is the **miss rate**
+/// (misses / accesses); the secondary one is **off-chip traffic** in
+/// words, which tracks power consumption.
+#[derive(Copy, Clone, Default, Eq, PartialEq, Debug)]
+pub struct CacheStats {
+    /// Load hits.
+    pub read_hits: u64,
+    /// Load misses.
+    pub read_misses: u64,
+    /// Store hits.
+    pub write_hits: u64,
+    /// Store misses.
+    pub write_misses: u64,
+    /// Dirty lines written back to memory.
+    pub writebacks: u64,
+    /// Lines fetched from memory.
+    pub fetches: u64,
+}
+
+impl CacheStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Miss rate in [0, 1]; 0 for an empty run.
+    pub fn miss_rate(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / n as f64
+        }
+    }
+
+    /// Miss rate as a percentage, the unit used in the paper's tables.
+    pub fn miss_percent(&self) -> f64 {
+        self.miss_rate() * 100.0
+    }
+
+    /// Percentage reduction of this miss rate relative to `baseline`
+    /// (positive = improvement), the unit of Figures 10 and 12.
+    pub fn miss_reduction_vs(&self, baseline: &CacheStats) -> f64 {
+        let base = baseline.miss_rate();
+        if base == 0.0 {
+            0.0
+        } else {
+            (base - self.miss_rate()) / base * 100.0
+        }
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(mut self, rhs: CacheStats) -> CacheStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.read_hits += rhs.read_hits;
+        self.read_misses += rhs.read_misses;
+        self.write_hits += rhs.write_hits;
+        self.write_misses += rhs.write_misses;
+        self.writebacks += rhs.writebacks;
+        self.fetches += rhs.fetches;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.3}%), {} fetches, {} writebacks",
+            self.accesses(),
+            self.misses(),
+            self.miss_percent(),
+            self.fetches,
+            self.writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_sums() {
+        let s = CacheStats {
+            read_hits: 90,
+            read_misses: 5,
+            write_hits: 3,
+            write_misses: 2,
+            writebacks: 1,
+            fetches: 7,
+        };
+        assert_eq!(s.hits(), 93);
+        assert_eq!(s.misses(), 7);
+        assert_eq!(s.accesses(), 100);
+        assert!((s.miss_rate() - 0.07).abs() < 1e-12);
+        assert!((s.miss_percent() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_has_zero_miss_rate() {
+        assert_eq!(CacheStats::new().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn reduction_vs_baseline() {
+        let base = CacheStats { read_misses: 10, read_hits: 90, ..Default::default() };
+        let improved = CacheStats { read_misses: 4, read_hits: 96, ..Default::default() };
+        assert!((improved.miss_reduction_vs(&base) - 60.0).abs() < 1e-9);
+        // Degenerate baseline.
+        assert_eq!(improved.miss_reduction_vs(&CacheStats::new()), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = CacheStats { read_hits: 1, fetches: 2, ..Default::default() };
+        let b = CacheStats { read_hits: 3, writebacks: 1, ..Default::default() };
+        let c = a + b;
+        assert_eq!(c.read_hits, 4);
+        assert_eq!(c.fetches, 2);
+        assert_eq!(c.writebacks, 1);
+    }
+
+    #[test]
+    fn display_mentions_miss_percent() {
+        let s = CacheStats { read_hits: 3, read_misses: 1, ..Default::default() };
+        assert!(s.to_string().contains("25.000%"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Bit-packed per-word code storage — the compressed FVC data field.
+
+use std::fmt;
+
+/// A fixed-length vector of `width`-bit codes, bit-packed into 64-bit
+/// limbs exactly as an FVC data array would be laid out in SRAM.
+///
+/// One `CodeArray` is one compressed cache line: the paper's Figure 7
+/// shows an 8-word, 3-bit-encoded line occupying 24 bits instead of 256.
+/// Random access to any word's code is a shift and mask, which is why the
+/// compression "preserves the random access to data values in a cache
+/// line".
+///
+/// # Example
+///
+/// ```
+/// use fvl_core::CodeArray;
+///
+/// let mut line = CodeArray::all_infrequent(3, 8);
+/// assert_eq!(line.get(5), 0b111);
+/// line.set(5, 0b010);
+/// assert_eq!(line.get(5), 0b010);
+/// assert_eq!(line.storage_bits(), 24);
+/// ```
+#[derive(Clone, Eq, PartialEq, Hash)]
+pub struct CodeArray {
+    limbs: Vec<u64>,
+    width: u32,
+    len: u32,
+}
+
+impl CodeArray {
+    /// Creates an array of `len` codes of `width` bits, all zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ width ≤ 7` and `len > 0`.
+    pub fn new(width: u32, len: u32) -> Self {
+        assert!((1..=7).contains(&width), "code width must be 1..=7 bits");
+        assert!(len > 0, "code array cannot be empty");
+        let bits = width as usize * len as usize;
+        CodeArray { limbs: vec![0; bits.div_ceil(64)], width, len }
+    }
+
+    /// Creates an array with every code set to the all-ones
+    /// "infrequent" marker (`2^width - 1`).
+    pub fn all_infrequent(width: u32, len: u32) -> Self {
+        let mut a = Self::new(width, len);
+        let marker = a.infrequent_code();
+        for i in 0..len {
+            a.set(i, marker);
+        }
+        a
+    }
+
+    /// Number of codes.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the array is empty (never true for a constructed array).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Code width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The all-ones code denoting an infrequent value.
+    #[inline]
+    pub fn infrequent_code(&self) -> u8 {
+        ((1u32 << self.width) - 1) as u8
+    }
+
+    /// Total storage the array occupies in SRAM bits.
+    pub fn storage_bits(&self) -> u32 {
+        self.width * self.len
+    }
+
+    #[inline]
+    fn locate(&self, index: u32) -> (usize, u32) {
+        assert!(index < self.len, "code index {index} out of range {}", self.len);
+        let bit = index as usize * self.width as usize;
+        (bit / 64, (bit % 64) as u32)
+    }
+
+    /// Reads the code at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn get(&self, index: u32) -> u8 {
+        let (limb, off) = self.locate(index);
+        let mask = (1u64 << self.width) - 1;
+        // A code can straddle two limbs when width doesn't divide 64.
+        let lo = self.limbs[limb] >> off;
+        let val = if off + self.width <= 64 {
+            lo
+        } else {
+            lo | (self.limbs[limb + 1] << (64 - off))
+        };
+        (val & mask) as u8
+    }
+
+    /// Writes `code` at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `code` does not fit in the
+    /// width.
+    #[inline]
+    pub fn set(&mut self, index: u32, code: u8) {
+        assert!(
+            (code as u32) < (1u32 << self.width),
+            "code {code:#b} does not fit in {} bits",
+            self.width
+        );
+        let (limb, off) = self.locate(index);
+        let mask = (1u64 << self.width) - 1;
+        self.limbs[limb] &= !(mask << off);
+        self.limbs[limb] |= (code as u64) << off;
+        if off + self.width > 64 {
+            let spill = off + self.width - 64;
+            let hi_mask = (1u64 << spill) - 1;
+            self.limbs[limb + 1] &= !hi_mask;
+            self.limbs[limb + 1] |= (code as u64) >> (self.width - spill);
+        }
+    }
+
+    /// Number of codes that are *not* the infrequent marker — i.e. how
+    /// many words of the line the FVC can actually serve (drives the
+    /// Figure 11 occupancy statistic).
+    pub fn frequent_count(&self) -> u32 {
+        let marker = self.infrequent_code();
+        (0..self.len).filter(|&i| self.get(i) != marker).count() as u32
+    }
+
+    /// Iterates over all codes in order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+impl fmt::Debug for CodeArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CodeArray(w={}, [", self.width)?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{:0width$b}", c, width = self.width as usize)?;
+        }
+        f.write_str("])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero_and_infrequent_marker_round_trips() {
+        let a = CodeArray::new(3, 8);
+        assert_eq!(a.len(), 8);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|c| c == 0));
+        let b = CodeArray::all_infrequent(3, 8);
+        assert!(b.iter().all(|c| c == 0b111));
+        assert_eq!(b.frequent_count(), 0);
+    }
+
+    #[test]
+    fn set_get_round_trip_all_widths() {
+        for width in 1..=7 {
+            let len = 100;
+            let mut a = CodeArray::new(width, len);
+            let max = (1u32 << width) as u8;
+            for i in 0..len {
+                a.set(i, ((i * 7 + 3) % max as u32) as u8);
+            }
+            for i in 0..len {
+                assert_eq!(a.get(i), ((i * 7 + 3) % max as u32) as u8, "width {width} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn codes_straddling_limb_boundaries() {
+        // width 7, index 9: bits 63..70 straddle limbs 0 and 1.
+        let mut a = CodeArray::new(7, 20);
+        a.set(9, 0b1010101);
+        assert_eq!(a.get(9), 0b1010101);
+        // Neighbors unaffected.
+        assert_eq!(a.get(8), 0);
+        assert_eq!(a.get(10), 0);
+        a.set(8, 0b1111111);
+        a.set(10, 0b0000001);
+        assert_eq!(a.get(9), 0b1010101);
+    }
+
+    #[test]
+    fn paper_figure7_line() {
+        // Values 0,1000,0,99999,-1,10,1,-1 with frequent set
+        // {0:-000, -1:001, 1:010, 2:011, 4:100, 8:101, 10:110}.
+        let codes = [0b000, 0b111, 0b000, 0b111, 0b001, 0b110, 0b010, 0b001];
+        let mut line = CodeArray::new(3, 8);
+        for (i, &c) in codes.iter().enumerate() {
+            line.set(i as u32, c);
+        }
+        assert_eq!(line.storage_bits(), 24); // the paper's 24-bit line
+        assert_eq!(line.frequent_count(), 6);
+        let got: Vec<u8> = line.iter().collect();
+        assert_eq!(got, codes);
+    }
+
+    #[test]
+    fn storage_bits_by_width() {
+        assert_eq!(CodeArray::new(1, 8).storage_bits(), 8);
+        assert_eq!(CodeArray::new(2, 8).storage_bits(), 16);
+        assert_eq!(CodeArray::new(3, 16).storage_bits(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_code_panics() {
+        let mut a = CodeArray::new(2, 4);
+        a.set(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let a = CodeArray::new(2, 4);
+        let _ = a.get(4);
+    }
+
+    #[test]
+    fn debug_format_shows_binary() {
+        let mut a = CodeArray::new(2, 3);
+        a.set(1, 0b10);
+        assert_eq!(format!("{a:?}"), "CodeArray(w=2, [00 10 00])");
+    }
+}

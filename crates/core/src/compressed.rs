@@ -1,0 +1,424 @@
+//! Frequent-value *compression* inside the main data cache — the
+//! follow-up direction the paper cites as reference [11] (Yang, Zhang,
+//! Gupta, "Frequent Value Compression in Data Caches").
+//!
+//! Instead of a separate value-centric structure, the main cache itself
+//! stores lines compressed: a line whose words are mostly frequent
+//! values occupies only *half* a physical frame (frequent words as
+//! `w`-bit codes plus the residual words verbatim), so each frame can
+//! hold **two** compressed lines. Value-dense programs effectively get a
+//! cache of up to twice the capacity for free.
+
+use crate::value_set::FrequentValueSet;
+use fvl_cache::{CacheGeometry, CacheStats, MainMemory, Simulator};
+use fvl_mem::{Access, AccessKind, AccessSink, Addr, Word};
+use std::fmt;
+
+/// Bits available per physical frame half (half the uncompressed line).
+fn half_frame_bits(words_per_line: u32) -> u32 {
+    words_per_line * 32 / 2
+}
+
+/// Size in bits of a line under frequent-value compression: one
+/// presence bit plus `width` code bits per word, plus the full residual
+/// words.
+fn compressed_bits(data: &[Word], values: &FrequentValueSet) -> u32 {
+    let infrequent = data.iter().filter(|w| !values.contains(**w)).count() as u32;
+    data.len() as u32 * (1 + values.width_bits()) + infrequent * 32
+}
+
+/// Whether a line fits in half a frame under the compression scheme.
+fn compressible(data: &[Word], values: &FrequentValueSet) -> bool {
+    compressed_bits(data, values) <= half_frame_bits(data.len() as u32)
+}
+
+#[derive(Clone)]
+struct StoredLine {
+    line_addr: Addr,
+    dirty: bool,
+    compressed: bool,
+    data: Vec<Word>,
+    stamp: u64,
+}
+
+/// A direct-mapped-frame cache whose frames hold either one
+/// uncompressed line or two compressed lines.
+///
+/// The controller implements the same write-back, write-allocate policy
+/// as [`fvl_cache::CacheSim`], so miss rates are directly comparable;
+/// the only difference is the storage model.
+///
+/// # Example
+///
+/// ```
+/// use fvl_cache::{CacheGeometry, Simulator};
+/// use fvl_core::{CompressedCache, FrequentValueSet};
+/// use fvl_mem::{Access, AccessSink};
+///
+/// let values = FrequentValueSet::new(vec![0, 1, 2, 3, 4, 5, 6])?;
+/// let mut sim = CompressedCache::new(CacheGeometry::new(4096, 32, 1)?, values);
+/// sim.on_access(Access::load(0x100, 0));
+/// sim.on_finish();
+/// assert_eq!(sim.stats().misses(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct CompressedCache {
+    geom: CacheGeometry,
+    values: FrequentValueSet,
+    /// frames × 2 subslots.
+    slots: Vec<Option<StoredLine>>,
+    memory: MainMemory,
+    stats: CacheStats,
+    clock: u64,
+    /// Lines that had to be expanded after a store of an infrequent
+    /// value (possibly displacing their frame partner).
+    expansions: u64,
+    /// Sum over occupancy samples of compressed-resident line counts.
+    compressed_line_samples: u64,
+    resident_line_samples: u64,
+    accesses: u64,
+    line_buf: Vec<Word>,
+    flushed: bool,
+}
+
+impl CompressedCache {
+    /// Creates a compressed cache with the *physical* geometry `geom`
+    /// (frames = `geom.lines()`, each able to hold two compressed
+    /// lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geom` is not direct-mapped (the compression study uses
+    /// direct-mapped frames).
+    pub fn new(geom: CacheGeometry, values: FrequentValueSet) -> Self {
+        assert!(geom.is_direct_mapped(), "compressed cache frames are direct mapped");
+        let wpl = geom.words_per_line() as usize;
+        CompressedCache {
+            geom,
+            values,
+            slots: vec![None; geom.lines() as usize * 2],
+            memory: MainMemory::new(),
+            stats: CacheStats::new(),
+            clock: 0,
+            expansions: 0,
+            compressed_line_samples: 0,
+            resident_line_samples: 0,
+            accesses: 0,
+            line_buf: vec![0; wpl],
+            flushed: false,
+        }
+    }
+
+    /// Physical geometry of the frames.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// The backing memory (traffic counters).
+    pub fn memory(&self) -> &MainMemory {
+        &self.memory
+    }
+
+    /// Lines expanded in place after losing compressibility.
+    pub fn expansions(&self) -> u64 {
+        self.expansions
+    }
+
+    /// Average fraction of resident lines held compressed, sampled every
+    /// 4096 accesses (the effective-capacity measure).
+    pub fn avg_compressed_fraction(&self) -> f64 {
+        if self.resident_line_samples == 0 {
+            0.0
+        } else {
+            self.compressed_line_samples as f64 / self.resident_line_samples as f64
+        }
+    }
+
+    fn frame_of(&self, addr: Addr) -> usize {
+        self.geom.set_index(addr) as usize
+    }
+
+    fn subslots(&self, frame: usize) -> [usize; 2] {
+        [frame * 2, frame * 2 + 1]
+    }
+
+    fn probe(&self, addr: Addr) -> Option<usize> {
+        let line_addr = self.geom.line_addr(addr);
+        self.subslots(self.frame_of(addr))
+            .into_iter()
+            .find(|&s| self.slots[s].as_ref().is_some_and(|l| l.line_addr == line_addr))
+    }
+
+    fn write_back(&mut self, line: &StoredLine) {
+        if line.dirty {
+            self.memory.write_line(line.line_addr, &line.data);
+            self.stats.writebacks += 1;
+        }
+    }
+
+    /// Installs a fetched line into `frame`, compressed when possible.
+    /// Evicts as needed: an uncompressed newcomer needs the whole frame;
+    /// a compressed newcomer needs one free subslot (evicting the LRU
+    /// partner if both are taken, or the resident uncompressed line).
+    fn install(&mut self, frame: usize, line_addr: Addr, data: &[Word], dirty: bool) {
+        let is_compressed = compressible(data, &self.values);
+        let [a, b] = self.subslots(frame);
+        self.clock += 1;
+        let newcomer = StoredLine {
+            line_addr,
+            dirty,
+            compressed: is_compressed,
+            data: data.to_vec(),
+            stamp: self.clock,
+        };
+        // An uncompressed resident occupies both subslots logically: it
+        // is stored in subslot `a` with `compressed == false` and `b`
+        // kept empty.
+        let resident_uncompressed =
+            self.slots[a].as_ref().is_some_and(|l| !l.compressed);
+        if !is_compressed || resident_uncompressed {
+            // Whole frame turnover.
+            for s in [a, b] {
+                if let Some(old) = self.slots[s].take() {
+                    self.write_back(&old);
+                }
+            }
+            self.slots[a] = Some(newcomer);
+            return;
+        }
+        // Compressed newcomer into a frame holding 0..=2 compressed
+        // lines: take a free subslot, else evict the LRU one.
+        let target = if self.slots[a].is_none() {
+            a
+        } else if self.slots[b].is_none() {
+            b
+        } else {
+            let sa = self.slots[a].as_ref().expect("checked").stamp;
+            let sb = self.slots[b].as_ref().expect("checked").stamp;
+            if sa <= sb {
+                a
+            } else {
+                b
+            }
+        };
+        if let Some(old) = self.slots[target].take() {
+            self.write_back(&old);
+        }
+        self.slots[target] = Some(newcomer);
+    }
+
+    fn sample_occupancy(&mut self) {
+        for slot in self.slots.iter().flatten() {
+            self.resident_line_samples += 1;
+            if slot.compressed {
+                self.compressed_line_samples += 1;
+            }
+        }
+    }
+
+    fn handle(&mut self, access: Access) {
+        self.accesses += 1;
+        let addr = access.addr;
+        let offset = self.geom.word_offset(addr) as usize;
+        if let Some(slot) = self.probe(addr) {
+            self.clock += 1;
+            let values = &self.values;
+            let line = self.slots[slot].as_mut().expect("probed");
+            line.stamp = self.clock;
+            match access.kind {
+                AccessKind::Load => {
+                    self.stats.read_hits += 1;
+                    debug_assert_eq!(line.data[offset], access.value, "value oracle");
+                }
+                AccessKind::Store => {
+                    self.stats.write_hits += 1;
+                    line.data[offset] = access.value;
+                    line.dirty = true;
+                    // A store can break compressibility: expand, which
+                    // may displace the frame partner.
+                    if line.compressed && !compressible(&line.data, values) {
+                        line.compressed = false;
+                        self.expansions += 1;
+                        let frame = slot / 2;
+                        let [a, b] = self.subslots(frame);
+                        let partner = if slot == a { b } else { a };
+                        if let Some(old) = self.slots[partner].take() {
+                            self.write_back(&old);
+                        }
+                        // Normalize: the uncompressed line lives in `a`.
+                        if slot == b {
+                            self.slots.swap(a, b);
+                        }
+                    }
+                }
+            }
+        } else {
+            match access.kind {
+                AccessKind::Load => self.stats.read_misses += 1,
+                AccessKind::Store => self.stats.write_misses += 1,
+            }
+            let line_addr = self.geom.line_addr(addr);
+            self.memory.read_line(line_addr, &mut self.line_buf);
+            self.stats.fetches += 1;
+            let mut data = std::mem::take(&mut self.line_buf);
+            let mut dirty = false;
+            if access.kind == AccessKind::Store {
+                data[offset] = access.value;
+                dirty = true;
+            }
+            let frame = self.frame_of(addr);
+            self.install(frame, line_addr, &data, dirty);
+            self.line_buf = data;
+        }
+        if self.accesses.is_multiple_of(4096) {
+            self.sample_occupancy();
+        }
+    }
+
+    /// Writes all dirty lines back and empties the cache.
+    pub fn flush(&mut self) {
+        let lines: Vec<StoredLine> = self.slots.iter_mut().filter_map(Option::take).collect();
+        for line in lines {
+            self.write_back(&line);
+        }
+    }
+}
+
+impl AccessSink for CompressedCache {
+    #[inline]
+    fn on_access(&mut self, access: Access) {
+        self.handle(access);
+    }
+
+    fn on_finish(&mut self) {
+        if !self.flushed {
+            self.flushed = true;
+            self.flush();
+        }
+    }
+}
+
+impl Simulator for CompressedCache {
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn traffic_words(&self) -> u64 {
+        self.memory.total_traffic_words()
+    }
+
+    fn label(&self) -> String {
+        format!("{} compressed (top-{})", self.geom, self.values.len())
+    }
+}
+
+impl fmt::Debug for CompressedCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompressedCache")
+            .field("geometry", &self.geom)
+            .field("stats", &self.stats)
+            .field("expansions", &self.expansions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn top7() -> FrequentValueSet {
+        FrequentValueSet::new(vec![0, 1, 2, 3, 4, 5, 6]).unwrap()
+    }
+
+    fn cache_1k() -> CompressedCache {
+        // 1KB, 32B lines: 32 frames; conflicting lines are 1KB apart.
+        CompressedCache::new(CacheGeometry::new(1024, 32, 1).unwrap(), top7())
+    }
+
+    #[test]
+    fn compressibility_rule() {
+        let values = top7();
+        // 8 words, 3-bit codes: 8*(1+3) = 32 bits + 32 per infrequent.
+        // Half frame = 128 bits -> at most 3 infrequent words.
+        assert!(compressible(&[0; 8], &values));
+        assert!(compressible(&[0, 99, 98, 97, 0, 0, 0, 0], &values));
+        assert!(!compressible(&[0, 99, 98, 97, 96, 0, 0, 0], &values));
+        assert!(!compressible(&[9, 9, 9, 9, 9, 9, 9, 9], &values));
+    }
+
+    #[test]
+    fn two_compressible_conflicting_lines_coexist() {
+        let mut c = cache_1k();
+        // Two all-zero lines 1KB apart: a plain DM cache would thrash.
+        for _ in 0..10 {
+            c.on_access(Access::load(0x100, 0));
+            c.on_access(Access::load(0x500, 0));
+        }
+        assert_eq!(c.stats().misses(), 2, "both fit compressed in one frame");
+        assert_eq!(c.stats().hits(), 18);
+    }
+
+    #[test]
+    fn uncompressible_lines_still_thrash() {
+        let mut c = cache_1k();
+        c.memory.poke(0x100, 111); // make both lines incompressible
+        c.memory.poke(0x104, 222);
+        c.memory.poke(0x108, 233);
+        c.memory.poke(0x10c, 244);
+        c.memory.poke(0x500, 333);
+        c.memory.poke(0x504, 444);
+        c.memory.poke(0x508, 455);
+        c.memory.poke(0x50c, 466);
+        for _ in 0..5 {
+            c.on_access(Access::load(0x100, 111));
+            c.on_access(Access::load(0x500, 333));
+        }
+        assert_eq!(c.stats().misses(), 10, "no compression, plain DM behavior");
+    }
+
+    #[test]
+    fn store_breaking_compressibility_expands_and_evicts_partner() {
+        let mut c = cache_1k();
+        c.on_access(Access::load(0x100, 0));
+        c.on_access(Access::load(0x500, 0)); // both compressed, same frame
+        assert_eq!(c.stats().misses(), 2);
+        // Make line 0x100 incompressible: 4+ infrequent words.
+        for i in 0..4 {
+            c.on_access(Access::store(0x100 + i * 4, 1000 + i));
+        }
+        assert_eq!(c.expansions(), 1);
+        // The partner was displaced: re-reading it misses.
+        c.on_access(Access::load(0x500, 0));
+        assert_eq!(c.stats().read_misses, 3);
+        // The expanded line's data survived.
+        c.on_access(Access::load(0x100, 1000));
+        c.on_access(Access::load(0x10c, 1003));
+    }
+
+    #[test]
+    fn dirty_data_survives_compression_churn() {
+        let mut c = cache_1k();
+        c.on_access(Access::store(0x100, 3)); // compressed, dirty
+        c.on_access(Access::load(0x500, 0)); // partner joins
+        c.on_access(Access::load(0x900, 0)); // third line: evicts LRU (0x100)
+        c.on_finish();
+        assert_eq!(c.memory.peek(0x100), 3, "dirty compressed line written back");
+    }
+
+    #[test]
+    fn occupancy_sampling_reports_compressed_fraction() {
+        let mut c = cache_1k();
+        for i in 0..5000u32 {
+            c.on_access(Access::load((i % 256) * 4, 0));
+        }
+        assert!(c.avg_compressed_fraction() > 0.9, "all-zero lines compress");
+    }
+
+    #[test]
+    fn value_oracle_checks_loads() {
+        let mut c = cache_1k();
+        c.on_access(Access::store(0x40, 5));
+        c.on_access(Access::load(0x40, 5)); // matches
+        assert_eq!(c.stats().hits(), 1);
+    }
+}

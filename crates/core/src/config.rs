@@ -1,0 +1,182 @@
+//! Configuration for the DMC+FVC hybrid.
+
+use crate::value_set::FrequentValueSet;
+use fvl_cache::CacheGeometry;
+
+/// Builder-style configuration for a [`crate::HybridCache`].
+///
+/// Only the three parameters the paper varies are mandatory (DMC
+/// geometry, FVC entry count, frequent value set); everything else has
+/// the paper's defaults and exists for the ablation experiments.
+///
+/// # Example
+///
+/// ```
+/// use fvl_cache::CacheGeometry;
+/// use fvl_core::{FrequentValueSet, HybridConfig};
+///
+/// let config = HybridConfig::new(
+///     CacheGeometry::new(16 * 1024, 32, 1)?,
+///     512,
+///     FrequentValueSet::new(vec![0, 1, 2])?,
+/// )
+/// .fvc_associativity(2)
+/// .min_frequent_words(2);
+/// assert_eq!(config.fvc_entries(), 512);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct HybridConfig {
+    dmc: CacheGeometry,
+    fvc_entries: u32,
+    values: FrequentValueSet,
+    fvc_associativity: u32,
+    min_frequent_words: u32,
+    write_allocate_fvc: bool,
+    count_write_alloc_as_miss: bool,
+    occupancy_sample_every: u64,
+    verify_values: bool,
+}
+
+impl HybridConfig {
+    /// Creates a configuration with the paper's default policies:
+    /// direct-mapped FVC, write-allocation of frequent values into the
+    /// FVC enabled, lines inserted on DMC eviction whenever they hold at
+    /// least one frequent value.
+    pub fn new(dmc: CacheGeometry, fvc_entries: u32, values: FrequentValueSet) -> Self {
+        HybridConfig {
+            dmc,
+            fvc_entries,
+            values,
+            fvc_associativity: 1,
+            min_frequent_words: 1,
+            write_allocate_fvc: true,
+            count_write_alloc_as_miss: false,
+            occupancy_sample_every: 4096,
+            verify_values: true,
+        }
+    }
+
+    /// Sets the FVC associativity (default 1: direct mapped, as in the
+    /// paper).
+    pub fn fvc_associativity(mut self, associativity: u32) -> Self {
+        self.fvc_associativity = associativity;
+        self
+    }
+
+    /// Sets how many frequent words a DMC-evicted line must contain to
+    /// be worth an FVC entry (default 1). `0` inserts every evicted
+    /// line, even all-infrequent ones (an ablation configuration).
+    pub fn min_frequent_words(mut self, min: u32) -> Self {
+        self.min_frequent_words = min;
+        self
+    }
+
+    /// Enables/disables the paper's second insertion rule (allocate in
+    /// the FVC on a write miss of a frequent value). Default enabled;
+    /// disabling it is an ablation.
+    pub fn write_allocate_fvc(mut self, enabled: bool) -> Self {
+        self.write_allocate_fvc = enabled;
+        self
+    }
+
+    /// When `true`, a write allocated directly into the FVC is counted
+    /// as a miss instead of an absorbed write. The paper's accounting
+    /// ("eliminating or delaying the cache miss") charges the miss only
+    /// when an infrequent word of the line is later referenced, so the
+    /// default is `false`; `true` is a stricter-accounting ablation.
+    pub fn count_write_alloc_as_miss(mut self, enabled: bool) -> Self {
+        self.count_write_alloc_as_miss = enabled;
+        self
+    }
+
+    /// Sets the interval (in accesses) between FVC occupancy samples
+    /// (Figure 11). Default 4096.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn occupancy_sample_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "sampling interval must be positive");
+        self.occupancy_sample_every = every;
+        self
+    }
+
+    /// Enables/disables the load-value oracle (default enabled).
+    pub fn verify_values(mut self, verify: bool) -> Self {
+        self.verify_values = verify;
+        self
+    }
+
+    /// The DMC geometry.
+    pub fn dmc(&self) -> &CacheGeometry {
+        &self.dmc
+    }
+
+    /// Number of FVC entries.
+    pub fn fvc_entries(&self) -> u32 {
+        self.fvc_entries
+    }
+
+    /// The frequent value set.
+    pub fn values(&self) -> &FrequentValueSet {
+        &self.values
+    }
+
+    pub(crate) fn fvc_assoc(&self) -> u32 {
+        self.fvc_associativity
+    }
+
+    pub(crate) fn min_frequent(&self) -> u32 {
+        self.min_frequent_words
+    }
+
+    pub(crate) fn write_alloc(&self) -> bool {
+        self.write_allocate_fvc
+    }
+
+    pub(crate) fn walloc_as_miss(&self) -> bool {
+        self.count_write_alloc_as_miss
+    }
+
+    pub(crate) fn sample_every(&self) -> u64 {
+        self.occupancy_sample_every
+    }
+
+    pub(crate) fn verify(&self) -> bool {
+        self.verify_values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let c = HybridConfig::new(
+            CacheGeometry::new(4096, 32, 1).unwrap(),
+            128,
+            FrequentValueSet::new(vec![0]).unwrap(),
+        );
+        assert_eq!(c.fvc_assoc(), 1);
+        assert_eq!(c.min_frequent(), 1);
+        assert!(c.write_alloc());
+        assert!(c.verify());
+        let c = c.fvc_associativity(4).min_frequent_words(0).write_allocate_fvc(false);
+        assert_eq!(c.fvc_assoc(), 4);
+        assert_eq!(c.min_frequent(), 0);
+        assert!(!c.write_alloc());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_sample_interval_panics() {
+        let _ = HybridConfig::new(
+            CacheGeometry::new(4096, 32, 1).unwrap(),
+            128,
+            FrequentValueSet::new(vec![0]).unwrap(),
+        )
+        .occupancy_sample_every(0);
+    }
+}

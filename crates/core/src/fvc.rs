@@ -1,0 +1,449 @@
+//! The value-centric frequent value cache structure.
+
+use crate::code_array::CodeArray;
+use crate::value_set::FrequentValueSet;
+use fvl_mem::{Addr, Word, WORD_BYTES};
+use std::fmt;
+
+/// One FVC line: a tag plus a bit-packed code per word of the
+/// corresponding DMC line.
+#[derive(Clone, Eq, PartialEq, Debug)]
+pub struct FvcLine {
+    /// Address of the first byte of the (uncompressed) line.
+    pub line_addr: Addr,
+    /// Whether any code was updated since the line entered the FVC
+    /// (dirty frequent words must be written back on eviction).
+    pub dirty: bool,
+    /// The per-word codes.
+    pub codes: CodeArray,
+}
+
+impl FvcLine {
+    /// Encodes an uncompressed line: each word holding a frequent value
+    /// gets its code, every other word the infrequent marker.
+    pub fn encode(line_addr: Addr, data: &[Word], values: &FrequentValueSet) -> Self {
+        let mut codes = CodeArray::new(values.width_bits(), data.len() as u32);
+        let marker = codes.infrequent_code();
+        for (i, &w) in data.iter().enumerate() {
+            codes.set(i as u32, values.encode(w).unwrap_or(marker));
+        }
+        FvcLine { line_addr, dirty: false, codes }
+    }
+
+    /// Number of words this line can serve (non-infrequent codes).
+    pub fn frequent_count(&self) -> u32 {
+        self.codes.frequent_count()
+    }
+
+    /// Overlays this line's frequent values onto `data` (which must hold
+    /// the memory image of the same line). Words marked infrequent are
+    /// left untouched. This is the merge the paper performs when an
+    /// access to an infrequent word moves a line from FVC back to DMC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has a different word count than the line.
+    pub fn merge_into(&self, data: &mut [Word], values: &FrequentValueSet) {
+        assert_eq!(data.len() as u32, self.codes.len(), "line length mismatch");
+        let marker = self.codes.infrequent_code();
+        for (i, slot) in data.iter_mut().enumerate() {
+            let code = self.codes.get(i as u32);
+            if code != marker {
+                *slot = values.decode(code).expect("valid code");
+            }
+        }
+    }
+
+    /// Iterates over `(word_index, value)` for every frequent word.
+    pub fn frequent_words<'a>(
+        &'a self,
+        values: &'a FrequentValueSet,
+    ) -> impl Iterator<Item = (u32, Word)> + 'a {
+        let marker = self.codes.infrequent_code();
+        (0..self.codes.len()).filter_map(move |i| {
+            let code = self.codes.get(i);
+            (code != marker).then(|| (i, values.decode(code).expect("valid code")))
+        })
+    }
+}
+
+#[derive(Clone)]
+struct Slot {
+    valid: bool,
+    stamp: u64,
+    line_addr: Addr,
+    dirty: bool,
+    codes: CodeArray,
+}
+
+/// The frequent value cache: a small (usually direct-mapped) cache whose
+/// data array stores codes, not words.
+///
+/// Like [`fvl_cache::DataCache`] this is a passive structure; the
+/// [`crate::HybridCache`] controller decides what enters and leaves.
+///
+/// # Example
+///
+/// ```
+/// use fvl_core::{FrequentValueSet, Fvc, FvcLine};
+///
+/// let values = FrequentValueSet::new(vec![0, 1, 2])?;
+/// let mut fvc = Fvc::new(64, 8, &values);
+/// let line = FvcLine::encode(0x100, &[0, 1, 2, 3, 4, 0, 0, 1], &values);
+/// assert_eq!(line.frequent_count(), 6);
+/// fvc.install(line);
+/// assert!(fvc.probe(0x104).is_some());
+/// # Ok::<(), fvl_core::ValueSetError>(())
+/// ```
+#[derive(Clone)]
+pub struct Fvc {
+    entries: u32,
+    associativity: u32,
+    sets: u32,
+    words_per_line: u32,
+    line_bytes: u32,
+    width: u32,
+    slots: Vec<Slot>,
+    clock: u64,
+}
+
+impl Fvc {
+    /// Creates a direct-mapped FVC with `entries` lines of
+    /// `words_per_line` words encoded at `values`' width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` and `words_per_line` are powers of two.
+    pub fn new(entries: u32, words_per_line: u32, values: &FrequentValueSet) -> Self {
+        Self::with_associativity(entries, words_per_line, values, 1)
+    }
+
+    /// Creates a set-associative FVC (LRU within sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries`, `words_per_line` and `associativity` are
+    /// powers of two with `associativity ≤ entries`.
+    pub fn with_associativity(
+        entries: u32,
+        words_per_line: u32,
+        values: &FrequentValueSet,
+        associativity: u32,
+    ) -> Self {
+        assert!(entries.is_power_of_two(), "FVC entries must be a power of two");
+        assert!(words_per_line.is_power_of_two(), "words per line must be a power of two");
+        assert!(
+            associativity.is_power_of_two() && associativity <= entries,
+            "bad FVC associativity"
+        );
+        let width = values.width_bits();
+        let slots = (0..entries)
+            .map(|_| Slot {
+                valid: false,
+                stamp: 0,
+                line_addr: 0,
+                dirty: false,
+                codes: CodeArray::new(width, words_per_line),
+            })
+            .collect();
+        Fvc {
+            entries,
+            associativity,
+            sets: entries / associativity,
+            words_per_line,
+            line_bytes: words_per_line * WORD_BYTES,
+            width,
+            slots,
+            clock: 0,
+        }
+    }
+
+    /// Number of lines.
+    pub fn entries(&self) -> u32 {
+        self.entries
+    }
+
+    /// Words per line.
+    pub fn words_per_line(&self) -> u32 {
+        self.words_per_line
+    }
+
+    /// Encoding width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width
+    }
+
+    /// Associativity (1 = direct mapped).
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Size of the encoded data array in bytes — the "FVC size" the
+    /// paper quotes (e.g. 512 entries × 8 words × 3 bits = 1.5 KB).
+    pub fn data_bytes(&self) -> f64 {
+        (self.entries * self.words_per_line * self.width) as f64 / 8.0
+    }
+
+    #[inline]
+    fn line_addr_of(&self, addr: Addr) -> Addr {
+        addr & !(self.line_bytes - 1)
+    }
+
+    #[inline]
+    fn set_range(&self, line_addr: Addr) -> std::ops::Range<usize> {
+        let set = ((line_addr / self.line_bytes) % self.sets) as usize;
+        let a = self.associativity as usize;
+        set * a..(set + 1) * a
+    }
+
+    /// Word offset of `addr` within its line.
+    #[inline]
+    pub fn word_offset(&self, addr: Addr) -> u32 {
+        (addr & (self.line_bytes - 1)) / WORD_BYTES
+    }
+
+    /// Looks up the line containing `addr`; returns its slot on a tag
+    /// match (the match says nothing about whether the specific word is
+    /// frequent — check the code).
+    #[inline]
+    pub fn probe(&self, addr: Addr) -> Option<usize> {
+        let line_addr = self.line_addr_of(addr);
+        let range = self.set_range(line_addr);
+        self.slots[range.clone()]
+            .iter()
+            .position(|s| s.valid && s.line_addr == line_addr)
+            .map(|w| range.start + w)
+    }
+
+    /// Marks `slot` most recently used.
+    #[inline]
+    pub fn touch(&mut self, slot: usize) {
+        self.clock += 1;
+        self.slots[slot].stamp = self.clock;
+    }
+
+    /// The code stored for `addr` in `slot`.
+    #[inline]
+    pub fn code_at(&self, slot: usize, addr: Addr) -> u8 {
+        let s = &self.slots[slot];
+        debug_assert!(s.valid && s.line_addr == self.line_addr_of(addr));
+        s.codes.get(self.word_offset(addr))
+    }
+
+    /// Overwrites the code for `addr` in `slot` and marks the line
+    /// dirty (a frequent-value write hit).
+    #[inline]
+    pub fn set_code(&mut self, slot: usize, addr: Addr, code: u8) {
+        let off = self.word_offset(addr);
+        let line_addr = self.line_addr_of(addr);
+        let s = &mut self.slots[slot];
+        debug_assert!(s.valid && s.line_addr == line_addr);
+        s.codes.set(off, code);
+        s.dirty = true;
+    }
+
+    /// Installs a line, returning the evicted victim if one was valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident or has mismatched
+    /// width/length.
+    pub fn install(&mut self, line: FvcLine) -> Option<FvcLine> {
+        assert_eq!(line.codes.len(), self.words_per_line, "line length mismatch");
+        assert_eq!(line.codes.width(), self.width, "encoding width mismatch");
+        assert_eq!(line.line_addr % self.line_bytes, 0, "not a line address");
+        assert!(self.probe(line.line_addr).is_none(), "line already resident in FVC");
+        let range = self.set_range(line.line_addr);
+        let invalid = self.slots[range.clone()].iter().position(|s| !s.valid);
+        let slot = match invalid {
+            Some(w) => range.start + w,
+            None => self.slots[range.clone()]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(w, _)| range.start + w)
+                .expect("associativity at least 1"),
+        };
+        let evicted = if self.slots[slot].valid {
+            Some(FvcLine {
+                line_addr: self.slots[slot].line_addr,
+                dirty: self.slots[slot].dirty,
+                codes: self.slots[slot].codes.clone(),
+            })
+        } else {
+            None
+        };
+        self.clock += 1;
+        let s = &mut self.slots[slot];
+        s.valid = true;
+        s.stamp = self.clock;
+        s.line_addr = line.line_addr;
+        s.dirty = line.dirty;
+        s.codes = line.codes;
+        evicted
+    }
+
+    /// Removes and returns the line in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is invalid.
+    pub fn take(&mut self, slot: usize) -> FvcLine {
+        let s = &mut self.slots[slot];
+        assert!(s.valid, "take on invalid FVC slot");
+        s.valid = false;
+        FvcLine {
+            line_addr: s.line_addr,
+            dirty: s.dirty,
+            codes: std::mem::replace(&mut s.codes, CodeArray::new(self.width, self.words_per_line)),
+        }
+    }
+
+    /// Number of valid lines.
+    pub fn valid_lines(&self) -> u32 {
+        self.slots.iter().filter(|s| s.valid).count() as u32
+    }
+
+    /// Iterates over the valid lines' `(line_addr, dirty, frequent
+    /// words, words per line)` for occupancy statistics.
+    pub fn iter_valid(&self) -> impl Iterator<Item = (Addr, bool, u32)> + '_ {
+        self.slots
+            .iter()
+            .filter(|s| s.valid)
+            .map(|s| (s.line_addr, s.dirty, s.codes.frequent_count()))
+    }
+
+    /// Drains every valid line (end-of-simulation flush).
+    pub fn drain(&mut self) -> Vec<FvcLine> {
+        let width = self.width;
+        let wpl = self.words_per_line;
+        self.slots
+            .iter_mut()
+            .filter(|s| s.valid)
+            .map(|s| {
+                s.valid = false;
+                FvcLine {
+                    line_addr: s.line_addr,
+                    dirty: s.dirty,
+                    codes: std::mem::replace(&mut s.codes, CodeArray::new(width, wpl)),
+                }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Fvc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fvc")
+            .field("entries", &self.entries)
+            .field("associativity", &self.associativity)
+            .field("width_bits", &self.width)
+            .field("valid_lines", &self.valid_lines())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn top7() -> FrequentValueSet {
+        FrequentValueSet::new(vec![0, u32::MAX, 1, 2, 4, 8, 10]).unwrap()
+    }
+
+    #[test]
+    fn encode_merge_round_trip() {
+        let values = top7();
+        let data = [0u32, 1000, 0, 99999, u32::MAX, 10, 1, u32::MAX];
+        let line = FvcLine::encode(0x100, &data, &values);
+        assert_eq!(line.frequent_count(), 6);
+        // Merging onto the memory image reproduces the full line.
+        let mut mem_image = data; // memory agrees here
+        line.merge_into(&mut mem_image, &values);
+        assert_eq!(mem_image, data);
+        // Merging onto stale memory restores only frequent words.
+        let mut stale = [7u32; 8];
+        line.merge_into(&mut stale, &values);
+        assert_eq!(stale, [0, 7, 0, 7, u32::MAX, 10, 1, u32::MAX]);
+    }
+
+    #[test]
+    fn frequent_words_lists_decoded_values() {
+        let values = top7();
+        let line = FvcLine::encode(0, &[5, 0, 4, 9], &values);
+        let words: Vec<_> = line.frequent_words(&values).collect();
+        assert_eq!(words, vec![(1, 0), (2, 4)]);
+    }
+
+    #[test]
+    fn probe_install_take() {
+        let values = top7();
+        let mut fvc = Fvc::new(16, 8, &values);
+        assert_eq!(fvc.data_bytes(), 16.0 * 8.0 * 3.0 / 8.0);
+        let line = FvcLine::encode(0x200, &[0; 8], &values);
+        assert!(fvc.install(line.clone()).is_none());
+        let slot = fvc.probe(0x21c).unwrap();
+        assert_eq!(fvc.code_at(slot, 0x200), 0); // code for value 0
+        let taken = fvc.take(slot);
+        assert_eq!(taken.line_addr, 0x200);
+        assert!(fvc.probe(0x200).is_none());
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let values = top7();
+        let mut fvc = Fvc::new(4, 8, &values);
+        // 4 entries x 32B lines => addresses 128 bytes apart conflict.
+        fvc.install(FvcLine::encode(0x000, &[0; 8], &values));
+        let evicted = fvc.install(FvcLine::encode(0x080, &[1; 8], &values)).unwrap();
+        assert_eq!(evicted.line_addr, 0x000);
+        assert!(fvc.probe(0x000).is_none());
+        assert!(fvc.probe(0x080).is_some());
+    }
+
+    #[test]
+    fn set_associative_fvc_keeps_conflicting_lines() {
+        let values = top7();
+        let mut fvc = Fvc::with_associativity(4, 8, &values, 2);
+        fvc.install(FvcLine::encode(0x000, &[0; 8], &values));
+        assert!(fvc.install(FvcLine::encode(0x040, &[0; 8], &values)).is_none());
+        assert!(fvc.probe(0x000).is_some());
+        assert!(fvc.probe(0x040).is_some());
+    }
+
+    #[test]
+    fn set_code_marks_dirty_and_updates() {
+        let values = top7();
+        let mut fvc = Fvc::new(4, 8, &values);
+        fvc.install(FvcLine::encode(0x000, &[999; 8], &values));
+        let slot = fvc.probe(0x004).unwrap();
+        assert_eq!(fvc.code_at(slot, 0x004), 0b111);
+        fvc.set_code(slot, 0x004, values.encode(1).unwrap());
+        assert_eq!(fvc.code_at(slot, 0x004), 2);
+        let line = fvc.take(slot);
+        assert!(line.dirty);
+    }
+
+    #[test]
+    fn drain_and_occupancy() {
+        let values = top7();
+        let mut fvc = Fvc::new(8, 8, &values);
+        fvc.install(FvcLine::encode(0x000, &[0, 0, 9, 9, 9, 9, 9, 9], &values));
+        fvc.install(FvcLine::encode(0x020, &[0; 8], &values));
+        let occ: Vec<_> = fvc.iter_valid().collect();
+        assert_eq!(occ.len(), 2);
+        let total_frequent: u32 = occ.iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(total_frequent, 2 + 8);
+        assert_eq!(fvc.drain().len(), 2);
+        assert_eq!(fvc.valid_lines(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn duplicate_install_panics() {
+        let values = top7();
+        let mut fvc = Fvc::new(4, 8, &values);
+        fvc.install(FvcLine::encode(0x0, &[0; 8], &values));
+        fvc.install(FvcLine::encode(0x0, &[0; 8], &values));
+    }
+}

@@ -1,0 +1,308 @@
+//! Deterministic heap and stack allocators for the simulated process.
+//!
+//! The heap is a bump allocator with per-size free lists (freed blocks are
+//! recycled most-recently-freed first, which reproduces the address reuse
+//! that makes heap pointer values recur in real programs). The stack is a
+//! classic downward-growing frame stack.
+
+use crate::layout::{Addr, Region, RegionKind, HEAP_BASE, STACK_BASE, WORD_BYTES};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Simulated `malloc`/`free` with deterministic address reuse.
+///
+/// # Example
+///
+/// ```
+/// use fvl_mem::HeapAllocator;
+///
+/// let mut heap = HeapAllocator::new();
+/// let a = heap.alloc(8);
+/// let b = heap.alloc(8);
+/// assert_ne!(a.base, b.base);
+/// heap.free(a.base);
+/// let c = heap.alloc(8);
+/// assert_eq!(c.base, a.base); // freed block recycled
+/// ```
+#[derive(Clone)]
+pub struct HeapAllocator {
+    next: Addr,
+    /// size-in-words -> stack of freed block bases (LIFO reuse).
+    free_lists: HashMap<u32, Vec<Addr>>,
+    /// base -> size-in-words for every live allocation.
+    live: HashMap<Addr, u32>,
+    allocated_words: u64,
+    peak_words: u64,
+    total_allocs: u64,
+}
+
+impl Default for HeapAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapAllocator {
+    /// Creates a heap starting at [`HEAP_BASE`].
+    pub fn new() -> Self {
+        HeapAllocator {
+            next: HEAP_BASE,
+            free_lists: HashMap::new(),
+            live: HashMap::new(),
+            allocated_words: 0,
+            peak_words: 0,
+            total_allocs: 0,
+        }
+    }
+
+    /// Rounds a request up to its size class (multiples of 2 words).
+    fn class_of(words: u32) -> u32 {
+        let w = words.max(1);
+        (w + 1) & !1
+    }
+
+    /// Allocates `words` 32-bit words and returns the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero-extended beyond the heap segment
+    /// (simulated out-of-memory) — a workload bug, not a recoverable
+    /// condition for the simulator.
+    pub fn alloc(&mut self, words: u32) -> Region {
+        assert!(words > 0, "zero-sized heap allocation");
+        let class = Self::class_of(words);
+        let base = match self.free_lists.get_mut(&class).and_then(Vec::pop) {
+            Some(base) => base,
+            None => {
+                let base = self.next;
+                let end = base as u64 + class as u64 * WORD_BYTES as u64;
+                assert!(end <= STACK_BASE as u64, "simulated heap exhausted");
+                self.next = end as Addr;
+                base
+            }
+        };
+        self.live.insert(base, class);
+        self.allocated_words += class as u64;
+        self.peak_words = self.peak_words.max(self.allocated_words);
+        self.total_allocs += 1;
+        Region::new(base, class, RegionKind::Heap)
+    }
+
+    /// Frees the allocation starting at `base`, returning its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free or on freeing an address that was never
+    /// allocated (a workload bug).
+    pub fn free(&mut self, base: Addr) -> Region {
+        let class = self
+            .live
+            .remove(&base)
+            .unwrap_or_else(|| panic!("free of unallocated heap address {base:#x}"));
+        self.allocated_words -= class as u64;
+        self.free_lists.entry(class).or_default().push(base);
+        Region::new(base, class, RegionKind::Heap)
+    }
+
+    /// Size in words of the live allocation at `base`, if any.
+    pub fn size_of(&self, base: Addr) -> Option<u32> {
+        self.live.get(&base).copied()
+    }
+
+    /// Currently allocated words.
+    pub fn allocated_words(&self) -> u64 {
+        self.allocated_words
+    }
+
+    /// High-water mark of allocated words.
+    pub fn peak_words(&self) -> u64 {
+        self.peak_words
+    }
+
+    /// Number of allocations performed over the whole run.
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocs(&self) -> usize {
+        self.live.len()
+    }
+}
+
+impl fmt::Debug for HeapAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeapAllocator")
+            .field("next", &format_args!("{:#x}", self.next))
+            .field("live_allocs", &self.live.len())
+            .field("allocated_words", &self.allocated_words)
+            .finish()
+    }
+}
+
+/// Downward-growing stack of word-sized frames.
+///
+/// # Example
+///
+/// ```
+/// use fvl_mem::StackAllocator;
+///
+/// let mut stack = StackAllocator::new();
+/// let f1 = stack.push(16);
+/// let f2 = stack.push(4);
+/// assert!(f2.base < f1.base);
+/// assert_eq!(stack.pop().base, f2.base);
+/// ```
+#[derive(Clone)]
+pub struct StackAllocator {
+    sp: Addr,
+    frames: Vec<Region>,
+    max_depth_words: u64,
+}
+
+impl Default for StackAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StackAllocator {
+    /// Creates a stack whose first frame will end at [`STACK_BASE`].
+    pub fn new() -> Self {
+        StackAllocator { sp: STACK_BASE, frames: Vec::new(), max_depth_words: 0 }
+    }
+
+    /// Pushes a frame of `words` words; returns its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulated stack overflow (collision with the heap
+    /// segment) or a zero-sized frame.
+    pub fn push(&mut self, words: u32) -> Region {
+        assert!(words > 0, "zero-sized stack frame");
+        let bytes = words as u64 * WORD_BYTES as u64;
+        let base = (self.sp as u64).checked_sub(bytes).expect("simulated stack overflow");
+        assert!(base >= HEAP_BASE as u64, "simulated stack collided with heap segment");
+        self.sp = base as Addr;
+        let region = Region::new(self.sp, words, RegionKind::Stack);
+        self.frames.push(region);
+        let depth = (STACK_BASE - self.sp) as u64 / WORD_BYTES as u64;
+        self.max_depth_words = self.max_depth_words.max(depth);
+        region
+    }
+
+    /// Pops the most recent frame, returning its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is live.
+    pub fn pop(&mut self) -> Region {
+        let region = self.frames.pop().expect("pop on empty simulated stack");
+        self.sp = (region.end()) as Addr;
+        region
+    }
+
+    /// Current number of live frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Deepest extent of the stack over the run, in words.
+    pub fn max_depth_words(&self) -> u64 {
+        self.max_depth_words
+    }
+
+    /// Current stack pointer.
+    pub fn sp(&self) -> Addr {
+        self.sp
+    }
+}
+
+impl fmt::Debug for StackAllocator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StackAllocator")
+            .field("sp", &format_args!("{:#x}", self.sp))
+            .field("depth", &self.frames.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_allocations_do_not_overlap() {
+        let mut h = HeapAllocator::new();
+        let a = h.alloc(3);
+        let b = h.alloc(5);
+        let c = h.alloc(1);
+        assert!(a.end() <= b.base as u64);
+        assert!(b.end() <= c.base as u64);
+        assert_eq!(h.live_allocs(), 3);
+    }
+
+    #[test]
+    fn heap_free_recycles_lifo() {
+        let mut h = HeapAllocator::new();
+        let a = h.alloc(4);
+        let b = h.alloc(4);
+        h.free(a.base);
+        h.free(b.base);
+        assert_eq!(h.alloc(4).base, b.base);
+        assert_eq!(h.alloc(4).base, a.base);
+    }
+
+    #[test]
+    fn heap_size_classes_round_up() {
+        let mut h = HeapAllocator::new();
+        let a = h.alloc(1);
+        assert_eq!(a.words, 2);
+        let b = h.alloc(7);
+        assert_eq!(b.words, 8);
+        assert_eq!(h.size_of(b.base), Some(8));
+        assert_eq!(h.size_of(0xdead_0000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unallocated")]
+    fn heap_double_free_panics() {
+        let mut h = HeapAllocator::new();
+        let a = h.alloc(2);
+        h.free(a.base);
+        h.free(a.base);
+    }
+
+    #[test]
+    fn heap_accounting() {
+        let mut h = HeapAllocator::new();
+        let a = h.alloc(2);
+        let _b = h.alloc(2);
+        assert_eq!(h.allocated_words(), 4);
+        assert_eq!(h.peak_words(), 4);
+        h.free(a.base);
+        assert_eq!(h.allocated_words(), 2);
+        assert_eq!(h.peak_words(), 4);
+        assert_eq!(h.total_allocs(), 2);
+    }
+
+    #[test]
+    fn stack_grows_down_and_pops_in_order() {
+        let mut s = StackAllocator::new();
+        assert_eq!(s.sp(), STACK_BASE);
+        let f1 = s.push(8);
+        assert_eq!(f1.base, STACK_BASE - 32);
+        let f2 = s.push(2);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.pop(), f2);
+        assert_eq!(s.pop(), f1);
+        assert_eq!(s.sp(), STACK_BASE);
+        assert_eq!(s.max_depth_words(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty simulated stack")]
+    fn stack_pop_empty_panics() {
+        StackAllocator::new().pop();
+    }
+}

@@ -1,0 +1,153 @@
+//! Address-space layout and basic vocabulary types.
+//!
+//! The simulated address space mirrors a classic 32-bit Unix process so
+//! that pointer *values* stored into memory resemble those the paper
+//! reports as frequent values (Table 1 contains heap addresses such as
+//! `0x40234974` next to small integers and `0xffffffff`).
+
+use std::fmt;
+
+/// A byte address in the simulated 32-bit address space.
+///
+/// All word operations require 4-byte alignment.
+pub type Addr = u32;
+
+/// A 32-bit data word, the unit the frequent value study operates on.
+pub type Word = u32;
+
+/// Number of bytes in a simulated machine word.
+pub const WORD_BYTES: u32 = 4;
+
+/// Base byte address of the global/static data region.
+pub const GLOBAL_BASE: Addr = 0x0001_0000;
+
+/// Base byte address of the heap; heap allocations grow upward from here.
+pub const HEAP_BASE: Addr = 0x4000_0000;
+
+/// Initial stack pointer; stack frames grow downward from here.
+pub const STACK_BASE: Addr = 0x8000_0000;
+
+/// Which allocator a [`Region`] belongs to.
+#[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
+pub enum RegionKind {
+    /// Static data, allocated for the whole run.
+    Global,
+    /// Heap data obtained from [`crate::Bus::alloc`].
+    Heap,
+    /// Stack data obtained from [`crate::Bus::push_frame`].
+    Stack,
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegionKind::Global => "global",
+            RegionKind::Heap => "heap",
+            RegionKind::Stack => "stack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A contiguous word-aligned span of simulated memory.
+///
+/// Regions are reported to [`crate::AccessSink`]s on allocation and
+/// deallocation so that analyses can track the paper's notion of
+/// *interesting* locations (referenced and not deallocated since).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Region {
+    /// First byte address of the region (4-byte aligned).
+    pub base: Addr,
+    /// Length in 32-bit words.
+    pub words: u32,
+    /// Owning allocator.
+    pub kind: RegionKind,
+}
+
+impl Region {
+    /// Creates a region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not word aligned or the region wraps the
+    /// address space.
+    pub fn new(base: Addr, words: u32, kind: RegionKind) -> Self {
+        assert_eq!(base % WORD_BYTES, 0, "region base {base:#x} not word aligned");
+        assert!(
+            (base as u64) + (words as u64) * (WORD_BYTES as u64) <= u32::MAX as u64 + 1,
+            "region wraps the 32-bit address space"
+        );
+        Region { base, words, kind }
+    }
+
+    /// One-past-the-end byte address.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.base as u64 + self.words as u64 * WORD_BYTES as u64
+    }
+
+    /// Whether `addr` falls inside the region.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && (addr as u64) < self.end()
+    }
+
+    /// Iterates over the word-aligned byte addresses in the region.
+    pub fn word_addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        (0..self.words).map(move |i| self.base + i * WORD_BYTES)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} region [{:#010x}, +{} words)", self.kind, self.base, self.words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_contains_and_end() {
+        let r = Region::new(0x1000, 4, RegionKind::Heap);
+        assert!(r.contains(0x1000));
+        assert!(r.contains(0x100c));
+        assert!(!r.contains(0x1010));
+        assert!(!r.contains(0x0fff));
+        assert_eq!(r.end(), 0x1010);
+    }
+
+    #[test]
+    fn region_word_addrs() {
+        let r = Region::new(0x20, 3, RegionKind::Stack);
+        let addrs: Vec<_> = r.word_addrs().collect();
+        assert_eq!(addrs, vec![0x20, 0x24, 0x28]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not word aligned")]
+    fn region_rejects_misaligned_base() {
+        let _ = Region::new(0x1001, 1, RegionKind::Heap);
+    }
+
+    #[test]
+    #[should_panic(expected = "wraps")]
+    fn region_rejects_wrapping() {
+        let _ = Region::new(0xffff_fffc, 2, RegionKind::Heap);
+    }
+
+    #[test]
+    fn region_at_top_of_address_space_is_ok() {
+        let r = Region::new(0xffff_fffc, 1, RegionKind::Global);
+        assert!(r.contains(0xffff_fffc));
+        assert_eq!(r.end(), 0x1_0000_0000);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RegionKind::Heap.to_string(), "heap");
+        let r = Region::new(0x40, 2, RegionKind::Global);
+        assert_eq!(r.to_string(), "global region [0x00000040, +2 words)");
+    }
+}

@@ -1,0 +1,64 @@
+//! Simulated 32-bit memory substrate with access tracing.
+//!
+//! This crate replaces the instrumented-execution substrate of the ASPLOS
+//! 2000 paper *Frequent Value Locality and Value-Centric Data Cache Design*:
+//! where the authors ran SPEC95 binaries and collected load/store traces, we
+//! run synthetic workload programs (see the `fvl-workloads` crate) against a
+//! simulated, word-addressable, 32-bit memory that records every access.
+//!
+//! # Architecture
+//!
+//! * [`SimMemory`] — sparse paged storage for the full 32-bit address space.
+//! * [`Bus`] — the interface workloads program against: word loads/stores
+//!   plus heap allocation and stack-frame management.
+//! * [`TracedMemory`] — the canonical [`Bus`] implementation; it owns the
+//!   memory, tracks *interesting* (referenced and still allocated) locations,
+//!   and forwards every event to an [`AccessSink`].
+//! * [`AccessSink`] — consumer interface implemented by profilers and cache
+//!   simulators; [`Fanout`] feeds several sinks in one pass.
+//! * [`Trace`] / [`TraceBuffer`] — an in-memory event log that can be
+//!   replayed into sinks, so one workload execution can drive arbitrarily
+//!   many cache configurations.
+//! * [`MemorySnapshot`] — a periodic view of live memory contents used by
+//!   the paper's "frequently *occurring* value" sampling (every 10M
+//!   instructions in the paper; every N accesses here).
+//!
+//! # Example
+//!
+//! ```
+//! use fvl_mem::{Bus, CountingSink, TracedMemory};
+//!
+//! let mut sink = CountingSink::default();
+//! let mut mem = TracedMemory::new(&mut sink);
+//! let buf = mem.alloc(4);
+//! mem.store(buf, 42);
+//! assert_eq!(mem.load(buf), 42);
+//! mem.free(buf);
+//! mem.finish();
+//! // 2 program accesses + 2 malloc-header accesses each on alloc/free.
+//! assert_eq!(sink.accesses(), 6);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod access;
+mod alloc;
+mod bus;
+mod layout;
+mod live;
+mod sim_memory;
+mod snapshot;
+mod traced;
+mod trace;
+mod trace_io;
+
+pub use access::{Access, AccessKind, AccessSink, CountingSink, Fanout, NullSink};
+pub use alloc::{HeapAllocator, StackAllocator};
+pub use bus::{Bus, BusExt};
+pub use layout::{Addr, Region, RegionKind, Word, GLOBAL_BASE, HEAP_BASE, STACK_BASE, WORD_BYTES};
+pub use live::LiveSet;
+pub use sim_memory::SimMemory;
+pub use snapshot::MemorySnapshot;
+pub use trace::{Trace, TraceBuffer, TraceEvent};
+pub use traced::TracedMemory;

@@ -1,0 +1,149 @@
+//! Sparse paged backing store for the simulated 32-bit address space.
+
+use crate::layout::{Addr, Word, WORD_BYTES};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Words per page (4 KiB pages).
+pub(crate) const PAGE_WORDS: usize = 1024;
+const PAGE_SHIFT: u32 = 12; // 4096 bytes
+
+type Page = [Word; PAGE_WORDS];
+
+/// Sparse, paged, word-addressable simulated memory.
+///
+/// Pages are materialized on first touch; untouched memory reads as zero,
+/// like freshly mapped pages on a real OS. `SimMemory` itself performs no
+/// tracing — that is [`crate::TracedMemory`]'s job.
+///
+/// # Example
+///
+/// ```
+/// use fvl_mem::SimMemory;
+///
+/// let mut mem = SimMemory::new();
+/// assert_eq!(mem.read(0x8000), 0);
+/// mem.write(0x8000, 0xdead_beef);
+/// assert_eq!(mem.read(0x8000), 0xdead_beef);
+/// ```
+#[derive(Clone, Default)]
+pub struct SimMemory {
+    pages: HashMap<u32, Box<Page>>,
+}
+
+impl SimMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn split(addr: Addr) -> (u32, usize) {
+        debug_assert_eq!(addr % WORD_BYTES, 0, "unaligned word address {addr:#x}");
+        (addr >> PAGE_SHIFT, ((addr >> 2) as usize) & (PAGE_WORDS - 1))
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `addr` is not 4-byte aligned.
+    #[inline]
+    pub fn read(&self, addr: Addr) -> Word {
+        let (page, idx) = Self::split(addr);
+        match self.pages.get(&page) {
+            Some(p) => p[idx],
+            None => 0,
+        }
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `addr` is not 4-byte aligned.
+    #[inline]
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        let (page, idx) = Self::split(addr);
+        if value == 0 && !self.pages.contains_key(&page) {
+            // Writing zero into an unmaterialized page is a no-op.
+            return;
+        }
+        let p = self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_WORDS]));
+        p[idx] = value;
+    }
+
+    /// Number of materialized 4 KiB pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Resident simulated bytes (materialized pages only).
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * PAGE_WORDS * WORD_BYTES as usize
+    }
+}
+
+impl fmt::Debug for SimMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimMemory")
+            .field("resident_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_reads_zero() {
+        let mem = SimMemory::new();
+        assert_eq!(mem.read(0), 0);
+        assert_eq!(mem.read(0xffff_fffc), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut mem = SimMemory::new();
+        mem.write(0x1234_5678 & !3, 99);
+        assert_eq!(mem.read(0x1234_5678 & !3), 99);
+    }
+
+    #[test]
+    fn zero_write_to_untouched_page_allocates_nothing() {
+        let mut mem = SimMemory::new();
+        mem.write(0x4000, 0);
+        assert_eq!(mem.resident_pages(), 0);
+        mem.write(0x4000, 5);
+        assert_eq!(mem.resident_pages(), 1);
+        assert_eq!(mem.resident_bytes(), 4096);
+    }
+
+    #[test]
+    fn adjacent_words_do_not_alias() {
+        let mut mem = SimMemory::new();
+        mem.write(0x100, 1);
+        mem.write(0x104, 2);
+        assert_eq!(mem.read(0x100), 1);
+        assert_eq!(mem.read(0x104), 2);
+    }
+
+    #[test]
+    fn page_boundary_words_are_independent() {
+        let mut mem = SimMemory::new();
+        mem.write(0x0ffc, 7); // last word of page 0
+        mem.write(0x1000, 8); // first word of page 1
+        assert_eq!(mem.read(0x0ffc), 7);
+        assert_eq!(mem.read(0x1000), 8);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn top_of_address_space_is_addressable() {
+        let mut mem = SimMemory::new();
+        mem.write(0xffff_fffc, 0xabcd);
+        assert_eq!(mem.read(0xffff_fffc), 0xabcd);
+    }
+}

@@ -1,0 +1,207 @@
+//! Binary serialization of traces.
+//!
+//! Recorded traces can be written to disk and replayed later, so an
+//! expensive workload execution (or an externally collected trace) can
+//! drive many simulation campaigns. The format is a simple
+//! little-endian record stream with a magic header — deliberately
+//! dependency-free.
+
+use crate::access::{Access, AccessKind};
+use crate::layout::{Region, RegionKind};
+use crate::trace::{Trace, TraceEvent};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"FVLTRC1\n";
+
+const TAG_LOAD: u8 = 0;
+const TAG_STORE: u8 = 1;
+const TAG_ALLOC: u8 = 2;
+const TAG_FREE: u8 = 3;
+
+fn kind_to_byte(kind: RegionKind) -> u8 {
+    match kind {
+        RegionKind::Global => 0,
+        RegionKind::Heap => 1,
+        RegionKind::Stack => 2,
+    }
+}
+
+fn byte_to_kind(b: u8) -> io::Result<RegionKind> {
+    match b {
+        0 => Ok(RegionKind::Global),
+        1 => Ok(RegionKind::Heap),
+        2 => Ok(RegionKind::Stack),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad region kind byte {other}"),
+        )),
+    }
+}
+
+impl Trace {
+    /// Writes the trace to `writer` in the `FVLTRC1` binary format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer. A `&mut` reference can
+    /// be passed for writers you need back afterwards.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writer.write_all(MAGIC)?;
+        writer.write_all(&(self.events().len() as u64).to_le_bytes())?;
+        for event in self.events() {
+            match *event {
+                TraceEvent::Access(a) => {
+                    let tag = match a.kind {
+                        AccessKind::Load => TAG_LOAD,
+                        AccessKind::Store => TAG_STORE,
+                    };
+                    writer.write_all(&[tag])?;
+                    writer.write_all(&a.addr.to_le_bytes())?;
+                    writer.write_all(&a.value.to_le_bytes())?;
+                }
+                TraceEvent::Alloc(r) | TraceEvent::Free(r) => {
+                    let tag = if matches!(event, TraceEvent::Alloc(_)) {
+                        TAG_ALLOC
+                    } else {
+                        TAG_FREE
+                    };
+                    writer.write_all(&[tag, kind_to_byte(r.kind)])?;
+                    writer.write_all(&r.base.to_le_bytes())?;
+                    writer.write_all(&r.words.to_le_bytes())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a trace previously written with [`Trace::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` on a bad magic header or corrupt record,
+    /// and propagates underlying I/O errors. A `&mut` reference can be
+    /// passed for readers you need back afterwards.
+    pub fn read_from<R: Read>(mut reader: R) -> io::Result<Trace> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an FVLTRC1 trace"));
+        }
+        let mut len8 = [0u8; 8];
+        reader.read_exact(&mut len8)?;
+        let len = u64::from_le_bytes(len8);
+        let mut events = Vec::with_capacity(len.min(1 << 24) as usize);
+        let mut u32_buf = [0u8; 4];
+        let mut read_u32 = |reader: &mut R| -> io::Result<u32> {
+            reader.read_exact(&mut u32_buf)?;
+            Ok(u32::from_le_bytes(u32_buf))
+        };
+        for _ in 0..len {
+            let mut tag = [0u8; 1];
+            reader.read_exact(&mut tag)?;
+            let event = match tag[0] {
+                TAG_LOAD | TAG_STORE => {
+                    let addr = read_u32(&mut reader)?;
+                    let value = read_u32(&mut reader)?;
+                    let kind =
+                        if tag[0] == TAG_LOAD { AccessKind::Load } else { AccessKind::Store };
+                    TraceEvent::Access(Access { addr, value, kind })
+                }
+                TAG_ALLOC | TAG_FREE => {
+                    let mut kind_byte = [0u8; 1];
+                    reader.read_exact(&mut kind_byte)?;
+                    let kind = byte_to_kind(kind_byte[0])?;
+                    let base = read_u32(&mut reader)?;
+                    let words = read_u32(&mut reader)?;
+                    let region = Region::new(base, words, kind);
+                    if tag[0] == TAG_ALLOC {
+                        TraceEvent::Alloc(region)
+                    } else {
+                        TraceEvent::Free(region)
+                    }
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad event tag {other}"),
+                    ))
+                }
+            };
+            events.push(event);
+        }
+        Ok(Trace::from_events(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::CountingSink;
+    use crate::bus::{Bus, BusExt};
+    use crate::traced::TracedMemory;
+
+    fn sample_trace() -> Trace {
+        let mut buf = crate::trace::TraceBuffer::new();
+        {
+            let mut m = TracedMemory::new(&mut buf);
+            let a = m.alloc(4);
+            m.fill(a, 4, 7);
+            let f = m.push_frame(2);
+            m.store(f, 9);
+            let _ = m.load(a);
+            m.pop_frame();
+            m.free(a);
+        }
+        buf.into_trace()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_event() {
+        let trace = sample_trace();
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        let loaded = Trace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(loaded.events(), trace.events());
+        assert_eq!(loaded.accesses(), trace.accesses());
+        // Replays identically.
+        let mut a = CountingSink::new();
+        let mut b = CountingSink::new();
+        trace.replay(&mut a);
+        loaded.replay(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = Trace::read_from(&b"NOTATRACE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let trace = sample_trace();
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        assert!(Trace::read_from(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.push(99); // invalid tag
+        let err = Trace::read_from(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::from_events(vec![]);
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        let loaded = Trace::read_from(bytes.as_slice()).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Model-based property tests for the memory substrate.
+
+use fvl_mem::{
+    Access, AccessSink, Bus, CountingSink, HeapAllocator, LiveSet, Region, RegionKind,
+    SimMemory, Trace, TraceBuffer, TraceEvent, TracedMemory,
+};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    /// SimMemory behaves exactly like a HashMap with a zero default.
+    #[test]
+    fn sim_memory_matches_map_model(
+        ops in prop::collection::vec((0u32..1 << 20, prop::option::of(any::<u32>())), 1..300),
+    ) {
+        let mut mem = SimMemory::new();
+        let mut model: HashMap<u32, u32> = HashMap::new();
+        for (slot, op) in ops {
+            let addr = slot * 4;
+            match op {
+                Some(value) => {
+                    mem.write(addr, value);
+                    model.insert(addr, value);
+                }
+                None => {
+                    prop_assert_eq!(mem.read(addr), model.get(&addr).copied().unwrap_or(0));
+                }
+            }
+        }
+    }
+
+    /// LiveSet behaves exactly like a HashSet under mark/clear_region.
+    #[test]
+    fn live_set_matches_set_model(
+        ops in prop::collection::vec((0u32..4096, 0u32..8, any::<bool>()), 1..300),
+    ) {
+        let mut live = LiveSet::new();
+        let mut model: HashSet<u32> = HashSet::new();
+        for (slot, span, is_clear) in ops {
+            let addr = slot * 4;
+            if is_clear {
+                let words = span + 1;
+                live.clear_region(&Region::new(addr, words, RegionKind::Heap));
+                for w in 0..words {
+                    model.remove(&(addr + w * 4));
+                }
+            } else {
+                live.mark(addr);
+                model.insert(addr);
+            }
+            prop_assert_eq!(live.len(), model.len() as u64);
+        }
+        let collected: HashSet<u32> = live.iter().collect();
+        prop_assert_eq!(collected, model);
+    }
+
+    /// Live heap allocations never overlap, and frees recycle exactly.
+    #[test]
+    fn heap_allocations_never_overlap(
+        ops in prop::collection::vec((1u32..64, any::<bool>()), 1..200),
+    ) {
+        let mut heap = HeapAllocator::new();
+        let mut live: Vec<Region> = Vec::new();
+        for (words, free_instead) in ops {
+            if free_instead && !live.is_empty() {
+                let region = live.swap_remove(words as usize % live.len());
+                let freed = heap.free(region.base);
+                prop_assert_eq!(freed, region);
+            } else {
+                let region = heap.alloc(words);
+                prop_assert!(region.words >= words);
+                for other in &live {
+                    prop_assert!(
+                        region.end() <= other.base as u64 || other.end() <= region.base as u64,
+                        "overlap: {:?} vs {:?}",
+                        region,
+                        other
+                    );
+                }
+                live.push(region);
+            }
+        }
+        prop_assert_eq!(heap.live_allocs(), live.len());
+    }
+
+    /// Any recorded trace round-trips through the binary format.
+    #[test]
+    fn trace_io_round_trips_arbitrary_events(
+        events in prop::collection::vec(
+            prop_oneof![
+                (0u32..1 << 16, any::<u32>(), any::<bool>()).prop_map(|(slot, v, st)| {
+                    let a = slot * 4;
+                    TraceEvent::Access(if st { Access::store(a, v) } else { Access::load(a, v) })
+                }),
+                (0u32..1 << 16, 1u32..64).prop_map(|(slot, w)| {
+                    TraceEvent::Alloc(Region::new(slot * 4, w, RegionKind::Heap))
+                }),
+                (0u32..1 << 16, 1u32..64).prop_map(|(slot, w)| {
+                    TraceEvent::Free(Region::new(slot * 4, w, RegionKind::Stack))
+                }),
+            ],
+            0..200,
+        ),
+    ) {
+        let trace = Trace::from_events(events);
+        let mut bytes = Vec::new();
+        trace.write_to(&mut bytes).unwrap();
+        let loaded = Trace::read_from(bytes.as_slice()).unwrap();
+        prop_assert_eq!(loaded.events(), trace.events());
+    }
+
+    /// A TracedMemory run replayed from its trace delivers the identical
+    /// event stream to a sink.
+    #[test]
+    fn record_replay_equivalence(
+        program in prop::collection::vec((0u32..256, prop::option::of(any::<u32>())), 1..150),
+    ) {
+        let mut buf = TraceBuffer::new();
+        let mut direct = CountingSink::new();
+        {
+            struct Tee<'a>(&'a mut TraceBuffer, &'a mut CountingSink);
+            impl AccessSink for Tee<'_> {
+                fn on_access(&mut self, a: Access) {
+                    self.0.on_access(a);
+                    self.1.on_access(a);
+                }
+                fn on_alloc(&mut self, r: Region) {
+                    self.0.on_alloc(r);
+                    self.1.on_alloc(r);
+                }
+                fn on_free(&mut self, r: Region) {
+                    self.0.on_free(r);
+                    self.1.on_free(r);
+                }
+            }
+            let mut tee = Tee(&mut buf, &mut direct);
+            let mut mem = TracedMemory::new(&mut tee);
+            let base = mem.global(256);
+            for (slot, op) in &program {
+                match op {
+                    Some(v) => mem.store(base + slot * 4, *v),
+                    None => {
+                        let _ = mem.load(base + slot * 4);
+                    }
+                }
+            }
+        }
+        let mut replayed = CountingSink::new();
+        buf.into_trace().replay(&mut replayed);
+        prop_assert_eq!(replayed.accesses(), direct.accesses());
+        prop_assert_eq!(replayed.loads(), direct.loads());
+        prop_assert_eq!(replayed.stores(), direct.stores());
+    }
+}

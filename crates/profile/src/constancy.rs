@@ -1,0 +1,163 @@
+//! Addresses whose contents never change — Table 4.
+
+use fvl_mem::{Access, AccessKind, AccessSink, Addr, Region, Word};
+use std::collections::HashMap;
+use std::fmt;
+
+#[derive(Copy, Clone)]
+struct Cell {
+    current: Word,
+    changed: bool,
+}
+
+/// Measures the percentage of referenced addresses whose contents remain
+/// constant throughout their lifetime.
+///
+/// Matching the paper: "for a location that was allocated multiple times
+/// each allocation \[is\] treated separately" — a deallocation finalizes
+/// the statistics for every referenced word it covers, and a later
+/// reallocation starts a fresh lifetime. A store of the value already
+/// present does not count as a change (the contents did not change).
+#[derive(Clone, Default)]
+pub struct ConstancyAnalyzer {
+    cells: HashMap<Addr, Cell>,
+    lifetimes: u64,
+    constant: u64,
+    finished: bool,
+}
+
+impl ConstancyAnalyzer {
+    /// Creates an empty analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn finalize(&mut self, cell: Cell) {
+        self.lifetimes += 1;
+        if !cell.changed {
+            self.constant += 1;
+        }
+    }
+
+    /// Referenced-address lifetimes finalized so far.
+    pub fn lifetimes(&self) -> u64 {
+        self.lifetimes
+    }
+
+    /// Percentage of finalized lifetimes with constant contents (the
+    /// Table 4 number). Call after `on_finish`.
+    pub fn constant_percent(&self) -> f64 {
+        if self.lifetimes == 0 {
+            0.0
+        } else {
+            self.constant as f64 / self.lifetimes as f64 * 100.0
+        }
+    }
+}
+
+impl AccessSink for ConstancyAnalyzer {
+    fn on_access(&mut self, access: Access) {
+        match self.cells.get_mut(&access.addr) {
+            Some(cell) => {
+                if access.kind == AccessKind::Store && access.value != cell.current {
+                    cell.changed = true;
+                    cell.current = access.value;
+                }
+            }
+            None => {
+                self.cells.insert(access.addr, Cell { current: access.value, changed: false });
+            }
+        }
+    }
+
+    fn on_free(&mut self, region: Region) {
+        for addr in region.word_addrs() {
+            if let Some(cell) = self.cells.remove(&addr) {
+                self.finalize(cell);
+            }
+        }
+    }
+
+    fn on_finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            let cells: Vec<Cell> = self.cells.drain().map(|(_, c)| c).collect();
+            for cell in cells {
+                self.finalize(cell);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ConstancyAnalyzer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConstancyAnalyzer")
+            .field("live_cells", &self.cells.len())
+            .field("lifetimes", &self.lifetimes)
+            .field("constant", &self.constant)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::RegionKind;
+
+    #[test]
+    fn constant_and_changing_addresses() {
+        let mut a = ConstancyAnalyzer::new();
+        a.on_access(Access::store(0x100, 5));
+        a.on_access(Access::load(0x100, 5));
+        a.on_access(Access::store(0x104, 1));
+        a.on_access(Access::store(0x104, 2)); // changes
+        a.on_finish();
+        assert_eq!(a.lifetimes(), 2);
+        assert!((a.constant_percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rewriting_same_value_is_still_constant() {
+        let mut a = ConstancyAnalyzer::new();
+        a.on_access(Access::store(0x100, 7));
+        a.on_access(Access::store(0x100, 7));
+        a.on_finish();
+        assert_eq!(a.constant_percent(), 100.0);
+    }
+
+    #[test]
+    fn reallocation_creates_separate_lifetimes() {
+        let mut a = ConstancyAnalyzer::new();
+        let r = Region::new(0x200, 1, RegionKind::Heap);
+        // Lifetime 1: constant.
+        a.on_access(Access::store(0x200, 1));
+        a.on_free(r);
+        // Lifetime 2: changing.
+        a.on_access(Access::store(0x200, 2));
+        a.on_access(Access::store(0x200, 3));
+        a.on_free(r);
+        a.on_finish();
+        assert_eq!(a.lifetimes(), 2);
+        assert!((a.constant_percent() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_of_unreferenced_words_counts_nothing() {
+        let mut a = ConstancyAnalyzer::new();
+        a.on_free(Region::new(0x300, 8, RegionKind::Stack));
+        a.on_finish();
+        assert_eq!(a.lifetimes(), 0);
+        assert_eq!(a.constant_percent(), 0.0);
+    }
+
+    #[test]
+    fn load_first_then_same_store_is_constant() {
+        let mut a = ConstancyAnalyzer::new();
+        a.on_access(Access::load(0x400, 0));
+        a.on_access(Access::store(0x400, 0));
+        a.on_access(Access::store(0x400, 9));
+        a.on_finish();
+        assert_eq!(a.lifetimes(), 1);
+        assert_eq!(a.constant_percent(), 0.0);
+    }
+}

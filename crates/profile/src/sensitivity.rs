@@ -1,0 +1,92 @@
+//! Input sensitivity of the frequent-value ranking — Table 2.
+
+use fvl_mem::Word;
+use std::fmt;
+
+/// Number of values in the top `k` of `candidate` that also appear in
+/// the top `k` of `reference` (the paper's `X/Y` cells).
+///
+/// # Example
+///
+/// ```
+/// use fvl_profile::overlap_top;
+///
+/// let test_ranking = [0u32, 1, 5, 9];
+/// let ref_ranking = [0u32, 2, 1, 7];
+/// assert_eq!(overlap_top(&test_ranking, &ref_ranking, 3), 2); // {0, 1}
+/// ```
+pub fn overlap_top(candidate: &[Word], reference: &[Word], k: usize) -> usize {
+    let cand = &candidate[..k.min(candidate.len())];
+    let refr = &reference[..k.min(reference.len())];
+    cand.iter().filter(|v| refr.contains(v)).count()
+}
+
+/// One benchmark's Table 2 row half: overlap at top-7 and top-10.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct OverlapReport {
+    /// Matching values among the top 7.
+    pub top7: usize,
+    /// Matching values among the top 10.
+    pub top10: usize,
+}
+
+impl fmt::Display for OverlapReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/7 {}/10", self.top7, self.top10)
+    }
+}
+
+/// Computes the Table 2 cell pair for a candidate input's ranking
+/// against the reference input's ranking.
+pub fn overlap_report(candidate: &[Word], reference: &[Word]) -> OverlapReport {
+    OverlapReport {
+        top7: overlap_top(candidate, reference, 7),
+        top10: overlap_top(candidate, reference, 10),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_fully_overlap() {
+        let r: Vec<Word> = (0..10).collect();
+        let rep = overlap_report(&r, &r);
+        assert_eq!(rep, OverlapReport { top7: 7, top10: 10 });
+        assert_eq!(rep.to_string(), "7/7 10/10");
+    }
+
+    #[test]
+    fn disjoint_rankings_do_not_overlap() {
+        let a: Vec<Word> = (0..10).collect();
+        let b: Vec<Word> = (100..110).collect();
+        assert_eq!(overlap_report(&a, &b), OverlapReport { top7: 0, top10: 0 });
+    }
+
+    #[test]
+    fn order_within_top_k_does_not_matter() {
+        let a = [1u32, 2, 3];
+        let b = [3u32, 1, 2];
+        assert_eq!(overlap_top(&a, &b, 3), 3);
+    }
+
+    #[test]
+    fn short_rankings_are_clamped() {
+        let a = [1u32, 2];
+        let b = [2u32];
+        assert_eq!(overlap_top(&a, &b, 7), 1);
+        let rep = overlap_report(&a, &b);
+        assert_eq!(rep.top10, 1);
+    }
+
+    #[test]
+    fn only_top_k_counts() {
+        // a's top-3 = {5,1,2}; b's top-3 = {9,8,7}: no overlap at k=3
+        // even though all of a's values appear further down in b.
+        let a = [5u32, 1, 2];
+        let b = [9u32, 8, 7, 6, 4, 3, 2, 1, 5];
+        assert_eq!(overlap_top(&a, &b, 3), 0);
+        assert_eq!(overlap_top(&a, &b, 9), 3);
+    }
+}

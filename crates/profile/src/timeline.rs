@@ -1,0 +1,161 @@
+//! Per-snapshot coverage curves — the paper's Figure 3.
+
+use fvl_mem::{Access, AccessKind, AccessSink, MemorySnapshot, Word};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// One point of the Figure 3 curves, captured at a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelinePoint {
+    /// Accesses performed when the snapshot was taken (the x axis).
+    pub accesses: u64,
+    /// Total interesting locations (the top curve, left graph).
+    pub total_locations: u64,
+    /// Locations occupied by the top 1, 3, 7, and 10 focus values.
+    pub locations_top: [u64; 4],
+    /// Distinct values in memory (the bottom curve, left graph).
+    pub distinct_in_memory: u64,
+    /// Total accesses so far (the top curve, right graph).
+    pub total_accesses: u64,
+    /// Accesses so far involving the top 1, 3, 7, and 10 focus values.
+    pub accesses_top: [u64; 4],
+    /// Distinct values accessed so far (bottom curve, right graph).
+    pub distinct_accessed: u64,
+}
+
+/// Records, at every snapshot, how many locations hold — and how many
+/// accesses so far involved — the top 1/3/7/10 of a fixed *focus* value
+/// list (obtained from a prior profiling pass), plus distinct-value
+/// counts. This reproduces both graphs of Figure 3.
+pub struct TimelineRecorder {
+    focus: Vec<Word>,
+    focus_rank: HashMap<Word, usize>,
+    accesses: u64,
+    accesses_top: [u64; 4],
+    distinct_accessed: HashSet<Word>,
+    points: Vec<TimelinePoint>,
+}
+
+impl TimelineRecorder {
+    /// Creates a recorder focused on `focus` (most frequent first; only
+    /// the first 10 are used).
+    pub fn new(mut focus: Vec<Word>) -> Self {
+        focus.truncate(10);
+        let focus_rank = focus.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        TimelineRecorder {
+            focus,
+            focus_rank,
+            accesses: 0,
+            accesses_top: [0; 4],
+            distinct_accessed: HashSet::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The recorded curve points, in time order.
+    pub fn points(&self) -> &[TimelinePoint] {
+        &self.points
+    }
+
+    /// The focus values.
+    pub fn focus(&self) -> &[Word] {
+        &self.focus
+    }
+
+    fn bucket(rank: usize) -> [bool; 4] {
+        // Rank r contributes to top-1/3/7/10 buckets it belongs to.
+        [rank < 1, rank < 3, rank < 7, rank < 10]
+    }
+}
+
+impl AccessSink for TimelineRecorder {
+    fn on_access(&mut self, access: Access) {
+        debug_assert!(matches!(access.kind, AccessKind::Load | AccessKind::Store));
+        self.accesses += 1;
+        self.distinct_accessed.insert(access.value);
+        if let Some(&rank) = self.focus_rank.get(&access.value) {
+            for (i, hit) in Self::bucket(rank).iter().enumerate() {
+                if *hit {
+                    self.accesses_top[i] += 1;
+                }
+            }
+        }
+    }
+
+    fn on_snapshot(&mut self, snapshot: &MemorySnapshot<'_>) {
+        let mut locations_top = [0u64; 4];
+        let mut distinct = HashSet::new();
+        for (_addr, value) in snapshot.iter() {
+            distinct.insert(value);
+            if let Some(&rank) = self.focus_rank.get(&value) {
+                for (i, hit) in Self::bucket(rank).iter().enumerate() {
+                    if *hit {
+                        locations_top[i] += 1;
+                    }
+                }
+            }
+        }
+        self.points.push(TimelinePoint {
+            accesses: snapshot.access_count(),
+            total_locations: snapshot.live_locations(),
+            locations_top,
+            distinct_in_memory: distinct.len() as u64,
+            total_accesses: self.accesses,
+            accesses_top: self.accesses_top,
+            distinct_accessed: self.distinct_accessed.len() as u64,
+        });
+    }
+}
+
+impl fmt::Debug for TimelineRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimelineRecorder")
+            .field("focus", &self.focus)
+            .field("points", &self.points.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::{Bus, BusExt, TracedMemory};
+
+    #[test]
+    fn timeline_tracks_focus_coverage() {
+        let mut rec = TimelineRecorder::new(vec![0, 7, 9]);
+        {
+            let mut mem = TracedMemory::with_sampling(&mut rec, 8);
+            let a = mem.global(8);
+            for i in 0..6 {
+                mem.store_idx(a, i, 0);
+            }
+            mem.store_idx(a, 6, 7);
+            mem.store_idx(a, 7, 12345);
+            // snapshot fires at access 8
+            for i in 0..8 {
+                let _ = mem.load_idx(a, i);
+            }
+            // snapshot fires at access 16
+            mem.finish();
+        }
+        assert_eq!(rec.points().len(), 2);
+        let p = &rec.points()[0];
+        assert_eq!(p.total_locations, 8);
+        assert_eq!(p.locations_top[0], 6, "six zero words");
+        assert_eq!(p.locations_top[1], 7, "top-3 adds the 7");
+        assert_eq!(p.distinct_in_memory, 3);
+        let p = &rec.points()[1];
+        assert_eq!(p.total_accesses, 16);
+        // Accesses involving 0: 6 stores + 6 loads = 12.
+        assert_eq!(p.accesses_top[0], 12);
+        assert_eq!(p.accesses_top[1], 14);
+        assert_eq!(p.distinct_accessed, 3);
+    }
+
+    #[test]
+    fn focus_truncated_to_ten() {
+        let rec = TimelineRecorder::new((0..20).collect());
+        assert_eq!(rec.focus().len(), 10);
+    }
+}

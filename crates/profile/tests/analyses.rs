@@ -1,0 +1,135 @@
+//! Cross-analysis integration tests for the profiling crate, driven by
+//! hand-constructed traces with known ground truth.
+
+use fvl_mem::{Access, AccessSink, Bus, BusExt, Trace, TraceBuffer, TracedMemory};
+use fvl_profile::{
+    overlap_report, ConstancyAnalyzer, MissAttribution, OccurrenceSampler, SpatialAnalyzer,
+    StabilityAnalyzer, TimelineRecorder, ValueCounter,
+};
+
+/// A small synthetic program with exactly known value statistics:
+/// a zero-heavy array plus a churn loop over two counters.
+fn known_trace() -> Trace {
+    let mut buf = TraceBuffer::new();
+    {
+        let mut mem = TracedMemory::new(&mut buf);
+        let zeros = mem.global(64);
+        mem.fill(zeros, 64, 0); // 64 zero stores
+        let counters = mem.global(2);
+        for i in 0..32u32 {
+            mem.store_idx(counters, 0, i); // distinct values
+            mem.store_idx(counters, 1, 7); // constant frequent value
+            let _ = mem.load_idx(zeros, i % 64); // zero loads
+        }
+        mem.finish();
+    }
+    buf.into_trace()
+}
+
+#[test]
+fn counter_and_occurrence_agree_on_the_dominant_value() {
+    let trace = known_trace();
+    let mut counter = ValueCounter::new();
+    trace.replay(&mut counter);
+    // Accesses: 64 + 96 + 2 snapshots... = 64 zero stores + 32*3.
+    assert_eq!(counter.total(), 64 + 96);
+    assert_eq!(counter.top_k(1), vec![0], "zero dominates accesses");
+    // 32 stores of 7 to counters[1], plus the i == 7 iteration's store
+    // to counters[0].
+    assert_eq!(counter.count_of(7), 33);
+
+    let mut occ = OccurrenceSampler::new();
+    trace.replay_with_snapshots(&mut occ, 40);
+    assert_eq!(occ.top_k(1), vec![0], "zero dominates occupancy");
+    assert!(occ.coverage(1) > 0.9, "64 of 66 live words are zero");
+}
+
+#[test]
+fn stability_sees_the_constant_leader() {
+    let trace = known_trace();
+    let mut analyzer = StabilityAnalyzer::new(8);
+    trace.replay(&mut analyzer);
+    let report = analyzer.report();
+    assert_eq!(report.total_accesses, 160);
+    // Zero leads from the first checkpoint to the end.
+    assert!(report.order_stable_percent[0] < 10.0);
+}
+
+#[test]
+fn constancy_distinguishes_the_churning_counter() {
+    let trace = known_trace();
+    let mut analyzer = ConstancyAnalyzer::new();
+    trace.replay(&mut analyzer);
+    // 64 zeros constant + counter[1] constant (always 7); counter[0]
+    // changes 31 times.
+    assert_eq!(analyzer.lifetimes(), 66);
+    let expected = 65.0 / 66.0 * 100.0;
+    assert!((analyzer.constant_percent() - expected).abs() < 1e-9);
+}
+
+#[test]
+fn timeline_final_point_matches_the_counter() {
+    let trace = known_trace();
+    let mut counter = ValueCounter::new();
+    trace.replay(&mut counter);
+    let mut recorder = TimelineRecorder::new(counter.top_k(10));
+    trace.replay_with_snapshots(&mut recorder, 40);
+    let last = recorder.points().last().expect("snapshots fired");
+    assert_eq!(last.total_accesses, 160);
+    // Top-10 accessed coverage at the end must match the counter's.
+    let expected = (counter.coverage(10) * last.total_accesses as f64).round() as u64;
+    assert_eq!(last.accesses_top[3], expected);
+}
+
+#[test]
+fn attribution_flags_zero_heavy_misses() {
+    let trace = known_trace();
+    // A one-line cache: every new line is a miss.
+    let geom = fvl_cache::CacheGeometry::new(32, 32, 1).unwrap();
+    let mut study = MissAttribution::new(geom, vec![0], vec![0]);
+    trace.replay(&mut study);
+    assert!(study.total_misses() > 0);
+    assert!(study.percent_accessed() > 40.0, "{}", study.percent_accessed());
+}
+
+#[test]
+fn spatial_analyzer_sees_uniform_zero_blocks() {
+    let mut analyzer = SpatialAnalyzer::new(vec![0], 1600);
+    let mut buf = TraceBuffer::new();
+    {
+        let mut mem = TracedMemory::new(&mut buf);
+        let a = mem.global(3200);
+        // Alternating zero / distinct: exactly 4 zeros per 8-word line.
+        for i in 0..3200u32 {
+            mem.store_idx(a, i, if i % 2 == 0 { 0 } else { 0x1000 + i });
+        }
+        mem.finish();
+    }
+    buf.into_trace().replay_with_snapshots(&mut analyzer, 1600);
+    let profile = analyzer.into_profile().expect("captured");
+    assert!(profile.block_averages.len() >= 2);
+    assert!((profile.mean() - 4.0).abs() < 1e-9);
+    assert!(profile.std_dev() < 1e-9);
+}
+
+#[test]
+fn overlap_is_symmetric_at_equal_k() {
+    let a = [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+    let b = [5u32, 6, 7, 8, 9, 10, 11, 12, 13, 14];
+    let ab = overlap_report(&a, &b);
+    let ba = overlap_report(&b, &a);
+    assert_eq!(ab.top10, ba.top10);
+    assert_eq!(ab.top10, 6);
+    assert_eq!(ab.top7, 3, "{{5,6,7}} within both top-7s");
+}
+
+#[test]
+fn counter_separates_loads_and_stores() {
+    let mut counter = ValueCounter::new();
+    counter.on_access(Access::load(0, 9));
+    counter.on_access(Access::store(4, 9));
+    counter.on_access(Access::store(8, 9));
+    assert_eq!(counter.loads(), 1);
+    assert_eq!(counter.stores(), 2);
+    assert_eq!(counter.count_of(9), 3);
+}

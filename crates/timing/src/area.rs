@@ -1,0 +1,105 @@
+//! SRAM storage accounting for the paper's equal-area comparisons.
+//!
+//! Figure 15's first experiment pairs a 16-entry victim cache with a
+//! 128-entry FVC on the grounds that, *including tags*, the two occupy
+//! nearly the same SRAM. These helpers compute storage in bits for each
+//! structure so the pairing can be verified rather than asserted.
+
+use fvl_cache::CacheGeometry;
+
+/// Storage bits of a conventional cache: data + tag + valid + dirty per
+/// line.
+pub fn cache_bits(geom: &CacheGeometry) -> u64 {
+    let per_line = geom.line_bytes() as u64 * 8 + geom.tag_bits() as u64 + 2;
+    per_line * geom.lines() as u64
+}
+
+/// Storage bits of a fully-associative victim cache of `entries` lines
+/// of `line_bytes` bytes: full-width CAM tags (no index bits) + data +
+/// valid + dirty.
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is not a positive power of two of at least 4.
+pub fn victim_cache_bits(entries: u32, line_bytes: u32) -> u64 {
+    assert!(line_bytes.is_power_of_two() && line_bytes >= 4, "bad line size");
+    let tag_bits = 32 - line_bytes.trailing_zeros();
+    let per_line = line_bytes as u64 * 8 + tag_bits as u64 + 2;
+    per_line * entries as u64
+}
+
+/// Storage bits of a direct-mapped FVC of `entries` lines of
+/// `words_per_line` words encoded with `width_bits`-bit codes: encoded
+/// data + tag + valid + dirty, plus the value-register file
+/// (`2^width - 1` full words).
+///
+/// # Panics
+///
+/// Panics if `entries`/`words_per_line` are not powers of two or
+/// `width_bits` is outside `1..=7`.
+pub fn fvc_bits(entries: u32, words_per_line: u32, width_bits: u32) -> u64 {
+    assert!(entries.is_power_of_two(), "entries must be a power of two");
+    assert!(words_per_line.is_power_of_two(), "words per line must be a power of two");
+    assert!((1..=7).contains(&width_bits), "width must be 1..=7 bits");
+    let line_bytes = words_per_line * 4;
+    let tag_bits = 32 - (line_bytes.trailing_zeros() + entries.trailing_zeros());
+    let per_line = (words_per_line * width_bits) as u64 + tag_bits as u64 + 2;
+    let value_registers = ((1u64 << width_bits) - 1) * 32;
+    per_line * entries as u64 + value_registers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_equal_area_pairing_is_close() {
+        // Paper Section 4: "a 128-entry FVC which exploits 7 frequently
+        // occurring values and a 16-entry VC take almost the same amount
+        // of space for a line size of 8 words".
+        let vc = victim_cache_bits(16, 32);
+        let fvc = fvc_bits(128, 8, 3);
+        let ratio = fvc as f64 / vc as f64;
+        // Our accounting also charges the FVC's value-register file and
+        // per-line state bits, so it lands slightly above parity; the
+        // paper's looser accounting calls the pair "almost the same".
+        assert!(
+            (0.8..=1.4).contains(&ratio),
+            "vc {vc} bits vs fvc {fvc} bits (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn fvc_data_is_roughly_ten_times_denser_than_a_cache() {
+        // 512 entries x 8 words: FVC holds identities for 4096 words in
+        // ~1.5KB of data bits vs 16KB for the words themselves.
+        let fvc = fvc_bits(512, 8, 3);
+        let equivalent = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+        let cache = cache_bits(&equivalent);
+        assert!(cache as f64 / fvc as f64 > 5.0, "cache {cache} vs fvc {fvc}");
+    }
+
+    #[test]
+    fn cache_bits_include_tags_and_state() {
+        let geom = CacheGeometry::new(1024, 32, 1).unwrap();
+        let bits = cache_bits(&geom);
+        assert!(bits > 1024 * 8, "more than the data bits alone");
+        // 32 lines x (256 data + 22 tag + 2 state).
+        assert_eq!(bits, 32 * (256 + 22 + 2));
+    }
+
+    #[test]
+    fn victim_tags_are_full_width() {
+        // 4 entries x (256 data + 27 tag + 2).
+        assert_eq!(victim_cache_bits(4, 32), 4 * (256 + 27 + 2));
+    }
+
+    #[test]
+    fn fvc_bits_count_value_registers() {
+        let with7 = fvc_bits(64, 8, 3);
+        let with1 = fvc_bits(64, 8, 1);
+        assert!(with7 > with1);
+        // 7 registers vs 1 register = 6 x 32 extra, plus wider codes.
+        assert_eq!(with7 - with1, 64 * (8 * 2) + 6 * 32);
+    }
+}

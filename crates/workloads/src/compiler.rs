@@ -1,0 +1,690 @@
+//! `GccLike` — a miniature compiler pipeline, standing in for 126.gcc.
+//!
+//! Generated source files are lexed out of simulated memory, parsed into
+//! an AST heap of small tagged nodes (null children abound), constant-
+//! folded, dead-code eliminated, and compiled to stack-machine code that
+//! is finally *executed* by a little VM — also out of simulated memory —
+//! to verify the whole pipeline. Like gcc, the memory image is linked
+//! node structures full of zeros, small tag enums, and pointers.
+
+use crate::{InputSize, Rng, Workload};
+use fvl_mem::{Addr, Bus, BusExt};
+
+// Token kinds (stored in the traced token stream).
+const TK_EOF: u32 = 0;
+const TK_NUM: u32 = 1;
+const TK_IDENT: u32 = 2; // value = variable index
+const TK_PLUS: u32 = 3;
+const TK_MINUS: u32 = 4;
+const TK_STAR: u32 = 5;
+const TK_LPAREN: u32 = 6;
+const TK_RPAREN: u32 = 7;
+const TK_ASSIGN: u32 = 8;
+const TK_SEMI: u32 = 9;
+const TK_LET: u32 = 10;
+const TK_RET: u32 = 11;
+
+// AST node kinds: node = [kind, a, b, spare].
+const N_CONST: u32 = 1; // a = value
+const N_VAR: u32 = 2; // a = variable index
+const N_ADD: u32 = 3; // a, b = children
+const N_SUB: u32 = 4;
+const N_MUL: u32 = 5;
+const N_ASSIGN: u32 = 6; // a = var index, b = expr
+const N_RET: u32 = 7; // a = expr
+const N_SEQ: u32 = 8; // a = stmt, b = rest (nil = 0)
+
+// Stack-machine opcodes.
+const VM_PUSH: u32 = 1;
+const VM_LOAD: u32 = 2;
+const VM_STORE: u32 = 3;
+const VM_ADD: u32 = 4;
+const VM_SUB: u32 = 5;
+const VM_MUL: u32 = 6;
+const VM_RET: u32 = 7;
+
+const NUM_VARS: u32 = 8;
+
+/// Generates one source function: a series of `let`/assignments over
+/// variables a..h and a final `ret` expression. Also computes the
+/// expected return value on the host (the oracle).
+fn generate_function(rng: &mut Rng, stmts: u32) -> (String, i64) {
+    let mut vars = [0i64; NUM_VARS as usize];
+    let mut src = String::new();
+    let names = ["a", "b", "c", "d", "e", "f", "g", "h"];
+    fn gen_expr(rng: &mut Rng, vars: &[i64], depth: u32, src: &mut String) -> i64 {
+        if depth == 0 || rng.chance(0.4) {
+            if rng.chance(0.5) {
+                let n = rng.below(100) as i64;
+                src.push_str(&n.to_string());
+                n
+            } else {
+                let v = rng.below(NUM_VARS) as usize;
+                src.push_str(["a", "b", "c", "d", "e", "f", "g", "h"][v]);
+                vars[v]
+            }
+        } else {
+            src.push('(');
+            let l = gen_expr(rng, vars, depth - 1, src);
+            let op = rng.below(3);
+            src.push_str([" + ", " - ", " * "][op as usize]);
+            let r = gen_expr(rng, vars, depth - 1, src);
+            src.push(')');
+            match op {
+                0 => l.wrapping_add(r),
+                1 => l.wrapping_sub(r),
+                _ => l.wrapping_mul(r),
+            }
+        }
+    }
+    for _ in 0..stmts {
+        let target = rng.below(NUM_VARS) as usize;
+        src.push_str("let ");
+        src.push_str(names[target]);
+        src.push_str(" = ");
+        let value = gen_expr(rng, &vars, 3, &mut src);
+        vars[target] = value;
+        src.push_str(" ;\n");
+    }
+    src.push_str("ret ");
+    let result = gen_expr(rng, &vars, 3, &mut src);
+    src.push_str(" ;\n");
+    (src, result)
+}
+
+/// The compiler: all intermediate structures live in bus memory.
+struct Compiler<'b> {
+    bus: &'b mut dyn Bus,
+    /// Nodes allocated for the current unit (freed together, obstack
+    /// style, so consecutive units recycle the same arena addresses).
+    unit_nodes: Vec<Addr>,
+    nodes_allocated: u32,
+    pub folded: u32,
+    pub dce_removed: u32,
+}
+
+impl<'b> Compiler<'b> {
+    fn new(bus: &'b mut dyn Bus) -> Self {
+        Compiler { bus, unit_nodes: Vec::new(), nodes_allocated: 0, folded: 0, dce_removed: 0 }
+    }
+
+    /// Releases every AST node of the finished unit (gcc's per-function
+    /// obstack release).
+    fn release_unit(&mut self) {
+        for node in self.unit_nodes.drain(..).rev() {
+            self.bus.free(node);
+        }
+    }
+
+    fn node(&mut self, kind: u32, a: u32, b: u32) -> Addr {
+        let n = self.bus.alloc(4);
+        self.bus.store_idx(n, 0, kind);
+        self.bus.store_idx(n, 1, a);
+        self.bus.store_idx(n, 2, b);
+        self.bus.store_idx(n, 3, 0);
+        self.unit_nodes.push(n);
+        self.nodes_allocated += 1;
+        n
+    }
+
+    fn kind(&mut self, n: Addr) -> u32 {
+        self.bus.load_idx(n, 0)
+    }
+
+    fn a(&mut self, n: Addr) -> u32 {
+        self.bus.load_idx(n, 1)
+    }
+
+    fn b(&mut self, n: Addr) -> u32 {
+        self.bus.load_idx(n, 2)
+    }
+
+    /// Lexes the packed source text into a traced token stream of
+    /// [kind, value] pairs; returns (stream base, token count).
+    fn lex(&mut self, file: Addr, len_bytes: u32) -> (Addr, u32) {
+        let cap = len_bytes + 8;
+        let stream = self.bus.alloc(cap * 2);
+        let mut count = 0u32;
+        let emit = |bus: &mut dyn Bus, k: u32, v: u32, count: &mut u32| {
+            bus.store_idx(stream, *count * 2, k);
+            bus.store_idx(stream, *count * 2 + 1, v);
+            *count += 1;
+        };
+        let mut i = 0u32;
+        let read_byte = |bus: &mut dyn Bus, i: u32| -> u8 {
+            let w = bus.load_idx(file, i / 4);
+            ((w >> (8 * (3 - i % 4))) & 0xff) as u8
+        };
+        while i < len_bytes {
+            let c = read_byte(self.bus, i);
+            match c {
+                b' ' | b'\n' | b'\t' => i += 1,
+                b'+' => {
+                    emit(self.bus, TK_PLUS, 0, &mut count);
+                    i += 1;
+                }
+                b'-' => {
+                    emit(self.bus, TK_MINUS, 0, &mut count);
+                    i += 1;
+                }
+                b'*' => {
+                    emit(self.bus, TK_STAR, 0, &mut count);
+                    i += 1;
+                }
+                b'(' => {
+                    emit(self.bus, TK_LPAREN, 0, &mut count);
+                    i += 1;
+                }
+                b')' => {
+                    emit(self.bus, TK_RPAREN, 0, &mut count);
+                    i += 1;
+                }
+                b'=' => {
+                    emit(self.bus, TK_ASSIGN, 0, &mut count);
+                    i += 1;
+                }
+                b';' => {
+                    emit(self.bus, TK_SEMI, 0, &mut count);
+                    i += 1;
+                }
+                b'0'..=b'9' => {
+                    let mut v = 0u32;
+                    while i < len_bytes {
+                        let d = read_byte(self.bus, i);
+                        if d.is_ascii_digit() {
+                            v = v * 10 + (d - b'0') as u32;
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    emit(self.bus, TK_NUM, v, &mut count);
+                }
+                b'a'..=b'z' => {
+                    let mut word = Vec::new();
+                    while i < len_bytes {
+                        let d = read_byte(self.bus, i);
+                        if d.is_ascii_lowercase() {
+                            word.push(d);
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    match word.as_slice() {
+                        b"let" => emit(self.bus, TK_LET, 0, &mut count),
+                        b"ret" => emit(self.bus, TK_RET, 0, &mut count),
+                        [v] if *v >= b'a' && *v < b'a' + NUM_VARS as u8 => {
+                            emit(self.bus, TK_IDENT, (*v - b'a') as u32, &mut count)
+                        }
+                        other => panic!("unknown identifier {:?}", String::from_utf8_lossy(other)),
+                    }
+                }
+                other => panic!("unexpected character {other:#x}"),
+            }
+        }
+        emit(self.bus, TK_EOF, 0, &mut count);
+        (stream, count)
+    }
+
+    /// Recursive-descent parser over the traced token stream. Returns
+    /// the root statement list.
+    fn parse(&mut self, stream: Addr) -> Addr {
+        let mut pos = 0u32;
+        let root = self.parse_stmts(stream, &mut pos);
+        let k = self.tok_kind(stream, pos);
+        assert_eq!(k, TK_EOF, "trailing tokens");
+        root
+    }
+
+    fn tok_kind(&mut self, stream: Addr, pos: u32) -> u32 {
+        self.bus.load_idx(stream, pos * 2)
+    }
+
+    fn tok_value(&mut self, stream: Addr, pos: u32) -> u32 {
+        self.bus.load_idx(stream, pos * 2 + 1)
+    }
+
+    fn expect(&mut self, stream: Addr, pos: &mut u32, kind: u32) -> u32 {
+        let k = self.tok_kind(stream, *pos);
+        assert_eq!(k, kind, "parse error at token {}", *pos);
+        let v = self.tok_value(stream, *pos);
+        *pos += 1;
+        v
+    }
+
+    fn parse_stmts(&mut self, stream: Addr, pos: &mut u32) -> Addr {
+        let k = self.tok_kind(stream, *pos);
+        if k == TK_EOF {
+            return 0;
+        }
+        let stmt = if k == TK_LET {
+            *pos += 1;
+            let var = self.expect(stream, pos, TK_IDENT);
+            self.expect(stream, pos, TK_ASSIGN);
+            let e = self.parse_expr(stream, pos);
+            self.expect(stream, pos, TK_SEMI);
+            self.node(N_ASSIGN, var, e)
+        } else {
+            self.expect(stream, pos, TK_RET);
+            let e = self.parse_expr(stream, pos);
+            self.expect(stream, pos, TK_SEMI);
+            self.node(N_RET, e, 0)
+        };
+        let rest = self.parse_stmts(stream, pos);
+        self.node(N_SEQ, stmt, rest)
+    }
+
+    /// expr := term (('+'|'-') term)*
+    fn parse_expr(&mut self, stream: Addr, pos: &mut u32) -> Addr {
+        let mut left = self.parse_term(stream, pos);
+        loop {
+            match self.tok_kind(stream, *pos) {
+                TK_PLUS => {
+                    *pos += 1;
+                    let right = self.parse_term(stream, pos);
+                    left = self.node(N_ADD, left, right);
+                }
+                TK_MINUS => {
+                    *pos += 1;
+                    let right = self.parse_term(stream, pos);
+                    left = self.node(N_SUB, left, right);
+                }
+                _ => return left,
+            }
+        }
+    }
+
+    /// term := atom ('*' atom)*
+    fn parse_term(&mut self, stream: Addr, pos: &mut u32) -> Addr {
+        let mut left = self.parse_atom(stream, pos);
+        while self.tok_kind(stream, *pos) == TK_STAR {
+            *pos += 1;
+            let right = self.parse_atom(stream, pos);
+            left = self.node(N_MUL, left, right);
+        }
+        left
+    }
+
+    fn parse_atom(&mut self, stream: Addr, pos: &mut u32) -> Addr {
+        match self.tok_kind(stream, *pos) {
+            TK_NUM => {
+                let v = self.expect(stream, pos, TK_NUM);
+                self.node(N_CONST, v, 0)
+            }
+            TK_IDENT => {
+                let v = self.expect(stream, pos, TK_IDENT);
+                self.node(N_VAR, v, 0)
+            }
+            TK_LPAREN => {
+                *pos += 1;
+                let e = self.parse_expr(stream, pos);
+                self.expect(stream, pos, TK_RPAREN);
+                e
+            }
+            k => panic!("parse error: unexpected token kind {k}"),
+        }
+    }
+
+    /// Constant folding: rewrites `op(const, const)` nodes in place.
+    fn fold(&mut self, n: Addr) {
+        if n == 0 {
+            return;
+        }
+        match self.kind(n) {
+            N_ADD | N_SUB | N_MUL => {
+                let (a, b) = (self.a(n), self.b(n));
+                self.fold(a);
+                self.fold(b);
+                if self.kind(a) == N_CONST && self.kind(b) == N_CONST {
+                    let (va, vb) = (self.a(a), self.a(b));
+                    let v = match self.kind(n) {
+                        N_ADD => va.wrapping_add(vb),
+                        N_SUB => va.wrapping_sub(vb),
+                        _ => va.wrapping_mul(vb),
+                    };
+                    self.bus.store_idx(n, 0, N_CONST);
+                    self.bus.store_idx(n, 1, v);
+                    self.bus.store_idx(n, 2, 0);
+                    self.folded += 1;
+                }
+            }
+            N_ASSIGN | N_RET => {
+                let b = if self.kind(n) == N_ASSIGN { self.b(n) } else { self.a(n) };
+                self.fold(b);
+            }
+            N_SEQ => {
+                let (a, b) = (self.a(n), self.b(n));
+                self.fold(a);
+                self.fold(b);
+            }
+            _ => {}
+        }
+    }
+
+    /// Dead-code elimination: truncates a statement sequence after the
+    /// first `ret`.
+    fn dce(&mut self, root: Addr) {
+        let mut cur = root;
+        while cur != 0 {
+            let stmt = self.a(cur);
+            let rest = self.b(cur);
+            if self.kind(stmt) == N_RET && rest != 0 {
+                // Count and drop the tail.
+                let mut t = rest;
+                while t != 0 {
+                    self.dce_removed += 1;
+                    t = self.b(t);
+                }
+                self.bus.store_idx(cur, 2, 0);
+                return;
+            }
+            cur = rest;
+        }
+    }
+
+    /// Emits stack-machine code: [op, operand] pairs. Returns (code
+    /// base, instruction count).
+    fn codegen(&mut self, root: Addr, cap: u32) -> (Addr, u32) {
+        let code = self.bus.alloc(cap * 2);
+        let mut n = 0u32;
+        self.gen_stmts(root, code, &mut n);
+        (code, n)
+    }
+
+    fn emit(&mut self, code: Addr, n: &mut u32, op: u32, operand: u32) {
+        self.bus.store_idx(code, *n * 2, op);
+        self.bus.store_idx(code, *n * 2 + 1, operand);
+        *n += 1;
+    }
+
+    fn gen_stmts(&mut self, mut seq: Addr, code: Addr, n: &mut u32) {
+        while seq != 0 {
+            let stmt = self.a(seq);
+            match self.kind(stmt) {
+                N_ASSIGN => {
+                    let var = self.a(stmt);
+                    let e = self.b(stmt);
+                    self.gen_expr(e, code, n);
+                    self.emit(code, n, VM_STORE, var);
+                }
+                N_RET => {
+                    let e = self.a(stmt);
+                    self.gen_expr(e, code, n);
+                    self.emit(code, n, VM_RET, 0);
+                }
+                k => panic!("bad statement kind {k}"),
+            }
+            seq = self.b(seq);
+        }
+    }
+
+    fn gen_expr(&mut self, e: Addr, code: Addr, n: &mut u32) {
+        match self.kind(e) {
+            N_CONST => {
+                let v = self.a(e);
+                self.emit(code, n, VM_PUSH, v);
+            }
+            N_VAR => {
+                let v = self.a(e);
+                self.emit(code, n, VM_LOAD, v);
+            }
+            N_ADD | N_SUB | N_MUL => {
+                let (a, b) = (self.a(e), self.b(e));
+                self.gen_expr(a, code, n);
+                self.gen_expr(b, code, n);
+                let op = match self.kind(e) {
+                    N_ADD => VM_ADD,
+                    N_SUB => VM_SUB,
+                    _ => VM_MUL,
+                };
+                self.emit(code, n, op, 0);
+            }
+            k => panic!("bad expression kind {k}"),
+        }
+    }
+
+    /// Executes the generated code in a little stack VM whose stack and
+    /// variables also live in traced memory. Returns the `ret` value.
+    fn execute(&mut self, code: Addr, count: u32) -> u32 {
+        let stack = self.bus.alloc(256);
+        let vars = self.bus.alloc(NUM_VARS);
+        for i in 0..NUM_VARS {
+            self.bus.store_idx(vars, i, 0);
+        }
+        let mut sp = 0u32;
+        for pc in 0..count {
+            let op = self.bus.load_idx(code, pc * 2);
+            let operand = self.bus.load_idx(code, pc * 2 + 1);
+            match op {
+                VM_PUSH => {
+                    self.bus.store_idx(stack, sp, operand);
+                    sp += 1;
+                }
+                VM_LOAD => {
+                    let v = self.bus.load_idx(vars, operand);
+                    self.bus.store_idx(stack, sp, v);
+                    sp += 1;
+                }
+                VM_STORE => {
+                    sp -= 1;
+                    let v = self.bus.load_idx(stack, sp);
+                    self.bus.store_idx(vars, operand, v);
+                }
+                VM_ADD | VM_SUB | VM_MUL => {
+                    let b = self.bus.load_idx(stack, sp - 1);
+                    let a = self.bus.load_idx(stack, sp - 2);
+                    sp -= 2;
+                    let v = match op {
+                        VM_ADD => a.wrapping_add(b),
+                        VM_SUB => a.wrapping_sub(b),
+                        _ => a.wrapping_mul(b),
+                    };
+                    self.bus.store_idx(stack, sp, v);
+                    sp += 1;
+                }
+                VM_RET => {
+                    let v = self.bus.load_idx(stack, sp - 1);
+                    self.bus.free(stack);
+                    self.bus.free(vars);
+                    return v;
+                }
+                other => panic!("bad vm opcode {other}"),
+            }
+        }
+        panic!("generated code did not return");
+    }
+
+    /// Compiles a whole unit the way gcc runs its passes: lex+parse
+    /// every function first, then fold all, then DCE all, then codegen
+    /// all, then execute all — each pass re-traverses the unit's ASTs.
+    /// Returns the executed results.
+    fn compile_unit(&mut self, sources: &[String]) -> Vec<u32> {
+        struct FnState {
+            file: Addr,
+            stream: Addr,
+            ast: Addr,
+        }
+        let mut fns = Vec::with_capacity(sources.len());
+        for source in sources {
+            let bytes = source.as_bytes();
+            let file_words = (bytes.len() as u32).div_ceil(4);
+            let file = self.bus.alloc(file_words.max(1));
+            self.bus.store_bytes(file, bytes, b' ');
+            let (stream, _n) = self.lex(file, bytes.len() as u32);
+            let ast = self.parse(stream);
+            fns.push(FnState { file, stream, ast });
+        }
+        for f in &fns {
+            self.fold(f.ast);
+        }
+        for f in &fns {
+            self.dce(f.ast);
+        }
+        let mut results = Vec::with_capacity(fns.len());
+        for (f, source) in fns.iter().zip(sources) {
+            let (code, n) = self.codegen(f.ast, source.len() as u32 + 16);
+            results.push(self.execute(code, n));
+            self.bus.free(code);
+        }
+        for f in &fns {
+            self.bus.free(f.file);
+            self.bus.free(f.stream);
+        }
+        self.release_unit();
+        results
+    }
+
+    /// Full pipeline over one source function; returns the executed
+    /// result.
+    #[cfg(test)]
+    fn compile_and_run(&mut self, source: &str) -> u32 {
+        let bytes = source.as_bytes();
+        let file_words = (bytes.len() as u32).div_ceil(4);
+        let file = self.bus.alloc(file_words.max(1));
+        self.bus.store_bytes(file, bytes, b' ');
+        let (stream, _ntok) = self.lex(file, bytes.len() as u32);
+        let ast = self.parse(stream);
+        self.fold(ast);
+        self.dce(ast);
+        let (code, n) = self.codegen(ast, bytes.len() as u32 + 16);
+        let result = self.execute(code, n);
+        self.bus.free(file);
+        self.bus.free(stream);
+        self.bus.free(code);
+        self.release_unit();
+        result
+    }
+}
+
+/// The 126.gcc stand-in: compiles and runs a stream of generated
+/// functions.
+#[derive(Debug)]
+pub struct GccLike {
+    input: InputSize,
+    seed: u64,
+    /// (functions compiled, folds, mismatches) — mismatches must be 0.
+    pub last_result: Option<(u32, u32, u32)>,
+}
+
+impl GccLike {
+    /// Creates the workload.
+    pub fn new(input: InputSize, seed: u64) -> Self {
+        GccLike { input, seed, last_result: None }
+    }
+}
+
+impl Workload for GccLike {
+    fn name(&self) -> &'static str {
+        "gcc"
+    }
+
+    fn mirrors(&self) -> &'static str {
+        "126.gcc"
+    }
+
+    fn run(&mut self, bus: &mut dyn Bus) {
+        let (units, unit_fns, stmts) = match self.input {
+            InputSize::Test => (8u32, 8u32, 10u32),
+            InputSize::Train => (30, 8, 14),
+            InputSize::Ref => (70, 8, 16),
+        };
+        let functions = units * unit_fns;
+        let mut rng = Rng::new(self.seed ^ 0xc0ffee);
+        let mut compiler = Compiler::new(bus);
+        let mut mismatches = 0u32;
+        for _ in 0..units {
+            let mut sources = Vec::new();
+            let mut expected = Vec::new();
+            for _ in 0..unit_fns {
+                let (src, e) = generate_function(&mut rng, stmts);
+                sources.push(src);
+                expected.push(e as u32);
+            }
+            let got = compiler.compile_unit(&sources);
+            for (g, e) in got.iter().zip(&expected) {
+                if g != e {
+                    mismatches += 1;
+                }
+            }
+        }
+        let folded = compiler.folded;
+        self.last_result = Some((functions, folded, mismatches));
+        assert_eq!(mismatches, 0, "compiler pipeline produced wrong results");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::{CountingSink, NullSink, TracedMemory};
+
+    fn compile_run(src: &str) -> u32 {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let mut c = Compiler::new(&mut mem);
+        c.compile_and_run(src)
+    }
+
+    #[test]
+    fn constants_and_precedence() {
+        assert_eq!(compile_run("ret 2 + 3 * 4 ;"), 14);
+        assert_eq!(compile_run("ret (2 + 3) * 4 ;"), 20);
+        assert_eq!(compile_run("ret 10 - 2 - 3 ;"), 5, "left associative");
+    }
+
+    #[test]
+    fn variables_and_assignment() {
+        assert_eq!(compile_run("let a = 6 ; let b = a * 7 ; ret b ;"), 42);
+        assert_eq!(compile_run("let a = 1 ; let a = a + 1 ; ret a ;"), 2);
+        assert_eq!(compile_run("ret h ;"), 0, "vars default to zero");
+    }
+
+    #[test]
+    fn folding_reduces_constant_subtrees() {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let mut c = Compiler::new(&mut mem);
+        let r = c.compile_and_run("ret (1 + 2) * (3 + 4) ;");
+        assert_eq!(r, 21);
+        assert_eq!(c.folded, 3, "two adds and the mul fold");
+    }
+
+    #[test]
+    fn dce_drops_statements_after_ret() {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let mut c = Compiler::new(&mut mem);
+        let r = c.compile_and_run("ret 5 ; let a = 9 ; let b = 9 ;");
+        assert_eq!(r, 5);
+        assert_eq!(c.dce_removed, 2);
+    }
+
+    #[test]
+    fn generated_functions_match_host_oracle() {
+        let mut rng = Rng::new(123);
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let mut c = Compiler::new(&mut mem);
+        for _ in 0..30 {
+            let (src, expected) = generate_function(&mut rng, 8);
+            assert_eq!(c.compile_and_run(&src), expected as u32, "source:\n{src}");
+        }
+    }
+
+    #[test]
+    fn full_workload_has_zero_mismatches() {
+        let mut sink = CountingSink::default();
+        let mut w = GccLike::new(InputSize::Test, 2);
+        {
+            let mut mem = TracedMemory::new(&mut sink);
+            w.run(&mut mem);
+            mem.finish();
+        }
+        let (functions, folded, mismatches) = w.last_result.unwrap();
+        assert_eq!(functions, 64, "8 units x 8 functions");
+        assert_eq!(mismatches, 0);
+        assert!(folded > 0, "some constants folded");
+        assert!(sink.accesses() > 100_000);
+    }
+}

@@ -1,0 +1,340 @@
+//! `CompressLike` — an LZW compressor/decompressor, standing in for
+//! 129.compress.
+//!
+//! This is one of the paper's two *negative controls*: compress shows
+//! almost no frequent value locality (3.2% constant addresses, tiny
+//! top-10 coverage) because its dictionary and I/O buffers are filled
+//! with ever-growing, mostly-distinct codes that are overwritten on
+//! every dictionary reset. The implementation is a real LZW codec whose
+//! dictionary, input, and output buffers live in traced memory, and it
+//! verifies its own round trip.
+
+use crate::{InputSize, Rng, Workload};
+use fvl_mem::{Addr, Bus, BusExt};
+
+const CLEAR_CODE: u32 = 256;
+const FIRST_CODE: u32 = 257;
+const MAX_CODES: u32 = 4096;
+
+/// Dictionary entry: open-addressed table keyed by (prefix, byte).
+/// Three parallel arrays in traced memory: key, code, and the reverse
+/// arrays prefix/suffix for decompression.
+struct Lzw<'b> {
+    bus: &'b mut dyn Bus,
+    /// Hash table: key array (prefix<<9|byte|used-bit) and code array.
+    hash_keys: Addr,
+    hash_codes: Addr,
+    hash_size: u32,
+    /// Reverse mapping for the decoder.
+    prefixes: Addr,
+    suffixes: Addr,
+    next_code: u32,
+    pub resets: u32,
+}
+
+impl<'b> Lzw<'b> {
+    fn new(bus: &'b mut dyn Bus) -> Self {
+        let hash_size = 5003; // prime, ~80% max load: long distinct-key probe chains
+        let hash_keys = bus.global(hash_size);
+        let hash_codes = bus.global(hash_size);
+        let prefixes = bus.global(MAX_CODES);
+        let suffixes = bus.global(MAX_CODES);
+        let mut lzw =
+            Lzw { bus, hash_keys, hash_codes, hash_size, prefixes, suffixes, next_code: FIRST_CODE, resets: 0 };
+        lzw.clear();
+        lzw
+    }
+
+    fn clear(&mut self) {
+        for i in 0..self.hash_size {
+            self.bus.store_idx(self.hash_keys, i, u32::MAX);
+        }
+        self.next_code = FIRST_CODE;
+    }
+
+    fn key_of(prefix: u32, byte: u8) -> u32 {
+        (prefix << 8) | byte as u32
+    }
+
+    fn hash_slot(&self, key: u32) -> u32 {
+        key.wrapping_mul(0x9e37_79b1) % self.hash_size
+    }
+
+    fn lookup(&mut self, prefix: u32, byte: u8) -> Option<u32> {
+        let key = Self::key_of(prefix, byte);
+        let mut slot = self.hash_slot(key);
+        loop {
+            let k = self.bus.load_idx(self.hash_keys, slot);
+            if k == u32::MAX {
+                return None;
+            }
+            if k == key {
+                return Some(self.bus.load_idx(self.hash_codes, slot));
+            }
+            slot = (slot + 1) % self.hash_size;
+        }
+    }
+
+    fn add(&mut self, prefix: u32, byte: u8) {
+        let code = self.next_code;
+        self.next_code += 1;
+        let key = Self::key_of(prefix, byte);
+        let mut slot = self.hash_slot(key);
+        while self.bus.load_idx(self.hash_keys, slot) != u32::MAX {
+            slot = (slot + 1) % self.hash_size;
+        }
+        self.bus.store_idx(self.hash_keys, slot, key);
+        self.bus.store_idx(self.hash_codes, slot, code);
+        self.bus.store_idx(self.prefixes, code, prefix);
+        self.bus.store_idx(self.suffixes, code, byte as u32);
+    }
+
+    /// Compresses `len` bytes (one per word) at `input`; emits codes
+    /// (one per word) at `output`. Returns the number of codes.
+    fn compress(&mut self, input: Addr, len: u32, output: Addr) -> u32 {
+        let mut out = 0u32;
+        let emit = |bus: &mut dyn Bus, code: u32, out: &mut u32| {
+            bus.store_idx(output, *out, code);
+            *out += 1;
+        };
+        let first = self.bus.load_idx(input, 0) as u8;
+        let mut prefix = first as u32;
+        for i in 1..len {
+            let byte = self.bus.load_idx(input, i) as u8;
+            match self.lookup(prefix, byte) {
+                Some(code) => prefix = code,
+                None => {
+                    emit(self.bus, prefix, &mut out);
+                    if self.next_code < MAX_CODES {
+                        self.add(prefix, byte);
+                    } else {
+                        emit(self.bus, CLEAR_CODE, &mut out);
+                        self.clear();
+                        self.resets += 1;
+                    }
+                    prefix = byte as u32;
+                }
+            }
+        }
+        emit(self.bus, prefix, &mut out);
+        out
+    }
+
+    /// Expands `code` into bytes (reverse chain), writing them at
+    /// `buf`; returns the length.
+    fn expand(&mut self, mut code: u32, buf: &mut Vec<u8>) {
+        buf.clear();
+        while code >= FIRST_CODE {
+            let suffix = self.bus.load_idx(self.suffixes, code) as u8;
+            buf.push(suffix);
+            code = self.bus.load_idx(self.prefixes, code);
+        }
+        buf.push(code as u8);
+        buf.reverse();
+    }
+
+    /// Decompresses `ncodes` codes at `input` into bytes (one per word)
+    /// at `output`. Returns byte count. The dictionary must be freshly
+    /// cleared (decoder rebuilds it in lockstep).
+    fn decompress(&mut self, input: Addr, ncodes: u32, output: Addr) -> u32 {
+        self.clear();
+        let mut out = 0u32;
+        let mut prev: Option<u32> = None;
+        let mut prev_first: u8 = 0;
+        let mut buf = Vec::new();
+        for i in 0..ncodes {
+            let code = self.bus.load_idx(input, i);
+            if code == CLEAR_CODE {
+                self.clear();
+                prev = None;
+                continue;
+            }
+            if code < self.next_code {
+                self.expand(code, &mut buf);
+            } else {
+                // The KwKwK case: code == next_code.
+                debug_assert_eq!(code, self.next_code, "corrupt stream");
+                let p = prev.expect("KwKwK cannot be first");
+                self.expand(p, &mut buf);
+                buf.push(prev_first);
+            }
+            let first = buf[0];
+            for &b in &buf {
+                self.bus.store_idx(output, out, b as u32);
+                out += 1;
+            }
+            if let Some(p) = prev {
+                if self.next_code < MAX_CODES {
+                    // Decoder adds (prev, first) — mirrors the encoder.
+                    let codeno = self.next_code;
+                    self.next_code += 1;
+                    self.bus.store_idx(self.prefixes, codeno, p);
+                    self.bus.store_idx(self.suffixes, codeno, first as u32);
+                }
+            }
+            prev = Some(code);
+            prev_first = first;
+        }
+        out
+    }
+}
+
+/// The 129.compress stand-in: generate text, compress, decompress,
+/// verify.
+#[derive(Debug)]
+pub struct CompressLike {
+    input: InputSize,
+    seed: u64,
+    /// (input bytes, codes emitted, dictionary resets) after the run.
+    pub last_result: Option<(u32, u32, u32)>,
+}
+
+impl CompressLike {
+    /// Creates the workload.
+    pub fn new(input: InputSize, seed: u64) -> Self {
+        CompressLike { input, seed, last_result: None }
+    }
+}
+
+impl Workload for CompressLike {
+    fn name(&self) -> &'static str {
+        "compress"
+    }
+
+    fn mirrors(&self) -> &'static str {
+        "129.compress"
+    }
+
+    fn run(&mut self, bus: &mut dyn Bus) {
+        // compress processes its input as a stream of chunks through
+        // small reused buffers — which is also why almost none of its
+        // addresses keep a constant value (the paper's Table 4: 3.2%).
+        let (chunk_len, chunks) = match self.input {
+            InputSize::Test => (15_000u32, 4u32),
+            InputSize::Train => (25_000, 8),
+            InputSize::Ref => (30_000, 14),
+        };
+        let mut rng = Rng::new(self.seed ^ 0x515a);
+        let input = bus.alloc(chunk_len);
+        let output = bus.alloc(chunk_len + 64);
+        let check = bus.alloc(chunk_len + 64);
+        let mut lzw = Lzw::new(bus);
+        let mut total_codes = 0u32;
+        let mut resets = 0u32;
+        for _chunk in 0..chunks {
+            // Fresh chunk data overwrites the window buffer: mixed
+            // text-ish bytes and noise, one byte per word.
+            for i in 0..chunk_len {
+                let b = if rng.chance(0.35) {
+                    b' ' + (rng.below(96)) as u8 // wide-alphabet text region
+                } else {
+                    rng.below(256) as u8 // noise
+                };
+                lzw.bus.store_idx(input, i, b as u32);
+            }
+            lzw.clear();
+            let ncodes = lzw.compress(input, chunk_len, output);
+            let nbytes = lzw.decompress(output, ncodes, check);
+            assert_eq!(nbytes, chunk_len, "round trip length");
+            total_codes += ncodes;
+            resets += lzw.resets;
+            // Spot verification through traced loads.
+            for i in (0..chunk_len).step_by(97) {
+                let a = lzw.bus.load_idx(input, i);
+                let b = lzw.bus.load_idx(check, i);
+                assert_eq!(a, b, "round trip mismatch at chunk offset {i}");
+            }
+        }
+        self.last_result = Some((chunk_len * chunks, total_codes, resets));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::{CountingSink, NullSink, TracedMemory};
+
+    fn round_trip(data: &[u8]) -> (u32, Vec<u8>) {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let input = mem.alloc(data.len() as u32);
+        for (i, &b) in data.iter().enumerate() {
+            mem.store_idx(input, i as u32, b as u32);
+        }
+        let output = mem.alloc(data.len() as u32 + 64);
+        let check = mem.alloc(data.len() as u32 + 64);
+        let mut lzw = Lzw::new(&mut mem);
+        let ncodes = lzw.compress(input, data.len() as u32, output);
+        let nbytes = lzw.decompress(output, ncodes, check);
+        let mut out = Vec::new();
+        for i in 0..nbytes {
+            out.push(lzw.bus.load_idx(check, i) as u8);
+        }
+        (ncodes, out)
+    }
+
+    #[test]
+    fn round_trips_simple_text() {
+        let data = b"tobeornottobeortobeornot";
+        let (ncodes, out) = round_trip(data);
+        assert_eq!(out, data);
+        assert!(ncodes < data.len() as u32, "repetition compresses");
+    }
+
+    #[test]
+    fn round_trips_kwkwk_case() {
+        // "aaaa..." triggers the code==next_code decoder path.
+        let data = vec![b'a'; 50];
+        let (ncodes, out) = round_trip(&data);
+        assert_eq!(out, data);
+        assert!(ncodes <= 10);
+    }
+
+    #[test]
+    fn round_trips_binary_noise() {
+        let mut rng = Rng::new(77);
+        let data: Vec<u8> = (0..2000).map(|_| rng.below(256) as u8).collect();
+        let (ncodes, out) = round_trip(&data);
+        assert_eq!(out, data);
+        assert!(ncodes > 1000, "noise barely compresses");
+    }
+
+    #[test]
+    fn dictionary_reset_path_round_trips() {
+        // Long mixed input forces MAX_CODES and a CLEAR_CODE reset.
+        let mut rng = Rng::new(5);
+        let data: Vec<u8> =
+            (0..40_000).map(|_| if rng.chance(0.5) { b'x' } else { rng.below(256) as u8 }).collect();
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let input = mem.alloc(data.len() as u32);
+        for (i, &b) in data.iter().enumerate() {
+            mem.store_idx(input, i as u32, b as u32);
+        }
+        let output = mem.alloc(data.len() as u32 + 64);
+        let check = mem.alloc(data.len() as u32 + 64);
+        let mut lzw = Lzw::new(&mut mem);
+        let ncodes = lzw.compress(input, data.len() as u32, output);
+        assert!(lzw.resets > 0, "dictionary reset exercised");
+        let nbytes = lzw.decompress(output, ncodes, check);
+        assert_eq!(nbytes, data.len() as u32);
+        for (i, &b) in data.iter().enumerate() {
+            assert_eq!(lzw.bus.load_idx(check, i as u32), b as u32, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn full_workload_verifies_itself() {
+        let mut sink = CountingSink::default();
+        let mut w = CompressLike::new(InputSize::Test, 1);
+        {
+            let mut mem = TracedMemory::new(&mut sink);
+            w.run(&mut mem);
+            mem.finish();
+        }
+        let (len, codes, _resets) = w.last_result.unwrap();
+        assert_eq!(len, 60_000, "4 chunks of 15000 bytes");
+        assert!(codes > 0 && codes < 2 * len);
+        assert!(sink.accesses() > 200_000);
+    }
+}

@@ -1,0 +1,540 @@
+//! `M88ksimLike` — a toy RISC CPU simulator, standing in for
+//! 124.m88ksim (the Motorola 88100 simulator).
+//!
+//! Like its namesake, this workload is a *simulator simulating a
+//! program*: the architected state — register file, instruction and data
+//! image, branch-predictor table, statistics — all lives in traced
+//! memory, so every simulated instruction fetch, register read, and
+//! memory operation is a real word access. The simulated program zeroes
+//! and scans large sparse tables and sorts with small integers, so the
+//! value stream is dominated by 0/1/2 and a small set of recurring
+//! instruction encodings — the extreme frequent-value locality the paper
+//! measures for m88ksim (99.3% constant addresses, >60% of accesses to
+//! ten values).
+
+use crate::{InputSize, Workload};
+use fvl_mem::{Addr, Bus, BusExt};
+
+/// Opcodes of the toy ISA.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+#[repr(u8)]
+pub(crate) enum Op {
+    /// rd = imm (zero-extended 16-bit)
+    Li = 1,
+    /// rd = rs + rt
+    Add = 2,
+    /// rd = rs - rt
+    Sub = 3,
+    /// rd = rs + imm (sign-extended)
+    Addi = 4,
+    /// rd = rs * rt (wrapping)
+    Mul = 5,
+    /// rd = rs & rt
+    And = 6,
+    /// rd = rs | rt
+    Or = 7,
+    /// rd = rs ^ rt
+    Xor = 8,
+    /// rd = (rs < rt) ? 1 : 0 (unsigned)
+    Sltu = 9,
+    /// rd = mem[rs + imm]
+    Lw = 10,
+    /// mem[rs + imm] = rd
+    Sw = 11,
+    /// if rd == rs goto imm (absolute instruction index)
+    Beq = 12,
+    /// if rd != rs goto imm
+    Bne = 13,
+    /// unconditional goto imm
+    J = 14,
+    /// stop
+    Halt = 15,
+}
+
+impl Op {
+    fn from_bits(bits: u32) -> Op {
+        match bits {
+            1 => Op::Li,
+            2 => Op::Add,
+            3 => Op::Sub,
+            4 => Op::Addi,
+            5 => Op::Mul,
+            6 => Op::And,
+            7 => Op::Or,
+            8 => Op::Xor,
+            9 => Op::Sltu,
+            10 => Op::Lw,
+            11 => Op::Sw,
+            12 => Op::Beq,
+            13 => Op::Bne,
+            14 => Op::J,
+            15 => Op::Halt,
+            other => panic!("illegal opcode {other}"),
+        }
+    }
+}
+
+/// One instruction, encoded as `op(6) rd(5) rs(5) imm(16)`; register-
+/// register forms carry `rt` in the low bits of `imm`.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub(crate) struct Instr {
+    pub op: Op,
+    pub rd: u8,
+    pub rs: u8,
+    pub imm: u16,
+}
+
+impl Instr {
+    pub(crate) fn encode(self) -> u32 {
+        ((self.op as u32) << 26)
+            | ((self.rd as u32 & 31) << 21)
+            | ((self.rs as u32 & 31) << 16)
+            | self.imm as u32
+    }
+
+    pub(crate) fn decode(word: u32) -> Instr {
+        Instr {
+            op: Op::from_bits(word >> 26),
+            rd: ((word >> 21) & 31) as u8,
+            rs: ((word >> 16) & 31) as u8,
+            imm: (word & 0xffff) as u16,
+        }
+    }
+}
+
+// Assembler helpers: register-register ops put rt in imm.
+fn r3(op: Op, rd: u8, rs: u8, rt: u8) -> Instr {
+    Instr { op, rd, rs, imm: rt as u16 }
+}
+
+fn ri(op: Op, rd: u8, rs: u8, imm: u16) -> Instr {
+    Instr { op, rd, rs, imm }
+}
+
+/// The simulated machine. Architected state lives in bus memory.
+pub(crate) struct Machine<'b> {
+    bus: &'b mut dyn Bus,
+    /// 32-word register file (r0 hardwired to zero).
+    regs: Addr,
+    /// Instruction memory (word-indexed).
+    imem: Addr,
+    /// Data memory image (word-indexed).
+    dmem: Addr,
+    dmem_words: u32,
+    /// 2-bit branch predictor counters.
+    bp: Addr,
+    bp_entries: u32,
+    pc: u32,
+    pub cycles: u64,
+    pub bp_hits: u64,
+    pub bp_misses: u64,
+}
+
+impl<'b> Machine<'b> {
+    pub(crate) fn new(
+        bus: &'b mut dyn Bus,
+        program: &[Instr],
+        dmem_words: u32,
+        bp_entries: u32,
+    ) -> Self {
+        let regs = bus.global(32);
+        let imem = bus.global(program.len() as u32);
+        let bp = bus.global(bp_entries);
+        let dmem = bus.global(dmem_words);
+        for i in 0..32 {
+            bus.store_idx(regs, i, 0);
+        }
+        for (i, instr) in program.iter().enumerate() {
+            bus.store_idx(imem, i as u32, instr.encode());
+        }
+        Machine {
+            bus,
+            regs,
+            imem,
+            dmem,
+            dmem_words,
+            bp,
+            bp_entries,
+            pc: 0,
+            cycles: 0,
+            bp_hits: 0,
+            bp_misses: 0,
+        }
+    }
+
+    fn reg(&mut self, r: u8) -> u32 {
+        self.bus.load_idx(self.regs, r as u32)
+    }
+
+    fn set_reg(&mut self, r: u8, v: u32) {
+        // r0 is hardwired to zero but the write port still fires, as in
+        // a uniform datapath.
+        self.bus.store_idx(self.regs, r as u32, if r == 0 { 0 } else { v });
+    }
+
+    fn mem_addr(&self, word_index: u32) -> Addr {
+        assert!(word_index < self.dmem_words, "simulated access out of image");
+        self.dmem + word_index * 4
+    }
+
+    /// Two-bit saturating counter branch predictor; every branch reads
+    /// and rewrites its counter (values 0..=3 — all frequent).
+    fn predict_and_train(&mut self, taken: bool) {
+        let slot = self.bp + (self.pc % self.bp_entries) * 4;
+        let counter = self.bus.load(slot);
+        let predicted = counter >= 2;
+        if predicted == taken {
+            self.bp_hits += 1;
+        } else {
+            self.bp_misses += 1;
+        }
+        let next = match (counter, taken) {
+            (3, true) => 3,
+            (c, true) => c + 1,
+            (0, false) => 0,
+            (c, false) => c - 1,
+        };
+        self.bus.store(slot, next);
+    }
+
+    /// Runs until HALT or the cycle budget is exhausted. Returns whether
+    /// the program halted by itself.
+    pub(crate) fn run(&mut self, max_cycles: u64) -> bool {
+        while self.cycles < max_cycles {
+            self.cycles += 1;
+            let word = self.bus.load_idx(self.imem, self.pc);
+            let instr = Instr::decode(word);
+            let mut next_pc = self.pc + 1;
+            match instr.op {
+                Op::Li => self.set_reg(instr.rd, instr.imm as u32),
+                Op::Add | Op::Sub | Op::Mul | Op::And | Op::Or | Op::Xor | Op::Sltu => {
+                    let a = self.reg(instr.rs);
+                    let b = self.reg((instr.imm & 31) as u8);
+                    let v = match instr.op {
+                        Op::Add => a.wrapping_add(b),
+                        Op::Sub => a.wrapping_sub(b),
+                        Op::Mul => a.wrapping_mul(b),
+                        Op::And => a & b,
+                        Op::Or => a | b,
+                        Op::Xor => a ^ b,
+                        Op::Sltu => (a < b) as u32,
+                        _ => unreachable!(),
+                    };
+                    self.set_reg(instr.rd, v);
+                }
+                Op::Addi => {
+                    let a = self.reg(instr.rs);
+                    self.set_reg(instr.rd, a.wrapping_add(instr.imm as i16 as i32 as u32));
+                }
+                Op::Lw => {
+                    let base = self.reg(instr.rs);
+                    let addr = self.mem_addr(base.wrapping_add(instr.imm as u32));
+                    let v = self.bus.load(addr);
+                    self.set_reg(instr.rd, v);
+                }
+                Op::Sw => {
+                    let base = self.reg(instr.rs);
+                    let addr = self.mem_addr(base.wrapping_add(instr.imm as u32));
+                    let v = self.reg(instr.rd);
+                    self.bus.store(addr, v);
+                }
+                Op::Beq | Op::Bne => {
+                    let a = self.reg(instr.rd);
+                    let b = self.reg(instr.rs);
+                    let taken = if instr.op == Op::Beq { a == b } else { a != b };
+                    self.predict_and_train(taken);
+                    if taken {
+                        next_pc = instr.imm as u32;
+                    }
+                }
+                Op::J => next_pc = instr.imm as u32,
+                Op::Halt => return true,
+            }
+            self.pc = next_pc;
+        }
+        false
+    }
+
+    /// Peeks at a simulated data word (for result verification).
+    pub(crate) fn peek(&mut self, word_index: u32) -> u32 {
+        let addr = self.mem_addr(word_index);
+        self.bus.load(addr)
+    }
+}
+
+/// Builds the benchmark program the simulated CPU executes:
+///
+/// 1. memset a large sparse region to zero;
+/// 2. fill a table with LCG values and insertion-sort it;
+/// 3. plant sentinels in the sparse region and scan it, counting hits;
+/// 4. loop for `reps` rounds.
+///
+/// Layout (word indices): `[0..8)` results, `[8..8+table)` sort table,
+/// `[sparse_base..sparse_base+sparse)` sparse region.
+fn benchmark_program(table: u16, sparse_base: u16, sparse: u16, reps: u16, seed: u16) -> Vec<Instr> {
+    use Op::*;
+    let mut p: Vec<Instr> = Vec::new();
+    // r1 = reps, r2 = i, r3 = j, r4..r7 scratch, r8 = table base,
+    // r9 = sparse base, r10 = LCG state, r11 = hits, r12 = checksum.
+    p.push(ri(Li, 1, 0, reps));
+    p.push(ri(Li, 10, 0, seed | 1));
+    let outer_top = p.len() as u16;
+    // --- memset sparse region ---
+    p.push(ri(Li, 9, 0, sparse_base));
+    p.push(ri(Li, 2, 0, 0));
+    p.push(ri(Li, 5, 0, sparse));
+    let ms_top = p.len() as u16;
+    p.push(r3(Add, 4, 9, 2)); // r4 = base + i
+    p.push(ri(Sw, 0, 4, 0)); // mem[r4] = 0
+    p.push(ri(Addi, 2, 2, 1));
+    p.push(r3(Sltu, 6, 2, 5));
+    p.push(ri(Bne, 6, 0, ms_top)); // while i < sparse
+    // --- fill table with LCG values ---
+    p.push(ri(Li, 8, 0, 8));
+    p.push(ri(Li, 2, 0, 0));
+    p.push(ri(Li, 5, 0, table));
+    let fill_top = p.len() as u16;
+    p.push(ri(Li, 6, 0, 25173 & 0x7fff));
+    p.push(r3(Mul, 10, 10, 6));
+    p.push(ri(Addi, 10, 10, 13849));
+    p.push(ri(Li, 6, 0, 0x7fff));
+    p.push(r3(And, 7, 10, 6)); // r7 = value in [0, 32767]
+    p.push(r3(Add, 4, 8, 2));
+    p.push(ri(Sw, 7, 4, 0)); // table[i] = r7
+    p.push(ri(Addi, 2, 2, 1));
+    p.push(ri(Li, 5, 0, table));
+    p.push(r3(Sltu, 6, 2, 5));
+    p.push(ri(Bne, 6, 0, fill_top));
+    // --- insertion sort table[0..table) ---
+    p.push(ri(Li, 2, 0, 1)); // i = 1
+    let sort_outer = p.len() as u16;
+    p.push(r3(Add, 4, 8, 2));
+    p.push(ri(Lw, 7, 4, 0)); // key = table[i]
+    p.push(r3(Or, 3, 2, 0)); // j = i
+    let sort_inner = p.len() as u16;
+    p.push(ri(Beq, 3, 0, 0)); // j == 0 -> inner_done (patched)
+    let patch_a = p.len() - 1;
+    p.push(ri(Addi, 4, 3, 0xffff)); // r4 = j - 1
+    p.push(r3(Add, 4, 8, 4));
+    p.push(ri(Lw, 5, 4, 0)); // r5 = table[j-1]
+    p.push(r3(Sltu, 6, 7, 5)); // key < table[j-1]?
+    p.push(ri(Beq, 6, 0, 0)); // not less -> inner_done (patched)
+    let patch_b = p.len() - 1;
+    p.push(r3(Add, 6, 8, 3));
+    p.push(ri(Sw, 5, 6, 0)); // table[j] = table[j-1]
+    p.push(ri(Addi, 3, 3, 0xffff)); // j -= 1
+    p.push(ri(J, 0, 0, sort_inner));
+    let inner_done = p.len() as u16;
+    p[patch_a].imm = inner_done;
+    p[patch_b].imm = inner_done;
+    p.push(r3(Add, 4, 8, 3));
+    p.push(ri(Sw, 7, 4, 0)); // table[j] = key
+    p.push(ri(Addi, 2, 2, 1));
+    p.push(ri(Li, 5, 0, table));
+    p.push(r3(Sltu, 6, 2, 5));
+    p.push(ri(Bne, 6, 0, sort_outer));
+    // --- plant sentinels then scan the sparse region ---
+    p.push(ri(Li, 11, 0, 0)); // hits
+    p.push(ri(Li, 12, 0, 0)); // checksum
+    p.push(ri(Li, 2, 0, 0));
+    let plant_top = p.len() as u16;
+    p.push(r3(Add, 4, 9, 2));
+    p.push(ri(Li, 6, 0, 1));
+    p.push(ri(Sw, 6, 4, 0));
+    p.push(ri(Addi, 2, 2, 1021));
+    p.push(ri(Li, 5, 0, sparse));
+    p.push(r3(Sltu, 6, 2, 5));
+    p.push(ri(Bne, 6, 0, plant_top));
+    p.push(ri(Li, 2, 0, 0));
+    let scan_top = p.len() as u16;
+    p.push(r3(Add, 4, 9, 2));
+    p.push(ri(Lw, 7, 4, 0));
+    p.push(ri(Beq, 7, 0, 0)); // zero -> skip (patched)
+    let patch_c = p.len() - 1;
+    p.push(ri(Addi, 11, 11, 1));
+    p.push(r3(Add, 12, 12, 7));
+    let skip = p.len() as u16;
+    p[patch_c].imm = skip;
+    p.push(ri(Addi, 2, 2, 1));
+    p.push(ri(Li, 5, 0, sparse));
+    p.push(r3(Sltu, 6, 2, 5));
+    p.push(ri(Bne, 6, 0, scan_top));
+    // --- store results, decrement outer counter ---
+    p.push(ri(Li, 4, 0, 0));
+    p.push(ri(Sw, 11, 4, 0)); // mem[0] = hits
+    p.push(ri(Sw, 12, 4, 1)); // mem[1] = checksum
+    p.push(ri(Lw, 5, 4, 2));
+    p.push(ri(Addi, 5, 5, 1));
+    p.push(ri(Sw, 5, 4, 2)); // mem[2] = completed rounds
+    p.push(ri(Addi, 1, 1, 0xffff)); // reps -= 1
+    p.push(ri(Bne, 1, 0, outer_top));
+    p.push(ri(Halt, 0, 0, 0));
+    p
+}
+
+/// The 124.m88ksim stand-in.
+#[derive(Debug)]
+pub struct M88ksimLike {
+    input: InputSize,
+    seed: u64,
+    /// (sentinel hits, completed rounds) read back from the simulated
+    /// image after the run.
+    pub last_result: Option<(u32, u32)>,
+}
+
+impl M88ksimLike {
+    /// Creates the workload.
+    pub fn new(input: InputSize, seed: u64) -> Self {
+        M88ksimLike { input, seed, last_result: None }
+    }
+}
+
+impl Workload for M88ksimLike {
+    fn name(&self) -> &'static str {
+        "m88ksim"
+    }
+
+    fn mirrors(&self) -> &'static str {
+        "124.m88ksim"
+    }
+
+    fn run(&mut self, bus: &mut dyn Bus) {
+        let (table, sparse, reps, budget) = match self.input {
+            InputSize::Test => (96u16, 6_000u16, 2u16, 3_000_000u64),
+            InputSize::Train => (160, 14_000, 4, 12_000_000),
+            InputSize::Ref => (224, 24_000, 4, 30_000_000),
+        };
+        let sparse_base = 8 + table;
+        let seed = (self.seed % 0x7ff0) as u16;
+        let program = benchmark_program(table, sparse_base, sparse, reps, seed);
+        let dmem_words = sparse_base as u32 + sparse as u32;
+        let mut machine = Machine::new(bus, &program, dmem_words, 2048);
+        let halted = machine.run(budget);
+        let hits = machine.peek(0);
+        let rounds = machine.peek(2);
+        assert!(halted, "simulated program exceeded its cycle budget");
+        self.last_result = Some((hits, rounds));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::{CountingSink, NullSink, TracedMemory};
+
+    #[test]
+    fn instr_encode_decode_round_trip() {
+        for op in [
+            Op::Li,
+            Op::Add,
+            Op::Sub,
+            Op::Addi,
+            Op::Mul,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Sltu,
+            Op::Lw,
+            Op::Sw,
+            Op::Beq,
+            Op::Bne,
+            Op::J,
+            Op::Halt,
+        ] {
+            let i = Instr { op, rd: 17, rs: 5, imm: 0xabc };
+            assert_eq!(Instr::decode(i.encode()), i);
+        }
+    }
+
+    fn run_program(program: &[Instr], dmem: u32) -> Vec<u32> {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let mut m = Machine::new(&mut mem, program, dmem, 64);
+        assert!(m.run(1_000_000), "program did not halt");
+        (0..8).map(|i| m.peek(i)).collect()
+    }
+
+    #[test]
+    fn machine_computes_sum_1_to_10() {
+        use Op::*;
+        let p = vec![
+            ri(Li, 2, 0, 1),
+            ri(Li, 3, 0, 0),
+            ri(Li, 5, 0, 11),
+            r3(Add, 3, 3, 2), // 3: acc += i
+            ri(Addi, 2, 2, 1),
+            r3(Sltu, 6, 2, 5),
+            ri(Bne, 6, 0, 3),
+            ri(Li, 4, 0, 0),
+            ri(Sw, 3, 4, 0),
+            ri(Halt, 0, 0, 0),
+        ];
+        assert_eq!(run_program(&p, 16)[0], 55);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        use Op::*;
+        let p = vec![
+            ri(Li, 0, 0, 999),
+            ri(Li, 4, 0, 0),
+            ri(Sw, 0, 4, 0),
+            ri(Halt, 0, 0, 0),
+        ];
+        assert_eq!(run_program(&p, 8)[0], 0);
+    }
+
+    #[test]
+    fn benchmark_program_sorts_and_counts() {
+        let table = 32u16;
+        let sparse_base = 8 + table;
+        let sparse = 4000u16;
+        let p = benchmark_program(table, sparse_base, sparse, 1, 7);
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let mut m = Machine::new(&mut mem, &p, sparse_base as u32 + sparse as u32, 64);
+        assert!(m.run(10_000_000), "did not halt");
+        // Sentinels every 1021 words: ceil(4000/1021) = 4 hits.
+        assert_eq!(m.peek(0), 4, "sentinel hits");
+        assert_eq!(m.peek(1), 4, "checksum of four 1s");
+        assert_eq!(m.peek(2), 1, "one round");
+        // The table is sorted ascending.
+        let vals: Vec<u32> = (8..8 + table as u32).map(|i| m.peek(i)).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        assert_eq!(vals, sorted, "insertion sort result");
+        assert!(vals.iter().any(|&v| v != 0), "table was filled");
+    }
+
+    #[test]
+    fn branch_predictor_learns_loops() {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let program = benchmark_program(64, 72, 3000, 2, 3);
+        let mut m = Machine::new(&mut mem, &program, 72 + 3000, 2048);
+        assert!(m.run(10_000_000));
+        let total = m.bp_hits + m.bp_misses;
+        assert!(total > 1000);
+        assert!(
+            m.bp_hits as f64 / total as f64 > 0.85,
+            "2-bit counters should predict loop branches well: {}/{}",
+            m.bp_hits,
+            total
+        );
+    }
+
+    #[test]
+    fn full_workload_runs_to_completion() {
+        let mut sink = CountingSink::default();
+        let mut w = M88ksimLike::new(InputSize::Test, 5);
+        {
+            let mut mem = TracedMemory::new(&mut sink);
+            w.run(&mut mem);
+            mem.finish();
+        }
+        let (hits, rounds) = w.last_result.unwrap();
+        assert_eq!(rounds, 2);
+        assert_eq!(hits, 6, "ceil(6000/1021) = 6 sentinels");
+        assert!(sink.accesses() > 100_000);
+    }
+}

@@ -1,0 +1,332 @@
+//! Additional SPECfp95-like workloads: multigrid (107.mgrid) and
+//! particle-in-cell (146.wave5).
+
+use crate::{InputSize, Rng, Workload};
+use fvl_mem::{Addr, Bus, BusExt};
+
+/// `MgridLike` — a two-level multigrid V-cycle solver, standing in for
+/// 107.mgrid. Residual and correction grids are overwhelmingly exact
+/// zeros away from the sources, with a coarse grid touched at a
+/// different stride — mgrid's signature access pattern.
+#[derive(Debug)]
+pub struct MgridLike {
+    input: InputSize,
+    seed: u64,
+    /// (initial residual norm, final residual norm) for convergence
+    /// checks.
+    pub last_residuals: Option<(f64, f64)>,
+}
+
+impl MgridLike {
+    /// Creates the workload.
+    pub fn new(input: InputSize, seed: u64) -> Self {
+        MgridLike { input, seed, last_residuals: None }
+    }
+}
+
+struct Level {
+    u: Addr, // solution
+    r: Addr, // residual / right-hand side
+    n: u32,
+}
+
+impl Level {
+    fn new(bus: &mut dyn Bus, n: u32) -> Self {
+        let cells = n * n;
+        let u = bus.alloc(cells);
+        let r = bus.alloc(cells);
+        // calloc-style zero fill (also seeds the zero census).
+        bus.fill(u, cells, 0);
+        bus.fill(r, cells, 0);
+        Level { u, r, n }
+    }
+
+    #[inline]
+    fn at(&self, i: u32, j: u32) -> u32 {
+        (i * self.n + j) * 4
+    }
+
+    fn get_u(&self, bus: &mut dyn Bus, i: u32, j: u32) -> f32 {
+        bus.load_f32(self.u + self.at(i, j))
+    }
+
+    fn set_u(&self, bus: &mut dyn Bus, i: u32, j: u32, v: f32) {
+        bus.store_f32(self.u + self.at(i, j), if v.abs() < 1e-4 { 0.0 } else { v });
+    }
+
+    fn get_r(&self, bus: &mut dyn Bus, i: u32, j: u32) -> f32 {
+        bus.load_f32(self.r + self.at(i, j))
+    }
+
+    fn set_r(&self, bus: &mut dyn Bus, i: u32, j: u32, v: f32) {
+        bus.store_f32(self.r + self.at(i, j), if v.abs() < 1e-4 { 0.0 } else { v });
+    }
+
+    /// One weighted-Jacobi smoothing sweep: u += w*(rhs - A u)/4.
+    fn smooth(&self, bus: &mut dyn Bus, sweeps: u32) {
+        for _ in 0..sweeps {
+            for i in 1..self.n - 1 {
+                for j in 1..self.n - 1 {
+                    let nb = self.get_u(bus, i - 1, j)
+                        + self.get_u(bus, i + 1, j)
+                        + self.get_u(bus, i, j - 1)
+                        + self.get_u(bus, i, j + 1);
+                    let rhs = self.get_r(bus, i, j);
+                    let u = self.get_u(bus, i, j);
+                    let v = u + 0.8 * ((nb + rhs) / 4.0 - u);
+                    self.set_u(bus, i, j, v);
+                }
+            }
+        }
+    }
+
+    /// Residual norm: ||rhs - A u||_1 over the interior.
+    fn residual_norm(&self, bus: &mut dyn Bus) -> f64 {
+        let mut norm = 0.0f64;
+        for i in 1..self.n - 1 {
+            for j in 1..self.n - 1 {
+                let nb = self.get_u(bus, i - 1, j)
+                    + self.get_u(bus, i + 1, j)
+                    + self.get_u(bus, i, j - 1)
+                    + self.get_u(bus, i, j + 1);
+                let res = self.get_r(bus, i, j) + nb - 4.0 * self.get_u(bus, i, j);
+                norm += (res as f64).abs();
+            }
+        }
+        norm
+    }
+}
+
+impl Workload for MgridLike {
+    fn name(&self) -> &'static str {
+        "mgrid"
+    }
+
+    fn mirrors(&self) -> &'static str {
+        "107.mgrid"
+    }
+
+    fn run(&mut self, bus: &mut dyn Bus) {
+        let (n, cycles) = match self.input {
+            InputSize::Test => (48u32, 6u32),
+            InputSize::Train => (96, 8),
+            InputSize::Ref => (160, 10),
+        };
+        let mut rng = Rng::new(self.seed ^ 0x316d);
+        let fine = Level::new(bus, n);
+        let coarse = Level::new(bus, n / 2);
+        // A few point sources on the fine grid.
+        for _ in 0..5 {
+            let i = 2 + rng.below(n - 4);
+            let j = 2 + rng.below(n - 4);
+            fine.set_r(bus, i, j, 4.0);
+        }
+        let initial = fine.residual_norm(bus);
+        for _ in 0..cycles {
+            fine.smooth(bus, 2);
+            // Restrict the fine residual to the coarse grid (injection).
+            for i in 1..n / 2 - 1 {
+                for j in 1..n / 2 - 1 {
+                    let nb = fine.get_u(bus, 2 * i - 1, 2 * j)
+                        + fine.get_u(bus, 2 * i + 1, 2 * j)
+                        + fine.get_u(bus, 2 * i, 2 * j - 1)
+                        + fine.get_u(bus, 2 * i, 2 * j + 1);
+                    let res =
+                        fine.get_r(bus, 2 * i, 2 * j) + nb - 4.0 * fine.get_u(bus, 2 * i, 2 * j);
+                    coarse.set_r(bus, i, j, res);
+                    coarse.set_u(bus, i, j, 0.0);
+                }
+            }
+            coarse.smooth(bus, 6);
+            // Prolong the coarse correction back (nearest neighbour).
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    let c = coarse.get_u(bus, (i / 2).min(n / 2 - 1), (j / 2).min(n / 2 - 1));
+                    if c != 0.0 {
+                        let u = fine.get_u(bus, i, j);
+                        fine.set_u(bus, i, j, u + 0.5 * c);
+                    }
+                }
+            }
+            fine.smooth(bus, 2);
+        }
+        let final_norm = fine.residual_norm(bus);
+        self.last_residuals = Some((initial, final_norm));
+    }
+}
+
+/// `Wave5Like` — a particle-in-cell plasma step, standing in for
+/// 146.wave5: particles deposit charge on a mostly-zero field grid, the
+/// field relaxes, and the particles are pushed by the gradient.
+#[derive(Debug)]
+pub struct Wave5Like {
+    input: InputSize,
+    seed: u64,
+    /// Number of particles still inside the box at the end.
+    pub last_inside: Option<u32>,
+}
+
+impl Wave5Like {
+    /// Creates the workload.
+    pub fn new(input: InputSize, seed: u64) -> Self {
+        Wave5Like { input, seed, last_inside: None }
+    }
+}
+
+impl Workload for Wave5Like {
+    fn name(&self) -> &'static str {
+        "wave5"
+    }
+
+    fn mirrors(&self) -> &'static str {
+        "146.wave5"
+    }
+
+    fn run(&mut self, bus: &mut dyn Bus) {
+        let (n, particles, steps) = match self.input {
+            InputSize::Test => (64u32, 800u32, 10u32),
+            InputSize::Train => (128, 3_000, 16),
+            InputSize::Ref => (192, 8_000, 22),
+        };
+        let mut rng = Rng::new(self.seed ^ 0x3a5e);
+        let cells = n * n;
+        let charge = bus.alloc(cells);
+        let field = bus.alloc(cells);
+        bus.fill(charge, cells, 0);
+        bus.fill(field, cells, 0);
+        // Particle arrays: x, y, vx, vy (f32 each).
+        let px = bus.alloc(particles);
+        let py = bus.alloc(particles);
+        let vx = bus.alloc(particles);
+        let vy = bus.alloc(particles);
+        for p in 0..particles {
+            // A tight beam near the centre: most of the grid never sees
+            // charge, so the far field stays exactly zero.
+            let span = (n / 8) as f32;
+            bus.store_f32(px + p * 4, (n / 2) as f32 + (rng.unit_f64() as f32 - 0.5) * span);
+            bus.store_f32(py + p * 4, (n / 2) as f32 + (rng.unit_f64() as f32 - 0.5) * span);
+            bus.store_f32(vx + p * 4, 0.0);
+            bus.store_f32(vy + p * 4, 0.0);
+        }
+        let idx = |i: u32, j: u32| (i * n + j) * 4;
+        let dt = 0.2f32;
+        let mut inside = particles;
+        for _ in 0..steps {
+            // Deposit: zero the charge grid, then scatter particles.
+            bus.fill(charge, cells, 0);
+            for p in 0..particles {
+                let x = bus.load_f32(px + p * 4);
+                let y = bus.load_f32(py + p * 4);
+                if x < 1.0 || y < 1.0 || x >= (n - 1) as f32 || y >= (n - 1) as f32 {
+                    continue;
+                }
+                let (i, j) = (x as u32, y as u32);
+                let c = bus.load_f32(charge + idx(i, j));
+                bus.store_f32(charge + idx(i, j), c + 1.0);
+            }
+            // Field relaxation toward the charge density.
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    let nb = bus.load_f32(field + idx(i - 1, j))
+                        + bus.load_f32(field + idx(i + 1, j))
+                        + bus.load_f32(field + idx(i, j - 1))
+                        + bus.load_f32(field + idx(i, j + 1));
+                    let rho = bus.load_f32(charge + idx(i, j));
+                    // Slightly lossy relaxation so the far field decays
+                    // back to exact zero instead of filling the grid.
+                    let v = 0.23 * nb + 0.25 * rho;
+                    bus.store_f32(field + idx(i, j), if v.abs() < 1e-3 { 0.0 } else { v });
+                }
+            }
+            // Push: accelerate along the negative field gradient.
+            inside = 0;
+            for p in 0..particles {
+                let x = bus.load_f32(px + p * 4);
+                let y = bus.load_f32(py + p * 4);
+                if x < 1.0 || y < 1.0 || x >= (n - 1) as f32 || y >= (n - 1) as f32 {
+                    continue;
+                }
+                inside += 1;
+                let (i, j) = (x as u32, y as u32);
+                let gx = bus.load_f32(field + idx(i + 1, j)) - bus.load_f32(field + idx(i - 1, j));
+                let gy = bus.load_f32(field + idx(i, j + 1)) - bus.load_f32(field + idx(i, j - 1));
+                let nvx = bus.load_f32(vx + p * 4) - dt * gx * 0.5;
+                let nvy = bus.load_f32(vy + p * 4) - dt * gy * 0.5;
+                bus.store_f32(vx + p * 4, nvx);
+                bus.store_f32(vy + p * 4, nvy);
+                bus.store_f32(px + p * 4, x + dt * nvx);
+                bus.store_f32(py + p * 4, y + dt * nvy);
+            }
+        }
+        self.last_inside = Some(inside);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::{CountingSink, NullSink, TracedMemory};
+
+    #[test]
+    fn mgrid_vcycles_reduce_the_residual() {
+        let mut sink = NullSink;
+        let mut w = MgridLike::new(InputSize::Test, 1);
+        {
+            let mut mem = TracedMemory::new(&mut sink);
+            w.run(&mut mem);
+        }
+        let (initial, final_norm) = w.last_residuals.unwrap();
+        assert!(initial > 0.0);
+        assert!(
+            final_norm < initial * 0.8,
+            "multigrid converges: {initial} -> {final_norm}"
+        );
+    }
+
+    #[test]
+    fn wave5_keeps_most_particles_in_the_box() {
+        let mut sink = NullSink;
+        let mut w = Wave5Like::new(InputSize::Test, 2);
+        {
+            let mut mem = TracedMemory::new(&mut sink);
+            w.run(&mut mem);
+        }
+        let inside = w.last_inside.unwrap();
+        assert!(inside > 400, "most of the 800 particles stay inside: {inside}");
+    }
+
+    #[test]
+    fn both_produce_substantial_traffic_and_are_deterministic() {
+        for name in ["mgrid", "wave5"] {
+            let run = |seed| {
+                let mut sink = CountingSink::default();
+                let mut w = crate::by_name(name, InputSize::Test, seed).unwrap();
+                {
+                    let mut mem = TracedMemory::new(&mut sink);
+                    w.run(&mut mem);
+                    mem.finish();
+                }
+                sink.accesses()
+            };
+            assert!(run(1) > 50_000, "{name}");
+            assert_eq!(run(3), run(3), "{name} deterministic");
+        }
+    }
+
+    #[test]
+    fn wave5_field_grid_is_zero_dominated() {
+        let mut buf = fvl_mem::TraceBuffer::new();
+        let mut w = Wave5Like::new(InputSize::Test, 5);
+        {
+            let mut mem = TracedMemory::new(&mut buf);
+            w.run(&mut mem);
+        }
+        let trace = buf.into_trace();
+        let zeros = trace.iter_accesses().filter(|a| a.value == 0).count();
+        assert!(
+            zeros * 2 > trace.accesses() as usize,
+            "zeros dominate: {zeros}/{}",
+            trace.accesses()
+        );
+    }
+}

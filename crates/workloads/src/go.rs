@@ -1,0 +1,468 @@
+//! `GoLike` — alpha-beta game-tree search over a capture-Go board,
+//! standing in for 099.go.
+//!
+//! The board (values 0/1/2), the flood-fill visited array, the move
+//! scoring table, and the per-node board copies on the simulated stack
+//! are all traced memory, so — like the real go program — the access
+//! stream is saturated with the tiny board alphabet plus small counters,
+//! while the search repeatedly copies and restores board state.
+
+use crate::{InputSize, Rng, Workload};
+use fvl_mem::{Addr, Bus, BusExt};
+
+const EMPTY: u32 = 0;
+
+/// The game: two players alternately place stones; a group with no
+/// liberties is captured (removed). First to `capture_goal` captures (or
+/// the move budget) ends the game. This is "atari go", a real teaching
+/// variant — enough to exercise go's data structures honestly.
+struct Game<'b> {
+    bus: &'b mut dyn Bus,
+    size: u32,
+    /// Board: size*size words of {0,1,2}.
+    board: Addr,
+    /// Scratch visited array for liberty flood fill.
+    visited: Addr,
+    /// History heuristic table: one score per point.
+    history: Addr,
+    /// Transposition table: [key, depth, score, flag] per entry, mostly
+    /// empty (zero) — the zero-rich big structure of real game engines.
+    tt: Addr,
+    tt_entries: u32,
+    /// Zobrist-style hash key of the current position.
+    key: u32,
+    pub tt_hits: u64,
+    captures: [u32; 2],
+    nodes: u64,
+}
+
+impl<'b> Game<'b> {
+    fn new(bus: &'b mut dyn Bus, size: u32, tt_entries: u32) -> Self {
+        let cells = size * size;
+        let board = bus.global(cells);
+        let visited = bus.global(cells);
+        let history = bus.global(cells);
+        let tt = bus.global(tt_entries * 4);
+        for i in 0..cells {
+            bus.store_idx(board, i, EMPTY);
+            bus.store_idx(visited, i, 0);
+            bus.store_idx(history, i, 0);
+        }
+        // The transposition table is *not* initialised: fresh simulated
+        // memory reads zero, exactly like a calloc'd table.
+        Game {
+            bus,
+            size,
+            board,
+            visited,
+            history,
+            tt,
+            tt_entries,
+            key: 0x9e3779b9,
+            tt_hits: 0,
+            captures: [0, 0],
+            nodes: 0,
+        }
+    }
+
+    /// Incremental position key (order-dependent but adequate for a
+    /// transposition cache).
+    fn mix_key(&mut self, i: u32, player: u32) {
+        self.key ^= (i.wrapping_add(1).wrapping_mul(0x85eb_ca6b))
+            .rotate_left(player * 7 + 1);
+    }
+
+    /// Probes the transposition table; returns the stored score when the
+    /// entry matches at sufficient depth.
+    fn tt_probe(&mut self, depth: u32) -> Option<i32> {
+        let slot = (self.key % self.tt_entries) * 4;
+        let stored_key = self.bus.load_idx(self.tt, slot);
+        if stored_key != self.key {
+            return None;
+        }
+        let stored_depth = self.bus.load_idx(self.tt, slot + 1);
+        let score = self.bus.load_idx(self.tt, slot + 2) as i32;
+        let flag = self.bus.load_idx(self.tt, slot + 3);
+        (flag == 1 && stored_depth >= depth).then(|| {
+            self.tt_hits += 1;
+            score
+        })
+    }
+
+    fn tt_store(&mut self, depth: u32, score: i32) {
+        let slot = (self.key % self.tt_entries) * 4;
+        self.bus.store_idx(self.tt, slot, self.key);
+        self.bus.store_idx(self.tt, slot + 1, depth);
+        self.bus.store_idx(self.tt, slot + 2, score as u32);
+        self.bus.store_idx(self.tt, slot + 3, 1);
+    }
+
+    #[inline]
+    fn idx(&self, r: u32, c: u32) -> u32 {
+        r * self.size + c
+    }
+
+    fn at(&mut self, i: u32) -> u32 {
+        self.bus.load_idx(self.board, i)
+    }
+
+    fn set(&mut self, i: u32, v: u32) {
+        self.bus.store_idx(self.board, i, v);
+    }
+
+    fn neighbors(&self, i: u32) -> impl Iterator<Item = u32> {
+        let size = self.size;
+        let r = i / size;
+        let c = i % size;
+        [
+            (r > 0).then(|| i - size),
+            (r + 1 < size).then(|| i + size),
+            (c > 0).then(|| i - 1),
+            (c + 1 < size).then(|| i + 1),
+        ]
+        .into_iter()
+        .flatten()
+    }
+
+    /// Counts liberties of the group containing `start` via flood fill
+    /// through the traced visited array. Returns (liberties, group size)
+    /// and leaves the group's cells marked in `visited` with `stamp`.
+    fn liberties(&mut self, start: u32, stamp: u32) -> (u32, u32) {
+        let color = self.at(start);
+        debug_assert_ne!(color, EMPTY);
+        let mut stack = vec![start];
+        self.bus.store_idx(self.visited, start, stamp);
+        let mut libs = 0;
+        let mut stones = 0;
+        while let Some(i) = stack.pop() {
+            stones += 1;
+            for n in self.neighbors(i).collect::<Vec<_>>() {
+                let v = self.at(n);
+                if v == EMPTY {
+                    // Liberty; count each empty point once per stamp by
+                    // marking it too.
+                    if self.bus.load_idx(self.visited, n) != stamp {
+                        self.bus.store_idx(self.visited, n, stamp);
+                        libs += 1;
+                    }
+                } else if v == color && self.bus.load_idx(self.visited, n) != stamp {
+                    self.bus.store_idx(self.visited, n, stamp);
+                    stack.push(n);
+                }
+            }
+        }
+        (libs, stones)
+    }
+
+    /// Removes the group at `start`; returns stones removed.
+    fn capture_group(&mut self, start: u32) -> u32 {
+        let color = self.at(start);
+        let mut stack = vec![start];
+        self.set(start, EMPTY);
+        let mut removed = 1;
+        while let Some(i) = stack.pop() {
+            for n in self.neighbors(i).collect::<Vec<_>>() {
+                if self.at(n) == color {
+                    self.set(n, EMPTY);
+                    removed += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Plays `player` at `i` (must be empty): places the stone, captures
+    /// dead enemy groups, and reports stones captured. Suicide moves
+    /// capture the mover's own group (legal in this teaching variant,
+    /// heavily penalised by the evaluation).
+    fn play(&mut self, i: u32, player: u32, stamp: &mut u32) -> u32 {
+        debug_assert_eq!(self.at(i), EMPTY);
+        self.mix_key(i, player);
+        self.set(i, player);
+        let enemy = 3 - player;
+        let mut captured = 0;
+        for n in self.neighbors(i).collect::<Vec<_>>() {
+            if self.at(n) == enemy {
+                *stamp += 1;
+                let (libs, _) = self.liberties(n, *stamp);
+                if libs == 0 {
+                    captured += self.capture_group(n);
+                }
+            }
+        }
+        if captured == 0 {
+            *stamp += 1;
+            let (libs, _) = self.liberties(i, *stamp);
+            if libs == 0 {
+                captured = 0;
+                self.capture_group(i);
+            }
+        }
+        captured
+    }
+
+    /// Static evaluation for `player`: capture difference dominates,
+    /// then total liberties.
+    fn evaluate(&mut self, player: u32, stamp: &mut u32) -> i32 {
+        let cells = self.size * self.size;
+        let mut score = 0i32;
+        let mut i = 0;
+        while i < cells {
+            let v = self.at(i);
+            if v != EMPTY && self.bus.load_idx(self.visited, i) != *stamp {
+                // liberties() marks with its own stamp; use fresh ones.
+                *stamp += 1;
+                let (libs, stones) = self.liberties(i, *stamp);
+                let worth = libs as i32 + 2 * stones as i32;
+                if v == player {
+                    score += worth;
+                } else {
+                    score -= worth;
+                }
+            }
+            i += 1;
+        }
+        score
+    }
+
+    /// Generates candidate moves: empty points adjacent to any stone
+    /// (plus the center early), ordered by the history table.
+    fn candidates(&mut self, cap: usize) -> Vec<u32> {
+        let cells = self.size * self.size;
+        let mut moves = Vec::new();
+        for i in 0..cells {
+            if self.at(i) != EMPTY {
+                continue;
+            }
+            let near = self
+                .neighbors(i)
+                .any(|n| self.bus.load_idx(self.board, n) != EMPTY);
+            if near {
+                let h = self.bus.load_idx(self.history, i);
+                moves.push((h, i));
+            }
+        }
+        if moves.is_empty() {
+            let center = self.idx(self.size / 2, self.size / 2);
+            return vec![center];
+        }
+        moves.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        moves.truncate(cap);
+        moves.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Alpha-beta search; board state is saved/restored through a
+    /// simulated stack frame per node, exactly how game programs burn
+    /// memory bandwidth.
+    fn search(
+        &mut self,
+        player: u32,
+        depth: u32,
+        mut alpha: i32,
+        beta: i32,
+        width: usize,
+        stamp: &mut u32,
+    ) -> (i32, Option<u32>) {
+        self.nodes += 1;
+        if depth == 0 {
+            return (self.evaluate(player, stamp), None);
+        }
+        if let Some(score) = self.tt_probe(depth) {
+            return (score, None);
+        }
+        let moves = self.candidates(width);
+        if moves.is_empty() {
+            return (self.evaluate(player, stamp), None);
+        }
+        let cells = self.size * self.size;
+        let mut best = (i32::MIN, None);
+        for mv in moves {
+            // Save the board into a stack frame (the node's undo state).
+            let frame = self.bus.push_frame(cells);
+            self.bus.copy_words(self.board, frame, cells);
+            let saved_key = self.key;
+            let captured = self.play(mv, player, stamp);
+            let (mut score, _) =
+                self.search(3 - player, depth - 1, -beta, -alpha, width, stamp);
+            score = -score + captured as i32 * 16;
+            // Restore.
+            self.bus.copy_words(frame, self.board, cells);
+            self.key = saved_key;
+            self.bus.pop_frame();
+            if score > best.0 {
+                best = (score, Some(mv));
+            }
+            alpha = alpha.max(score);
+            if alpha >= beta {
+                self.tt_store(depth, score);
+                // History credit for the cutoff move.
+                let h = self.bus.load_idx(self.history, mv);
+                self.bus.store_idx(self.history, mv, h + depth);
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// The 099.go stand-in: plays a full game of capture go against itself.
+#[derive(Debug)]
+pub struct GoLike {
+    input: InputSize,
+    seed: u64,
+    /// (black captures, white captures, search nodes) after the run.
+    pub last_result: Option<(u32, u32, u64)>,
+}
+
+impl GoLike {
+    /// Creates the workload.
+    pub fn new(input: InputSize, seed: u64) -> Self {
+        GoLike { input, seed, last_result: None }
+    }
+}
+
+impl Workload for GoLike {
+    fn name(&self) -> &'static str {
+        "go"
+    }
+
+    fn mirrors(&self) -> &'static str {
+        "099.go"
+    }
+
+    fn run(&mut self, bus: &mut dyn Bus) {
+        let (size, depth, width, moves) = match self.input {
+            InputSize::Test => (9u32, 1u32, 8usize, 14u32),
+            InputSize::Train => (11, 2, 9, 30),
+            InputSize::Ref => (13, 2, 11, 46),
+        };
+        let mut rng = Rng::new(self.seed);
+        let tt_entries = match self.input {
+            InputSize::Test => 8_192u32,
+            InputSize::Train => 32_768,
+            InputSize::Ref => 65_536,
+        };
+        let mut game = Game::new(bus, size, tt_entries);
+        let mut stamp = 0u32;
+        // A couple of random opening stones so games differ per seed.
+        for player in [1u32, 2] {
+            let cells = size * size;
+            let mut i = rng.below(cells);
+            while game.at(i) != EMPTY {
+                i = rng.below(cells);
+            }
+            game.set(i, player);
+        }
+        let mut player = 1u32;
+        for _ in 0..moves {
+            let (_score, best) =
+                game.search(player, depth, i32::MIN + 1, i32::MAX - 1, width, &mut stamp);
+            let Some(mv) = best else { break };
+            let captured = game.play(mv, player, &mut stamp);
+            game.captures[(player - 1) as usize] += captured;
+            player = 3 - player;
+        }
+        self.last_result = Some((game.captures[0], game.captures[1], game.nodes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::{CountingSink, NullSink, TracedMemory};
+
+    fn with_game<R>(size: u32, f: impl FnOnce(&mut Game<'_>) -> R) -> R {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let mut game = Game::new(&mut mem, size, 1024);
+        f(&mut game)
+    }
+
+    #[test]
+    fn single_stone_liberties() {
+        with_game(5, |g| {
+            let mut stamp = 0;
+            let center = g.idx(2, 2);
+            g.play(center, 1, &mut stamp);
+            stamp += 1;
+            let (libs, stones) = g.liberties(center, stamp);
+            assert_eq!((libs, stones), (4, 1));
+            // Corner stone has 2 liberties.
+            let corner = g.idx(0, 0);
+            g.play(corner, 2, &mut stamp);
+            stamp += 1;
+            let (libs, stones) = g.liberties(corner, stamp);
+            assert_eq!((libs, stones), (2, 1));
+        });
+    }
+
+    #[test]
+    fn surrounded_stone_is_captured() {
+        with_game(5, |g| {
+            let mut stamp = 0;
+            let c = g.idx(2, 2);
+            g.play(c, 2, &mut stamp);
+            // Black surrounds white on all four sides.
+            for (r, cc) in [(1, 2), (3, 2), (2, 1)] {
+                let captured = g.play(g.idx(r, cc), 1, &mut stamp);
+                assert_eq!(captured, 0);
+            }
+            let captured = g.play(g.idx(2, 3), 1, &mut stamp);
+            assert_eq!(captured, 1, "white stone captured");
+            assert_eq!(g.at(c), EMPTY, "stone removed from board");
+        });
+    }
+
+    #[test]
+    fn group_capture_removes_whole_group() {
+        with_game(5, |g| {
+            let mut stamp = 0;
+            // White pair at (2,2),(2,3).
+            g.play(g.idx(2, 2), 2, &mut stamp);
+            g.play(g.idx(2, 3), 2, &mut stamp);
+            // Black surrounds the pair (6 liberties).
+            let ring = [(1, 2), (1, 3), (3, 2), (3, 3), (2, 1)];
+            for (r, c) in ring {
+                assert_eq!(g.play(g.idx(r, c), 1, &mut stamp), 0);
+            }
+            let captured = g.play(g.idx(2, 4), 1, &mut stamp);
+            assert_eq!(captured, 2);
+            assert_eq!(g.at(g.idx(2, 2)), EMPTY);
+            assert_eq!(g.at(g.idx(2, 3)), EMPTY);
+        });
+    }
+
+    #[test]
+    fn search_prefers_capturing_move() {
+        with_game(5, |g| {
+            let mut stamp = 0;
+            // White stone with one liberty at (2,3); black to move.
+            g.set(g.idx(2, 2), 2);
+            g.set(g.idx(1, 2), 1);
+            g.set(g.idx(3, 2), 1);
+            g.set(g.idx(2, 1), 1);
+            let (_s, best) = g.search(1, 1, i32::MIN + 1, i32::MAX - 1, 16, &mut stamp);
+            assert_eq!(best, Some(g.idx(2, 3)), "search finds the capture");
+        });
+    }
+
+    #[test]
+    fn full_game_is_deterministic_and_busy() {
+        let run = |seed| {
+            let mut sink = CountingSink::default();
+            let mut w = GoLike::new(InputSize::Test, seed);
+            {
+                let mut mem = TracedMemory::new(&mut sink);
+                w.run(&mut mem);
+                mem.finish();
+            }
+            (w.last_result.unwrap(), sink.accesses())
+        };
+        let ((b1, w1, n1), acc1) = run(3);
+        let ((b2, w2, n2), acc2) = run(3);
+        assert_eq!((b1, w1, n1, acc1), (b2, w2, n2, acc2));
+        assert!(n1 > 50, "search explored nodes: {n1}");
+        assert!(acc1 > 50_000, "accesses: {acc1}");
+    }
+}

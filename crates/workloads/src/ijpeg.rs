@@ -1,0 +1,363 @@
+//! `IjpegLike` — a JPEG-style image pipeline, standing in for
+//! 132.ijpeg, the paper's second negative control.
+//!
+//! Noisy images are transformed 8×8 block by block with an integer DCT,
+//! quantized, zigzag run-length coded, then inverse-transformed and
+//! compared against the original. Pixels and coefficients are dense and
+//! mostly distinct, so — like the real ijpeg — the workload exhibits
+//! almost no frequent value locality.
+
+use crate::{InputSize, Rng, Workload};
+use fvl_mem::{Addr, Bus, BusExt};
+
+const B: usize = 8;
+
+/// Fixed-point cosine table, scaled by 2^12 (host constant data; real
+/// codecs bake this into the binary).
+fn cos_table() -> [[i64; B]; B] {
+    let mut t = [[0i64; B]; B];
+    for (u, row) in t.iter_mut().enumerate() {
+        for (x, v) in row.iter_mut().enumerate() {
+            let angle = (2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0;
+            *v = (angle.cos() * 4096.0).round() as i64;
+        }
+    }
+    t
+}
+
+/// JPEG's luminance quantization matrix (quality ~50).
+const QUANT: [[i64; B]; B] = [
+    [16, 11, 10, 16, 24, 40, 51, 61],
+    [12, 12, 14, 19, 26, 58, 60, 55],
+    [14, 13, 16, 24, 40, 57, 69, 56],
+    [14, 17, 22, 29, 51, 87, 80, 62],
+    [18, 22, 37, 56, 68, 109, 103, 77],
+    [24, 35, 55, 64, 81, 104, 113, 92],
+    [49, 64, 78, 87, 103, 121, 120, 101],
+    [72, 92, 95, 98, 112, 100, 103, 99],
+];
+
+/// Zigzag scan order.
+fn zigzag_order() -> [(usize, usize); 64] {
+    let mut order = [(0usize, 0usize); 64];
+    let mut n = 0;
+    for s in 0..(2 * B - 1) {
+        let coords: Vec<(usize, usize)> = (0..=s.min(B - 1))
+            .filter_map(|i| {
+                let j = s - i;
+                (j < B).then_some((i, j))
+            })
+            .collect();
+        let iter: Box<dyn Iterator<Item = (usize, usize)>> =
+            if s % 2 == 0 { Box::new(coords.into_iter().rev()) } else { Box::new(coords.into_iter()) };
+        for c in iter {
+            order[n] = c;
+            n += 1;
+        }
+    }
+    order
+}
+
+struct Codec<'b> {
+    bus: &'b mut dyn Bus,
+    cos: [[i64; B]; B],
+    zigzag: [(usize, usize); 64],
+}
+
+impl<'b> Codec<'b> {
+    fn new(bus: &'b mut dyn Bus) -> Self {
+        Codec { bus, cos: cos_table(), zigzag: zigzag_order() }
+    }
+
+    fn load_block(&mut self, img: Addr, width: u32, bx: u32, by: u32, out: &mut [[i64; B]; B]) {
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                let idx = (by * 8 + r as u32) * width + bx * 8 + c as u32;
+                *v = self.bus.load_idx(img, idx) as i64 - 128;
+            }
+        }
+    }
+
+    fn store_block(&mut self, img: Addr, width: u32, bx: u32, by: u32, data: &[[i64; B]; B]) {
+        for (r, row) in data.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                let idx = (by * 8 + r as u32) * width + bx * 8 + c as u32;
+                let pix = (v + 128).clamp(0, 255) as u32;
+                self.bus.store_idx(img, idx, pix);
+            }
+        }
+    }
+
+    /// Forward 2-D DCT (fixed point), then quantization.
+    fn fdct_quant(&self, block: &[[i64; B]; B], out: &mut [[i64; B]; B]) {
+        for u in 0..B {
+            for v in 0..B {
+                let mut acc = 0i64;
+                for (x, row) in block.iter().enumerate() {
+                    for (y, &p) in row.iter().enumerate() {
+                        acc += p * self.cos[u][x] * self.cos[v][y];
+                    }
+                }
+                // cu*cv normalisation: 1/sqrt(2) for index 0.
+                let mut coeff = acc >> 12; // one 4096 factor out
+                if u == 0 {
+                    coeff = (coeff * 2896) >> 12; // 1/sqrt(2)
+                }
+                if v == 0 {
+                    coeff = (coeff * 2896) >> 12;
+                }
+                coeff >>= 14; // remaining scale: 4096/4 = /16384
+                out[u][v] = coeff / QUANT[u][v];
+            }
+        }
+    }
+
+    /// Dequantization and inverse DCT.
+    fn dequant_idct(&self, block: &[[i64; B]; B], out: &mut [[i64; B]; B]) {
+        let mut deq = [[0i64; B]; B];
+        for u in 0..B {
+            for v in 0..B {
+                deq[u][v] = block[u][v] * QUANT[u][v];
+            }
+        }
+        for (x, row) in out.iter_mut().enumerate() {
+            for (y, pix) in row.iter_mut().enumerate() {
+                let mut acc = 0i64;
+                for (u, drow) in deq.iter().enumerate() {
+                    for (v, &d) in drow.iter().enumerate() {
+                        let mut term = d * self.cos[u][x] * self.cos[v][y];
+                        if u == 0 {
+                            term = (term * 2896) >> 12;
+                        }
+                        if v == 0 {
+                            term = (term * 2896) >> 12;
+                        }
+                        acc += term;
+                    }
+                }
+                *pix = acc >> 26; // 4096^2 / 4... empirical scale back
+            }
+        }
+    }
+
+    /// Zigzag + RLE encodes one quantized block into the traced output
+    /// stream as (run, value) word pairs; returns pairs written.
+    fn rle_encode(&mut self, block: &[[i64; B]; B], out: Addr, at: u32) -> u32 {
+        let mut n = 0u32;
+        let mut run = 0u32;
+        for &(r, c) in &self.zigzag {
+            let v = block[r][c];
+            if v == 0 {
+                run += 1;
+            } else {
+                self.bus.store_idx(out, at + n * 2, run);
+                self.bus.store_idx(out, at + n * 2 + 1, v as u32);
+                n += 1;
+                run = 0;
+            }
+        }
+        // End-of-block marker.
+        self.bus.store_idx(out, at + n * 2, 0xffff);
+        self.bus.store_idx(out, at + n * 2 + 1, 0);
+        n + 1
+    }
+
+    /// Decodes one RLE block back into coefficients.
+    fn rle_decode(&mut self, input: Addr, at: u32, block: &mut [[i64; B]; B]) -> u32 {
+        *block = [[0; B]; B];
+        let mut pos = 0usize;
+        let mut n = 0u32;
+        loop {
+            let run = self.bus.load_idx(input, at + n * 2);
+            let val = self.bus.load_idx(input, at + n * 2 + 1);
+            n += 1;
+            if run == 0xffff {
+                return n;
+            }
+            pos += run as usize;
+            let (r, c) = self.zigzag[pos];
+            block[r][c] = val as i32 as i64;
+            pos += 1;
+        }
+    }
+}
+
+/// The 132.ijpeg stand-in.
+#[derive(Debug)]
+pub struct IjpegLike {
+    input: InputSize,
+    seed: u64,
+    /// (blocks processed, mean absolute reconstruction error ×100).
+    pub last_result: Option<(u32, u64)>,
+}
+
+impl IjpegLike {
+    /// Creates the workload.
+    pub fn new(input: InputSize, seed: u64) -> Self {
+        IjpegLike { input, seed, last_result: None }
+    }
+}
+
+impl Workload for IjpegLike {
+    fn name(&self) -> &'static str {
+        "ijpeg"
+    }
+
+    fn mirrors(&self) -> &'static str {
+        "132.ijpeg"
+    }
+
+    fn run(&mut self, bus: &mut dyn Bus) {
+        let (width, height, images) = match self.input {
+            InputSize::Test => (96u32, 96u32, 2u32),
+            InputSize::Train => (192, 192, 3),
+            InputSize::Ref => (320, 256, 4),
+        };
+        let mut rng = Rng::new(self.seed ^ 0x1CE);
+        let pixels = width * height;
+        let img = bus.alloc(pixels);
+        let recon = bus.alloc(pixels);
+        // Worst case: 65 (run,value) pairs per 64-pixel block.
+        let stream = bus.alloc(pixels * 3 + 256);
+        let mut codec = Codec::new(bus);
+        let mut blocks_done = 0u32;
+        let mut abs_err_sum = 0u64;
+        let mut err_samples = 0u64;
+        for _ in 0..images {
+            // Smooth gradient + noise: partially compressible, like a
+            // photo.
+            for y in 0..height {
+                for x in 0..width {
+                    let smooth = (x * 255 / width + y * 255 / height) / 2;
+                    let noise = rng.below(64);
+                    let pix = (smooth + noise).min(255);
+                    codec.bus.store_idx(img, y * width + x, pix);
+                }
+            }
+            let mut raw = [[0i64; B]; B];
+            let mut coeffs = [[0i64; B]; B];
+            let mut decoded = [[0i64; B]; B];
+            let mut rebuilt = [[0i64; B]; B];
+            let mut at = 0u32;
+            for by in 0..height / 8 {
+                for bx in 0..width / 8 {
+                    codec.load_block(img, width, bx, by, &mut raw);
+                    codec.fdct_quant(&raw, &mut coeffs);
+                    let pairs = codec.rle_encode(&coeffs, stream, at);
+                    let consumed = codec.rle_decode(stream, at, &mut decoded);
+                    assert_eq!(consumed, pairs, "RLE round trip");
+                    assert_eq!(decoded, coeffs, "zigzag/RLE is lossless");
+                    at += pairs * 2;
+                    codec.dequant_idct(&decoded, &mut rebuilt);
+                    codec.store_block(recon, width, bx, by, &rebuilt);
+                    blocks_done += 1;
+                }
+            }
+            // Reconstruction error (lossy but bounded).
+            for i in (0..pixels).step_by(13) {
+                let a = codec.bus.load_idx(img, i) as i64;
+                let b = codec.bus.load_idx(recon, i) as i64;
+                abs_err_sum += (a - b).unsigned_abs();
+                err_samples += 1;
+            }
+        }
+        let mean_err_x100 = abs_err_sum * 100 / err_samples.max(1);
+        self.last_result = Some((blocks_done, mean_err_x100));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::{CountingSink, NullSink, TracedMemory};
+
+    #[test]
+    fn zigzag_covers_all_64_cells_once() {
+        let order = zigzag_order();
+        let mut seen = [[false; B]; B];
+        for (r, c) in order {
+            assert!(!seen[r][c], "duplicate ({r},{c})");
+            seen[r][c] = true;
+        }
+        assert_eq!(order[0], (0, 0));
+        assert_eq!(order[1], (0, 1), "jpeg zigzag starts rightward");
+        assert_eq!(order[63], (7, 7));
+    }
+
+    #[test]
+    fn flat_block_has_only_dc() {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let codec = Codec::new(&mut mem);
+        let block = [[50i64; B]; B];
+        let mut coeffs = [[0i64; B]; B];
+        codec.fdct_quant(&block, &mut coeffs);
+        for (u, row) in coeffs.iter().enumerate() {
+            for (v, &c) in row.iter().enumerate() {
+                if (u, v) != (0, 0) {
+                    assert_eq!(c, 0, "AC({u},{v}) of a flat block");
+                }
+            }
+        }
+        assert!(coeffs[0][0] != 0, "DC captures the level");
+    }
+
+    #[test]
+    fn dct_round_trip_is_close() {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let codec = Codec::new(&mut mem);
+        let mut rng = Rng::new(3);
+        // Smooth-ish block.
+        let mut block = [[0i64; B]; B];
+        for (r, row) in block.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (r as i64 * 10 + c as i64 * 5) - 90 + rng.below(8) as i64;
+            }
+        }
+        let mut coeffs = [[0i64; B]; B];
+        let mut rebuilt = [[0i64; B]; B];
+        codec.fdct_quant(&block, &mut coeffs);
+        codec.dequant_idct(&coeffs, &mut rebuilt);
+        let mut max_err = 0i64;
+        for r in 0..B {
+            for c in 0..B {
+                max_err = max_err.max((block[r][c] - rebuilt[r][c]).abs());
+            }
+        }
+        assert!(max_err <= 24, "lossy but bounded: max_err={max_err}");
+    }
+
+    #[test]
+    fn rle_round_trip_exact() {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let stream = mem.alloc(256);
+        let mut codec = Codec::new(&mut mem);
+        let mut block = [[0i64; B]; B];
+        block[0][0] = 31;
+        block[0][1] = -4;
+        block[3][2] = 7;
+        block[7][7] = -1;
+        let pairs = codec.rle_encode(&block, stream, 0);
+        let mut decoded = [[99i64; B]; B];
+        let consumed = codec.rle_decode(stream, 0, &mut decoded);
+        assert_eq!(pairs, consumed);
+        assert_eq!(decoded, block);
+    }
+
+    #[test]
+    fn full_workload_reconstruction_is_reasonable() {
+        let mut sink = CountingSink::default();
+        let mut w = IjpegLike::new(InputSize::Test, 9);
+        {
+            let mut mem = TracedMemory::new(&mut sink);
+            w.run(&mut mem);
+            mem.finish();
+        }
+        let (blocks, err_x100) = w.last_result.unwrap();
+        assert_eq!(blocks, 2 * (96 / 8) * (96 / 8));
+        assert!(err_x100 < 3000, "mean abs error < 30 pixels: {err_x100}");
+        assert!(sink.accesses() > 50_000);
+    }
+}

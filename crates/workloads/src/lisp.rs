@@ -1,0 +1,727 @@
+//! `LiLike` — a genuine mini-Lisp interpreter with mark/sweep GC,
+//! standing in for 130.li (xlisp).
+//!
+//! All interpreter *data* — cons cells, environments, integers, symbols —
+//! lives in simulated memory; only control flow runs on the host. The
+//! value behavior mirrors xlisp's: cells are dominated by small tags and
+//! NIL (0) pointers, environments are assoc lists walked on every
+//! variable reference, and the collector periodically sweeps the whole
+//! heap flipping mark words — which is also why `li` shows the *lowest*
+//! constant-address percentage in the paper's Table 4.
+
+use crate::{InputSize, Workload};
+use fvl_mem::{Addr, Bus, BusExt};
+use std::collections::HashMap;
+
+/// Cell tags. A free cell is tag 0 so that freshly swept memory is
+/// zero-dominated, like a real heap.
+const T_FREE: u32 = 0;
+const T_INT: u32 = 1;
+const T_SYM: u32 = 2;
+const T_CONS: u32 = 3;
+const T_LAMBDA: u32 = 4;
+
+/// Words per cell: tag, car, cdr, mark.
+const CELL_WORDS: u32 = 4;
+const OFF_TAG: u32 = 0;
+const OFF_CAR: u32 = 1;
+const OFF_CDR: u32 = 2;
+const OFF_MARK: u32 = 3;
+
+/// NIL is the null address, so list terminators are stored as 0.
+const NIL: Addr = 0;
+
+/// Host-side parsed expression (the "source file"); the interpreter
+/// immediately lowers it into cells in simulated memory.
+enum Sexp {
+    Int(i32),
+    Sym(String),
+    List(Vec<Sexp>),
+}
+
+fn parse(src: &str) -> Vec<Sexp> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in src.chars() {
+        match ch {
+            '(' | ')' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(ch.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < tokens.len() {
+        out.push(parse_one(&tokens, &mut pos));
+    }
+    out
+}
+
+fn parse_one(tokens: &[String], pos: &mut usize) -> Sexp {
+    let tok = &tokens[*pos];
+    *pos += 1;
+    if tok == "(" {
+        let mut items = Vec::new();
+        while tokens[*pos] != ")" {
+            items.push(parse_one(tokens, pos));
+        }
+        *pos += 1; // consume ')'
+        Sexp::List(items)
+    } else if let Ok(n) = tok.parse::<i32>() {
+        Sexp::Int(n)
+    } else {
+        Sexp::Sym(tok.clone())
+    }
+}
+
+/// The interpreter: arena of cells in simulated memory + host control.
+struct Interp<'b> {
+    bus: &'b mut dyn Bus,
+    arena: Addr,
+    cells: u32,
+    free: Addr,
+    /// Shadow stack of GC roots (cell addresses).
+    roots: Vec<Addr>,
+    symbols: HashMap<String, Addr>,
+    names: HashMap<Addr, String>,
+    symbol_ids: u32,
+    global_env: Addr,
+    gc_runs: u32,
+    allocs: u64,
+}
+
+impl<'b> Interp<'b> {
+    fn new(bus: &'b mut dyn Bus, cells: u32) -> Self {
+        let arena = bus.alloc(cells * CELL_WORDS);
+        let mut interp = Interp {
+            bus,
+            arena,
+            cells,
+            free: NIL,
+            roots: Vec::new(),
+            symbols: HashMap::new(),
+            names: HashMap::new(),
+            symbol_ids: 0,
+            global_env: NIL,
+            gc_runs: 0,
+            allocs: 0,
+        };
+        interp.build_free_list();
+        interp
+    }
+
+    fn build_free_list(&mut self) {
+        self.free = NIL;
+        for i in (0..self.cells).rev() {
+            let cell = self.arena + i * CELL_WORDS * 4;
+            // Thread the link first, then publish the tag: first touch
+            // of each fresh line is the (distinct) link pointer.
+            self.bus.store(cell + OFF_CAR * 4, self.free);
+            self.bus.store(cell + OFF_TAG * 4, T_FREE);
+            self.free = cell;
+        }
+    }
+
+    fn tag(&mut self, cell: Addr) -> u32 {
+        self.bus.load(cell + OFF_TAG * 4)
+    }
+
+    fn car(&mut self, cell: Addr) -> Addr {
+        self.bus.load(cell + OFF_CAR * 4)
+    }
+
+    fn cdr(&mut self, cell: Addr) -> Addr {
+        self.bus.load(cell + OFF_CDR * 4)
+    }
+
+    fn set_car(&mut self, cell: Addr, v: u32) {
+        self.bus.store(cell + OFF_CAR * 4, v);
+    }
+
+    fn alloc_cell(&mut self, tag: u32, car: u32, cdr: u32) -> Addr {
+        if self.free == NIL {
+            self.gc();
+            assert!(self.free != NIL, "lisp heap exhausted even after GC");
+        }
+        let cell = self.free;
+        self.free = self.car(cell);
+        self.bus.store(cell + OFF_TAG * 4, tag);
+        self.bus.store(cell + OFF_CAR * 4, car);
+        self.bus.store(cell + OFF_CDR * 4, cdr);
+        self.bus.store(cell + OFF_MARK * 4, 0);
+        self.allocs += 1;
+        cell
+    }
+
+    fn cons(&mut self, car: Addr, cdr: Addr) -> Addr {
+        self.alloc_cell(T_CONS, car, cdr)
+    }
+
+    fn int(&mut self, v: i32) -> Addr {
+        self.alloc_cell(T_INT, v as u32, NIL)
+    }
+
+    fn int_val(&mut self, cell: Addr) -> i32 {
+        debug_assert_eq!(self.tag(cell), T_INT);
+        self.car(cell) as i32
+    }
+
+    fn symbol(&mut self, name: &str) -> Addr {
+        if let Some(&addr) = self.symbols.get(name) {
+            return addr;
+        }
+        self.symbol_ids += 1;
+        let id = self.symbol_ids;
+        let cell = self.alloc_cell(T_SYM, id, NIL);
+        self.symbols.insert(name.to_string(), cell);
+        self.names.insert(cell, name.to_string());
+        // Symbols are permanent roots.
+        self.roots.push(cell);
+        cell
+    }
+
+    // ---- garbage collection -------------------------------------------
+
+    fn mark(&mut self, start: Addr) {
+        let mut stack = vec![start];
+        while let Some(cell) = stack.pop() {
+            if cell == NIL {
+                continue;
+            }
+            if self.bus.load(cell + OFF_MARK * 4) == 1 {
+                continue;
+            }
+            self.bus.store(cell + OFF_MARK * 4, 1);
+            let tag = self.tag(cell);
+            if tag == T_CONS || tag == T_LAMBDA {
+                let car = self.car(cell);
+                let cdr = self.cdr(cell);
+                stack.push(car);
+                stack.push(cdr);
+            }
+        }
+    }
+
+    fn gc(&mut self) {
+        self.gc_runs += 1;
+        let roots: Vec<Addr> = self.roots.clone();
+        for root in roots {
+            self.mark(root);
+        }
+        let genv = self.global_env;
+        self.mark(genv);
+        // Sweep: unmarked cells return to the free list as tag-0 cells.
+        self.free = NIL;
+        for i in 0..self.cells {
+            let cell = self.arena + i * CELL_WORDS * 4;
+            let marked = self.bus.load(cell + OFF_MARK * 4);
+            if marked == 1 {
+                self.bus.store(cell + OFF_MARK * 4, 0);
+            } else {
+                self.bus.store(cell + OFF_CAR * 4, self.free);
+                self.bus.store(cell + OFF_TAG * 4, T_FREE);
+                self.bus.store(cell + OFF_CDR * 4, NIL);
+                self.free = cell;
+            }
+        }
+    }
+
+    // ---- environments --------------------------------------------------
+
+    /// Environments are assoc lists: ((sym . value) ...), chained via a
+    /// parent link stored as the final cdr element's cdr... simply: an
+    /// env is a list of frames; a frame is an assoc list.
+    fn env_lookup(&mut self, env: Addr, sym: Addr) -> Option<Addr> {
+        let mut frame_list = env;
+        while frame_list != NIL {
+            let mut assoc = self.car(frame_list);
+            while assoc != NIL {
+                let pair = self.car(assoc);
+                let key = self.car(pair);
+                if key == sym {
+                    return Some(self.cdr(pair));
+                }
+                assoc = self.cdr(assoc);
+            }
+            frame_list = self.cdr(frame_list);
+        }
+        None
+    }
+
+    fn env_define(&mut self, env: Addr, sym: Addr, value: Addr) {
+        // Root intermediates: both conses may trigger a collection.
+        self.roots.push(sym);
+        self.roots.push(value);
+        let pair = self.cons(sym, value);
+        self.roots.push(pair);
+        let frame = self.car(env);
+        let frame = self.cons(pair, frame);
+        self.roots.pop();
+        self.roots.pop();
+        self.roots.pop();
+        self.set_car(env, frame);
+    }
+
+    fn env_push_frame(&mut self, env: Addr) -> Addr {
+        self.cons(NIL, env)
+    }
+
+    // ---- lowering host sexps into cells --------------------------------
+
+    fn lower(&mut self, sexp: &Sexp) -> Addr {
+        match sexp {
+            Sexp::Int(n) => self.int(*n),
+            Sexp::Sym(s) => self.symbol(s),
+            Sexp::List(items) => {
+                // The partial list stays rooted across every recursive
+                // lower() and cons(): GC can run inside either.
+                let mut list = NIL;
+                self.roots.push(list);
+                for item in items.iter().rev() {
+                    let cell = self.lower(item);
+                    self.roots.push(cell);
+                    list = self.cons(cell, list);
+                    self.roots.pop();
+                    *self.roots.last_mut().expect("slot pushed above") = list;
+                }
+                self.roots.pop();
+                list
+            }
+        }
+    }
+
+    // ---- evaluation -----------------------------------------------------
+
+    fn truthy(&mut self, v: Addr) -> bool {
+        v != NIL
+    }
+
+    fn eval(&mut self, expr: Addr, env: Addr) -> Addr {
+        self.roots.push(expr);
+        self.roots.push(env);
+        let result = self.eval_inner(expr, env);
+        self.roots.pop();
+        self.roots.pop();
+        result
+    }
+
+    fn eval_inner(&mut self, expr: Addr, env: Addr) -> Addr {
+        if expr == NIL {
+            return NIL;
+        }
+        match self.tag(expr) {
+            T_INT | T_LAMBDA => expr,
+            T_SYM => self
+                .env_lookup(env, expr)
+                .unwrap_or_else(|| panic!("unbound symbol cell {expr:#x}")),
+            T_CONS => self.eval_form(expr, env),
+            t => panic!("cannot evaluate tag {t}"),
+        }
+    }
+
+    fn nth(&mut self, list: Addr, n: u32) -> Addr {
+        let mut cur = list;
+        for _ in 0..n {
+            cur = self.cdr(cur);
+        }
+        self.car(cur)
+    }
+
+    fn eval_form(&mut self, expr: Addr, env: Addr) -> Addr {
+        let head = self.car(expr);
+        // Special forms dispatch on symbol identity.
+        if self.tag(head) == T_SYM {
+            let name = self.symbol_name(head);
+            match name.as_deref() {
+                Some("quote") => return self.nth(expr, 1),
+                Some("if") => {
+                    let cond_e = self.nth(expr, 1);
+                    let cond = self.eval(cond_e, env);
+                    let branch = if self.truthy(cond) { 2 } else { 3 };
+                    let be = self.nth(expr, branch);
+                    return self.eval(be, env);
+                }
+                Some("define") => {
+                    let target = self.nth(expr, 1);
+                    if self.tag(target) == T_CONS {
+                        // (define (f a b) body...) sugar.
+                        let fname = self.car(target);
+                        let params = self.cdr(target);
+                        let body = self.nth(expr, 2);
+                        let clos = self.make_lambda(params, body, env);
+                        self.env_define(env, fname, clos);
+                        return fname;
+                    }
+                    let value_e = self.nth(expr, 2);
+                    let value = self.eval(value_e, env);
+                    self.roots.push(value);
+                    self.env_define(env, target, value);
+                    self.roots.pop();
+                    return target;
+                }
+                Some("lambda") => {
+                    let params = self.nth(expr, 1);
+                    let body = self.nth(expr, 2);
+                    return self.make_lambda(params, body, env);
+                }
+                Some("begin") => {
+                    let mut cur = self.cdr(expr);
+                    let mut last = NIL;
+                    self.roots.push(last);
+                    while cur != NIL {
+                        let e = self.car(cur);
+                        last = self.eval(e, env);
+                        *self.roots.last_mut().expect("slot pushed above") = last;
+                        cur = self.cdr(cur);
+                    }
+                    self.roots.pop();
+                    return last;
+                }
+                _ => {}
+            }
+        }
+        // Application.
+        let callee = self.eval(head, env);
+        self.roots.push(callee);
+        // Evaluate arguments into a cell list (rooted as we go).
+        let mut args = Vec::new();
+        let mut cur = self.cdr(expr);
+        while cur != NIL {
+            let e = self.car(cur);
+            let v = self.eval(e, env);
+            self.roots.push(v);
+            args.push(v);
+            cur = self.cdr(cur);
+        }
+        let result = self.apply(callee, &args, env);
+        for _ in 0..args.len() {
+            self.roots.pop();
+        }
+        self.roots.pop();
+        result
+    }
+
+    fn symbol_name(&self, cell: Addr) -> Option<String> {
+        self.names.get(&cell).cloned()
+    }
+
+    fn make_lambda(&mut self, params: Addr, body: Addr, env: Addr) -> Addr {
+        // lambda cell: car = (params . body), cdr = captured env.
+        let pb = self.cons(params, body);
+        self.roots.push(pb);
+        let l = self.alloc_cell(T_LAMBDA, pb, env);
+        self.roots.pop();
+        l
+    }
+
+    fn apply(&mut self, callee: Addr, args: &[Addr], env: Addr) -> Addr {
+        if self.tag(callee) == T_LAMBDA {
+            let pb = self.car(callee);
+            let closure_env = self.cdr(callee);
+            let params = self.car(pb);
+            let body = self.cdr(pb);
+            let frame_env = self.env_push_frame(closure_env);
+            self.roots.push(frame_env);
+            let mut p = params;
+            for &arg in args {
+                let sym = self.car(p);
+                self.env_define(frame_env, sym, arg);
+                p = self.cdr(p);
+            }
+            let result = self.eval(body, frame_env);
+            self.roots.pop();
+            return result;
+        }
+        // Builtins are symbols.
+        let name = self.symbol_name(callee).unwrap_or_default();
+        let int_of = |i: &mut Self, a: Addr| i.int_val(a);
+        match name.as_str() {
+            "+" => {
+                let mut acc = 0i64;
+                for &a in args {
+                    acc += int_of(self, a) as i64;
+                }
+                self.int(acc as i32)
+            }
+            "-" => {
+                let first = int_of(self, args[0]);
+                if args.len() == 1 {
+                    self.int(-first)
+                } else {
+                    let mut acc = first as i64;
+                    for &a in &args[1..] {
+                        acc -= int_of(self, a) as i64;
+                    }
+                    self.int(acc as i32)
+                }
+            }
+            "*" => {
+                let mut acc = 1i64;
+                for &a in args {
+                    acc = acc.wrapping_mul(int_of(self, a) as i64);
+                }
+                self.int(acc as i32)
+            }
+            "<" => {
+                let a = int_of(self, args[0]);
+                let b = int_of(self, args[1]);
+                if a < b {
+                    self.symbol("t")
+                } else {
+                    NIL
+                }
+            }
+            "=" => {
+                let a = int_of(self, args[0]);
+                let b = int_of(self, args[1]);
+                if a == b {
+                    self.symbol("t")
+                } else {
+                    NIL
+                }
+            }
+            "cons" => self.cons(args[0], args[1]),
+            "car" => self.car(args[0]),
+            "cdr" => self.cdr(args[0]),
+            "null?" => {
+                if args[0] == NIL {
+                    self.symbol("t")
+                } else {
+                    NIL
+                }
+            }
+            "" => panic!("application of non-function"),
+            other => {
+                // A user function bound in the environment under this
+                // symbol (builtins shadowable).
+                if let Some(f) = self.env_lookup(env, callee) {
+                    if f != callee {
+                        return self.apply(f, args, env);
+                    }
+                }
+                panic!("unknown builtin {other}")
+            }
+        }
+    }
+
+    fn run_program(&mut self, src: &str) -> Vec<i32> {
+        let forms = parse(src);
+        // Pre-intern builtins bound to themselves.
+        let genv = self.env_push_frame(NIL);
+        self.global_env = genv;
+        for b in ["+", "-", "*", "<", "=", "cons", "car", "cdr", "null?", "t"] {
+            let sym = self.symbol(b);
+            self.env_define(genv, sym, sym);
+        }
+        let mut results = Vec::new();
+        for form in &forms {
+            let expr = self.lower(form);
+            self.roots.push(expr);
+            let genv = self.global_env;
+            let v = self.eval(expr, genv);
+            self.roots.pop();
+            if v != NIL && self.tag(v) == T_INT {
+                results.push(self.int_val(v));
+            }
+        }
+        results
+    }
+}
+
+/// The 130.li stand-in: a Lisp interpreter running list-heavy benchmark
+/// scripts (fib, tak, list construction and reversal) sized by
+/// [`InputSize`].
+#[derive(Debug)]
+pub struct LiLike {
+    input: InputSize,
+    seed: u64,
+    /// Results of the integer-valued top-level forms (for verification).
+    pub last_results: Vec<i32>,
+}
+
+impl LiLike {
+    /// Creates the workload.
+    pub fn new(input: InputSize, seed: u64) -> Self {
+        LiLike { input, seed, last_results: Vec::new() }
+    }
+
+    fn script(&self) -> (String, u32) {
+        // (fib n), (tak ...), and list churn; sizes per input class.
+        let (fib_n, tak, len, cells) = match self.input {
+            InputSize::Test => (11, (8, 5, 2), 120, 24_000),
+            InputSize::Train => (15, (11, 7, 3), 250, 48_000),
+            InputSize::Ref => (17, (13, 8, 4), 600, 64_000),
+        };
+        let salt = (self.seed % 5) as i32;
+        let src = format!(
+            "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+             (define (tak x y z)
+               (if (< y x)
+                   (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))
+                   z))
+             (define (build n acc) (if (= n 0) acc (build (- n 1) (cons n acc))))
+             (define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+             (define (rev l acc) (if (null? l) acc (rev (cdr l) (cons (car l) acc))))
+             (define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))
+             (fib {fib_n})
+             (tak {} {} {})
+             (define xs (build {len} (quote ())))
+             (len xs)
+             (sum (rev xs (quote ())))
+             (+ (fib 10) {salt})",
+            tak.0, tak.1, tak.2
+        );
+        (src, cells)
+    }
+}
+
+impl Workload for LiLike {
+    fn name(&self) -> &'static str {
+        "li"
+    }
+
+    fn mirrors(&self) -> &'static str {
+        "130.li"
+    }
+
+    fn run(&mut self, bus: &mut dyn Bus) {
+        let (src, cells) = self.script();
+        let mut interp = Interp::new(bus, cells);
+        self.last_results = interp.run_program(&src);
+        // Locals for the tail: a realistic program also reports via a
+        // small stack frame.
+        let frame = bus.push_frame(4);
+        for (i, &r) in self.last_results.iter().take(4).enumerate() {
+            bus.store_idx(frame, i as u32, r as u32);
+        }
+        bus.pop_frame();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::{CountingSink, NullSink, TracedMemory};
+
+    fn run_script(src: &str, cells: u32) -> Vec<i32> {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let mut interp = Interp::new(&mut mem, cells);
+        interp.run_program(src)
+    }
+
+    #[test]
+    fn arithmetic_and_special_forms() {
+        assert_eq!(run_script("(+ 1 2 3)", 4096), vec![6]);
+        assert_eq!(run_script("(- 10 4 1)", 4096), vec![5]);
+        assert_eq!(run_script("(* 3 4 5)", 4096), vec![60]);
+        assert_eq!(run_script("(if (< 1 2) 10 20)", 4096), vec![10]);
+        assert_eq!(run_script("(if (< 2 1) 10 20)", 4096), vec![20]);
+        assert_eq!(run_script("(begin 1 2 3)", 4096), vec![3]);
+        assert_eq!(run_script("(car (quote (7 8 9)))", 4096), vec![7]);
+    }
+
+    #[test]
+    fn define_lambda_and_recursion() {
+        assert_eq!(
+            run_script("(define (sq x) (* x x)) (sq 9)", 4096),
+            vec![81]
+        );
+        assert_eq!(
+            run_script(
+                "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)",
+                16384
+            ),
+            vec![55]
+        );
+        assert_eq!(
+            run_script("(define f (lambda (x) (+ x 1))) (f 41)", 4096),
+            vec![42]
+        );
+    }
+
+    #[test]
+    fn closures_capture_environment() {
+        assert_eq!(
+            run_script(
+                "(define (adder n) (lambda (x) (+ x n)))
+                 (define add5 (adder 5))
+                 (add5 37)",
+                4096
+            ),
+            vec![42]
+        );
+    }
+
+    #[test]
+    fn list_operations() {
+        assert_eq!(
+            run_script(
+                "(define (build n acc) (if (= n 0) acc (build (- n 1) (cons n acc))))
+                 (define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))
+                 (sum (build 50 (quote ())))",
+                16384
+            ),
+            vec![1275]
+        );
+    }
+
+    #[test]
+    fn gc_reclaims_garbage_and_preserves_live_data() {
+        // A heap far too small for the total allocation volume forces
+        // many collections; the result must still be correct.
+        let src = "(define (build n acc) (if (= n 0) acc (build (- n 1) (cons n acc))))
+                   (define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+                   (define (churn n) (if (= n 0) 0 (+ (len (build 30 (quote ()))) (churn (- n 1)))))
+                   (churn 40)";
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let mut interp = Interp::new(&mut mem, 3000);
+        let r = interp.run_program(src);
+        assert_eq!(r, vec![1200]);
+        assert!(interp.gc_runs > 0, "GC must have run (allocs={})", interp.allocs);
+    }
+
+    #[test]
+    fn tak_is_correct() {
+        fn tak(x: i32, y: i32, z: i32) -> i32 {
+            if y < x {
+                tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y))
+            } else {
+                z
+            }
+        }
+        let src = "(define (tak x y z) (if (< y x) (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y)) z)) (tak 8 4 2)";
+        assert_eq!(run_script(src, 65536), vec![tak(8, 4, 2)]);
+    }
+
+    #[test]
+    fn full_workload_results_are_correct() {
+        let mut sink = CountingSink::default();
+        let mut w = LiLike::new(InputSize::Test, 1);
+        {
+            let mut mem = TracedMemory::new(&mut sink);
+            w.run(&mut mem);
+            mem.finish();
+        }
+        // fib 11 = 89; len=120;
+        // sum 1..120 = 7260; fib 10 + salt(seed1 -> 1) = 56.
+        assert_eq!(w.last_results[0], 89);
+        assert_eq!(w.last_results[2], 120);
+        assert_eq!(w.last_results[3], 7260);
+        assert_eq!(w.last_results[4], 55 + 1);
+        assert!(sink.accesses() > 50_000);
+    }
+}

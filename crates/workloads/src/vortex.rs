@@ -1,0 +1,350 @@
+//! `VortexLike` — an in-memory object database, standing in for
+//! 147.vortex (the OODB benchmark).
+//!
+//! Fixed-schema records (type and status enums, flag words, packed
+//! names, link pointers) are stored in a traced heap, indexed by a
+//! chained hash index whose bucket array is mostly null, and driven by a
+//! transaction mix of inserts, lookups, status updates, deletes, and
+//! full-table report scans — vortex's workload shape. Enums, zeros, and
+//! recurring flag words dominate the value stream.
+
+use crate::{InputSize, Rng, Workload};
+use fvl_mem::{Addr, Bus, BusExt};
+
+/// Record layout (16 words).
+const R_ID: u32 = 0;
+const R_TYPE: u32 = 1; // 1..=4
+const R_STATUS: u32 = 2; // 0=active, 1=pending, 2=archived
+const R_FLAGS: u32 = 3;
+const R_NAME: u32 = 4; // 4 words, packed chars
+const R_BALANCE: u32 = 8;
+const R_NEXT: u32 = 9; // hash chain link
+const R_PARENT: u32 = 10; // object graph link (often null)
+const R_CHILD: u32 = 11;
+const R_RESERVED: u32 = 12; // 12..16 zero
+const RECORD_WORDS: u32 = 16;
+
+struct Database<'b> {
+    bus: &'b mut dyn Bus,
+    buckets: Addr,
+    bucket_count: u32,
+    /// Status directory: one word per id slot (0 = unused, else
+    /// status+1). Reports scan this dense, small-valued table — an OODB
+    /// bitmap index.
+    dir: Addr,
+    dir_slots: u32,
+    records: u32,
+    lookups_found: u64,
+    lookups_missed: u64,
+}
+
+impl<'b> Database<'b> {
+    fn new(bus: &'b mut dyn Bus, bucket_count: u32, dir_slots: u32) -> Self {
+        let buckets = bus.global(bucket_count);
+        let dir = bus.global(dir_slots);
+        for i in 0..bucket_count {
+            bus.store_idx(buckets, i, 0);
+        }
+        // The directory relies on zero-fresh memory, like calloc.
+        Database {
+            bus,
+            buckets,
+            bucket_count,
+            dir,
+            dir_slots,
+            records: 0,
+            lookups_found: 0,
+            lookups_missed: 0,
+        }
+    }
+
+    fn dir_set(&mut self, id: u32, status_plus1: u32) {
+        let slot = id % self.dir_slots;
+        self.bus.store_idx(self.dir, slot, status_plus1);
+    }
+
+    fn slot_of(&self, id: u32) -> u32 {
+        id.wrapping_mul(2654435761) % self.bucket_count
+    }
+
+    fn insert(&mut self, id: u32, ty: u32, name_seed: u32) -> Addr {
+        let rec = self.bus.alloc(RECORD_WORDS);
+        self.bus.store_idx(rec, R_ID, id);
+        self.bus.store_idx(rec, R_TYPE, ty);
+        self.bus.store_idx(rec, R_STATUS, 0);
+        self.bus.store_idx(rec, R_FLAGS, 0x0001_0001);
+        // Packed 16-char name: "obj" + digits, space padded.
+        let name = format!("obj{name_seed:05}");
+        let mut packed = [0u32; 4];
+        for (w, slot) in packed.iter_mut().enumerate() {
+            let mut v = 0u32;
+            for b in 0..4 {
+                let byte = name.as_bytes().get(w * 4 + b).copied().unwrap_or(b' ');
+                v = (v << 8) | byte as u32;
+            }
+            *slot = v;
+        }
+        for (i, &w) in packed.iter().enumerate() {
+            self.bus.store_idx(rec, R_NAME + i as u32, w);
+        }
+        self.bus.store_idx(rec, R_BALANCE, 100);
+        let slot = self.slot_of(id);
+        let head = self.bus.load_idx(self.buckets, slot);
+        self.bus.store_idx(rec, R_NEXT, head);
+        self.bus.store_idx(rec, R_PARENT, 0);
+        self.bus.store_idx(rec, R_CHILD, 0);
+        for i in R_RESERVED..RECORD_WORDS {
+            self.bus.store_idx(rec, i, 0);
+        }
+        self.bus.store_idx(self.buckets, slot, rec);
+        self.dir_set(id, 1);
+        self.records += 1;
+        rec
+    }
+
+    fn find(&mut self, id: u32) -> Option<Addr> {
+        let slot = self.slot_of(id);
+        let mut rec = self.bus.load_idx(self.buckets, slot);
+        while rec != 0 {
+            if self.bus.load_idx(rec, R_ID) == id {
+                self.lookups_found += 1;
+                return Some(rec);
+            }
+            rec = self.bus.load_idx(rec, R_NEXT);
+        }
+        self.lookups_missed += 1;
+        None
+    }
+
+    /// Unlinks and frees the record with `id`; returns whether it
+    /// existed.
+    fn delete(&mut self, id: u32) -> bool {
+        let slot = self.slot_of(id);
+        let mut prev: Option<Addr> = None;
+        let mut rec = self.bus.load_idx(self.buckets, slot);
+        while rec != 0 {
+            let next = self.bus.load_idx(rec, R_NEXT);
+            if self.bus.load_idx(rec, R_ID) == id {
+                match prev {
+                    Some(p) => self.bus.store_idx(p, R_NEXT, next),
+                    None => self.bus.store_idx(self.buckets, slot, next),
+                }
+                self.bus.free(rec);
+                self.dir_set(id, 0);
+                self.records -= 1;
+                return true;
+            }
+            prev = Some(rec);
+            rec = next;
+        }
+        false
+    }
+
+    /// Status transition: active -> pending -> archived -> active.
+    fn touch_status(&mut self, rec: Addr) {
+        let s = self.bus.load_idx(rec, R_STATUS);
+        let ns = (s + 1) % 3;
+        self.bus.store_idx(rec, R_STATUS, ns);
+        let id = self.bus.load_idx(rec, R_ID);
+        self.dir_set(id, ns + 1);
+        let b = self.bus.load_idx(rec, R_BALANCE);
+        self.bus.store_idx(rec, R_BALANCE, b.wrapping_add(1));
+    }
+
+    /// Report scan over the status directory (dense index scan).
+    fn report(&mut self) -> [u32; 3] {
+        let mut tally = [0u32; 3];
+        for slot in 0..self.dir_slots {
+            let v = self.bus.load_idx(self.dir, slot);
+            if v != 0 {
+                tally[(v - 1) as usize] += 1;
+            }
+        }
+        tally
+    }
+
+    /// Deep audit: walks every chain (used rarely; chain integrity).
+    fn audit(&mut self) -> u32 {
+        let mut n = 0;
+        for slot in 0..self.bucket_count {
+            let mut rec = self.bus.load_idx(self.buckets, slot);
+            while rec != 0 {
+                n += 1;
+                rec = self.bus.load_idx(rec, R_NEXT);
+            }
+        }
+        n
+    }
+}
+
+/// The 147.vortex stand-in.
+#[derive(Debug)]
+pub struct VortexLike {
+    input: InputSize,
+    seed: u64,
+    /// (live records, found lookups, missed lookups) after the run.
+    pub last_result: Option<(u32, u64, u64)>,
+}
+
+impl VortexLike {
+    /// Creates the workload.
+    pub fn new(input: InputSize, seed: u64) -> Self {
+        VortexLike { input, seed, last_result: None }
+    }
+}
+
+impl Workload for VortexLike {
+    fn name(&self) -> &'static str {
+        "vortex"
+    }
+
+    fn mirrors(&self) -> &'static str {
+        "147.vortex"
+    }
+
+    fn run(&mut self, bus: &mut dyn Bus) {
+        let (initial, transactions, buckets, dir_slots) = match self.input {
+            InputSize::Test => (1_200u32, 15_000u32, 1_024u32, 4_096u32),
+            InputSize::Train => (3_000, 80_000, 2_048, 8_192),
+            InputSize::Ref => (5_000, 200_000, 4_096, 16_384),
+        };
+        let mut rng = Rng::new(self.seed.wrapping_add(0xdb));
+        let mut db = Database::new(bus, buckets, dir_slots);
+        let mut next_id = 1u32;
+        // Load phase.
+        for _ in 0..initial {
+            db.insert(next_id, 1 + rng.below(4), next_id);
+            next_id += 1;
+        }
+        // Transaction mix: 70% lookup+update (Zipf-skewed towards a hot
+        // set, like real OLTP), 8% insert, 8% delete, 14% lookup-miss;
+        // periodic report scans.
+        let report_every = transactions / 12;
+        let mut reports = 0u32;
+        for t in 0..transactions {
+            let dice = rng.below(100);
+            if dice < 70 {
+                let id = if rng.chance(0.85) {
+                    // Hot set: the oldest surviving ids (fits on chip).
+                    1 + rng.below(128.min(next_id))
+                } else {
+                    1 + rng.below(next_id)
+                };
+                if let Some(rec) = db.find(id) {
+                    db.touch_status(rec);
+                }
+            } else if dice < 78 {
+                db.insert(next_id, 1 + rng.below(4), next_id);
+                next_id += 1;
+            } else if dice < 86 {
+                // Deletes target recent ids, as OLTP churn does.
+                let horizon = 600.min(next_id);
+                let id = next_id - rng.below(horizon);
+                db.delete(id);
+            } else {
+                // Guaranteed miss: ids beyond the horizon.
+                let _ = db.find(next_id + 1000 + rng.below(1000));
+            }
+            if report_every > 0 && t % report_every == 0 {
+                let tally = db.report();
+                reports += 1;
+                debug_assert_eq!(tally.iter().sum::<u32>(), db.records);
+                if reports.is_multiple_of(8) {
+                    debug_assert_eq!(db.audit(), db.records);
+                }
+            }
+        }
+        assert!(reports > 0);
+        self.last_result = Some((db.records, db.lookups_found, db.lookups_missed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::{CountingSink, NullSink, TracedMemory};
+
+    fn with_db<R>(buckets: u32, f: impl FnOnce(&mut Database<'_>) -> R) -> R {
+        let mut sink = NullSink;
+        let mut mem = TracedMemory::new(&mut sink);
+        let mut db = Database::new(&mut mem, buckets, 4096);
+        f(&mut db)
+    }
+
+    #[test]
+    fn insert_find_round_trip() {
+        with_db(16, |db| {
+            db.insert(42, 2, 42);
+            let rec = db.find(42).expect("found");
+            assert_eq!(db.bus.load_idx(rec, R_ID), 42);
+            assert_eq!(db.bus.load_idx(rec, R_TYPE), 2);
+            assert_eq!(db.bus.load_idx(rec, R_STATUS), 0);
+            assert!(db.find(43).is_none());
+        });
+    }
+
+    #[test]
+    fn name_is_packed_padded_ascii() {
+        with_db(16, |db| {
+            let rec = db.insert(7, 1, 7);
+            let w0 = db.bus.load_idx(rec, R_NAME);
+            // "obj0" big-endian.
+            assert_eq!(w0, u32::from_be_bytes(*b"obj0"));
+            let w2 = db.bus.load_idx(rec, R_NAME + 2);
+            assert_eq!(w2, u32::from_be_bytes(*b"    "), "space padding");
+        });
+    }
+
+    #[test]
+    fn delete_unlinks_from_chain() {
+        with_db(1, |db| {
+            // Single bucket: 3-record chain.
+            db.insert(1, 1, 1);
+            db.insert(2, 1, 2);
+            db.insert(3, 1, 3);
+            assert!(db.delete(2), "middle");
+            assert!(db.find(1).is_some());
+            assert!(db.find(2).is_none());
+            assert!(db.find(3).is_some());
+            assert!(db.delete(3), "head");
+            assert!(db.delete(1), "tail");
+            assert_eq!(db.records, 0);
+            assert!(!db.delete(1), "double delete is a no-op");
+        });
+    }
+
+    #[test]
+    fn status_cycles_and_report_tallies() {
+        with_db(8, |db| {
+            for id in 1..=6 {
+                db.insert(id, 1, id);
+            }
+            for id in 1..=4 {
+                let rec = db.find(id).unwrap();
+                db.touch_status(rec); // -> pending
+            }
+            for id in 1..=2 {
+                let rec = db.find(id).unwrap();
+                db.touch_status(rec); // -> archived
+            }
+            let tally = db.report();
+            assert_eq!(tally, [2, 2, 2]);
+        });
+    }
+
+    #[test]
+    fn full_workload_is_consistent() {
+        let mut sink = CountingSink::default();
+        let mut w = VortexLike::new(InputSize::Test, 3);
+        {
+            let mut mem = TracedMemory::new(&mut sink);
+            w.run(&mut mem);
+            mem.finish();
+        }
+        let (records, found, missed) = w.last_result.unwrap();
+        assert!(records > 500, "db retains records: {records}");
+        assert!(found > 1000);
+        assert!(missed > 500, "horizon lookups miss: {missed}");
+        assert!(sink.accesses() > 100_000);
+    }
+}

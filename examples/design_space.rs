@@ -1,0 +1,83 @@
+//! Sweep the FVC design space for one workload: entry counts × value
+//! counts, plus the write-allocation and insertion-threshold ablations.
+//!
+//! ```text
+//! cargo run --release --example design_space [workload]
+//! ```
+
+use fvl::cache::{CacheGeometry, CacheSim, Simulator};
+use fvl::core::{FrequentValueSet, HybridCache, HybridConfig};
+use fvl::mem::{Trace, TraceBuffer, TracedMemory};
+use fvl::profile::ValueCounter;
+use fvl::workloads::{by_name, InputSize};
+
+fn cut(trace: &Trace, config: HybridConfig, base: f64) -> f64 {
+    let mut sim = HybridCache::new(config);
+    trace.replay(&mut sim);
+    (base - sim.stats().miss_rate()) / base * 100.0
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "m88ksim".into());
+    let mut workload = by_name(&name, InputSize::Train, 1).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}");
+        std::process::exit(1);
+    });
+    let mut buf = TraceBuffer::new();
+    {
+        let mut mem = TracedMemory::new(&mut buf);
+        workload.run(&mut mem);
+        mem.finish();
+    }
+    let trace = buf.into_trace();
+    let mut counter = ValueCounter::new();
+    trace.replay(&mut counter);
+    let ranking = counter.ranking();
+
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).expect("valid");
+    let mut dmc = CacheSim::new(geom);
+    trace.replay(&mut dmc);
+    let base = dmc.stats().miss_rate();
+    println!(
+        "== {name}: 16KB DMC baseline miss rate {:.3}% ==\n",
+        dmc.stats().miss_percent()
+    );
+
+    println!("% miss-rate reduction by FVC entries x exploited values:");
+    println!("{:>8} {:>8} {:>8} {:>8}", "entries", "top-1", "top-3", "top-7");
+    for entries in [64u32, 128, 256, 512, 1024, 2048, 4096] {
+        let mut row = format!("{entries:>8}");
+        for k in [1usize, 3, 7] {
+            let values = FrequentValueSet::from_ranking(&ranking, k).expect("nonempty");
+            let c = cut(&trace, HybridConfig::new(geom, entries, values), base);
+            row.push_str(&format!(" {c:>7.1}%"));
+        }
+        println!("{row}");
+    }
+
+    println!("\nablations at 512 entries, top-7 values:");
+    let values = FrequentValueSet::from_ranking(&ranking, 7).expect("nonempty");
+    let configs = [
+        ("paper defaults", HybridConfig::new(geom, 512, values.clone())),
+        (
+            "no write-allocate rule",
+            HybridConfig::new(geom, 512, values.clone()).write_allocate_fvc(false),
+        ),
+        (
+            "write-alloc charged as miss",
+            HybridConfig::new(geom, 512, values.clone()).count_write_alloc_as_miss(true),
+        ),
+        (
+            "insert all evicted lines",
+            HybridConfig::new(geom, 512, values.clone()).min_frequent_words(0),
+        ),
+        (
+            "insert only half-frequent lines",
+            HybridConfig::new(geom, 512, values.clone()).min_frequent_words(4),
+        ),
+        ("2-way FVC", HybridConfig::new(geom, 512, values).fvc_associativity(2)),
+    ];
+    for (label, config) in configs {
+        println!("  {label:<32} {:>6.1}% reduction", cut(&trace, config, base));
+    }
+}

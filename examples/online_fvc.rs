@@ -1,0 +1,72 @@
+//! The extensions in action: an FVC that learns its values online, and
+//! frequent-value compression inside the main cache.
+//!
+//! ```text
+//! cargo run --release --example online_fvc [workload]
+//! ```
+
+use fvl::cache::{CacheGeometry, CacheSim, Simulator};
+use fvl::core::{CompressedCache, FrequentValueSet, HybridCache, HybridConfig, OnlineHybrid};
+use fvl::mem::{TraceBuffer, TracedMemory};
+use fvl::profile::ValueCounter;
+use fvl::workloads::{by_name, InputSize};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "m88ksim".into());
+    let mut workload = by_name(&name, InputSize::Train, 1).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}");
+        std::process::exit(1);
+    });
+    let mut buf = TraceBuffer::new();
+    {
+        let mut mem = TracedMemory::new(&mut buf);
+        workload.run(&mut mem);
+        mem.finish();
+    }
+    let trace = buf.into_trace();
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).expect("valid");
+
+    // Baseline and offline-profiled hybrid.
+    let mut base = CacheSim::new(geom);
+    trace.replay(&mut base);
+    let mut counter = ValueCounter::new();
+    trace.replay(&mut counter);
+    let values = FrequentValueSet::from_ranking(&counter.ranking(), 7).expect("nonempty");
+    let mut offline = HybridCache::new(HybridConfig::new(geom, 512, values.clone()));
+    trace.replay(&mut offline);
+
+    // Online: learn the values from the first 5% of the stream.
+    let window = trace.accesses() / 20;
+    let mut online = OnlineHybrid::new(geom, 512, 7, window.max(1));
+    trace.replay(&mut online);
+    let online_stats = online.combined_stats();
+
+    // In-cache compression at the same physical size.
+    let mut compressed = CompressedCache::new(geom, values);
+    trace.replay(&mut compressed);
+
+    println!("== {name} on a 16KB direct-mapped cache ==\n");
+    println!("{:<44} miss {:.3}%", base.label(), base.stats().miss_percent());
+    println!(
+        "{:<44} miss {:.3}%  (cut {:.1}%)",
+        "offline-profiled FVC (512 entries, top-7)",
+        offline.stats().miss_percent(),
+        offline.stats().miss_reduction_vs(base.stats())
+    );
+    println!(
+        "{:<44} miss {:.3}%  (cut {:.1}%)",
+        online.label(),
+        online_stats.miss_percent(),
+        online_stats.miss_reduction_vs(base.stats())
+    );
+    if let Some(learned) = online.latched_values() {
+        println!("    learned values: {learned:x?}");
+    }
+    println!(
+        "{:<44} miss {:.3}%  (cut {:.1}%; {:.0}% of lines resident compressed)",
+        compressed.label(),
+        compressed.stats().miss_percent(),
+        compressed.stats().miss_reduction_vs(base.stats()),
+        compressed.avg_compressed_fraction() * 100.0
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: profile a workload, build an FVC, and compare miss rates.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload] [--ref]
+//! ```
+
+use fvl::cache::{CacheGeometry, CacheSim, Simulator};
+use fvl::core::{FrequentValueSet, HybridCache, HybridConfig};
+use fvl::mem::{TraceBuffer, TracedMemory};
+use fvl::profile::ValueCounter;
+use fvl::workloads::{by_name, InputSize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.iter().find(|a| !a.starts_with('-')).map(String::as_str).unwrap_or("li");
+    let input =
+        if args.iter().any(|a| a == "--ref") { InputSize::Ref } else { InputSize::Test };
+
+    // 1. Run the workload once, recording every memory access.
+    let mut workload = by_name(name, input, 1).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}; try go|m88ksim|gcc|li|perl|vortex|compress|ijpeg");
+        std::process::exit(1);
+    });
+    println!("running {name} ({input} input, mirrors {})...", workload.mirrors());
+    let mut buf = TraceBuffer::new();
+    {
+        let mut mem = TracedMemory::new(&mut buf);
+        workload.run(&mut mem);
+        mem.finish();
+    }
+    let trace = buf.into_trace();
+    println!("  {} memory accesses recorded", trace.accesses());
+
+    // 2. Profile the frequently accessed values (the paper's Section 2).
+    let mut counter = ValueCounter::new();
+    trace.replay(&mut counter);
+    println!("  top-7 accessed values:");
+    for (i, v) in counter.top_k(7).iter().enumerate() {
+        println!("    {}. {v:#010x}  ({:.1}% of accesses)", i + 1, {
+            counter.count_of(*v) as f64 / counter.total() as f64 * 100.0
+        });
+    }
+
+    // 3. Simulate the paper's 16KB direct-mapped cache, with and without
+    //    a 512-entry frequent value cache.
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).expect("valid geometry");
+    let mut dmc = CacheSim::new(geom);
+    trace.replay(&mut dmc);
+
+    let values = FrequentValueSet::from_ranking(&counter.ranking(), 7).expect("nonempty");
+    let mut hybrid = HybridCache::new(HybridConfig::new(geom, 512, values));
+    trace.replay(&mut hybrid);
+
+    println!("\n  {:<28} miss rate {:.3}%", dmc.label(), dmc.stats().miss_percent());
+    println!(
+        "  {:<28} miss rate {:.3}%  ({:+.1}% reduction)",
+        "with 1.5KB FVC (512 x top-7)",
+        hybrid.stats().miss_percent(),
+        hybrid.stats().miss_reduction_vs(dmc.stats())
+    );
+    println!(
+        "  FVC served {} reads + {} writes; avg {:.1}% of its words held frequent values",
+        hybrid.hybrid_stats().fvc_read_hits,
+        hybrid.hybrid_stats().fvc_write_hits + hybrid.hybrid_stats().fvc_write_allocs,
+        hybrid.hybrid_stats().avg_occupancy_percent()
+    );
+}

@@ -1,0 +1,71 @@
+//! The Section 2 study on one workload: occurrence census, access
+//! profile, stability, constancy, and spatial uniformity.
+//!
+//! ```text
+//! cargo run --release --example value_locality_study [workload]
+//! ```
+
+use fvl::mem::{TraceBuffer, TracedMemory};
+use fvl::profile::{
+    ConstancyAnalyzer, OccurrenceSampler, SpatialAnalyzer, StabilityAnalyzer, ValueCounter,
+};
+use fvl::workloads::{by_name, InputSize};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".into());
+    let mut workload = by_name(&name, InputSize::Train, 1).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}");
+        std::process::exit(1);
+    });
+    println!("== frequent value locality study: {name} (train input) ==");
+    let mut buf = TraceBuffer::new();
+    {
+        let mut mem = TracedMemory::new(&mut buf);
+        workload.run(&mut mem);
+        mem.finish();
+    }
+    let trace = buf.into_trace();
+    let sample_every = (trace.accesses() / 20).max(1);
+
+    // Frequently accessed values.
+    let mut counter = ValueCounter::new();
+    trace.replay(&mut counter);
+    println!("\naccessed: {} accesses, {} distinct values", counter.total(), counter.distinct_values());
+    for k in [1usize, 3, 7, 10] {
+        println!("  top-{k:<2} cover {:5.1}% of accesses", counter.coverage(k) * 100.0);
+    }
+
+    // Frequently occurring values (snapshot census).
+    let mut occ = OccurrenceSampler::new();
+    trace.replay_with_snapshots(&mut occ, sample_every);
+    println!("\noccurring: {} snapshots, avg {:.0} live locations", occ.samples(), occ.avg_locations());
+    for k in [1usize, 3, 7, 10] {
+        println!("  top-{k:<2} occupy {:5.1}% of locations", occ.coverage(k) * 100.0);
+    }
+
+    // Stability (Table 3).
+    let mut stability = StabilityAnalyzer::new((trace.accesses() / 500).max(1));
+    trace.replay(&mut stability);
+    println!("\nstability: {}", stability.report());
+
+    // Constancy (Table 4).
+    let mut constancy = ConstancyAnalyzer::new();
+    trace.replay(&mut constancy);
+    println!(
+        "constancy: {:.1}% of {} referenced-address lifetimes never change value",
+        constancy.constant_percent(),
+        constancy.lifetimes()
+    );
+
+    // Spatial uniformity (Figure 5).
+    let mut spatial = SpatialAnalyzer::new(occ.top_k(7), trace.accesses() / 2);
+    trace.replay_with_snapshots(&mut spatial, sample_every);
+    if let Some(profile) = spatial.into_profile() {
+        println!(
+            "spatial: {:.2} top-7 values per 8-word line (std-dev {:.2} across {} blocks)",
+            profile.mean(),
+            profile.std_dev(),
+            profile.block_averages.len()
+        );
+    }
+}

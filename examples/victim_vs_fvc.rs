@@ -1,0 +1,66 @@
+//! The Figure 15 face-off on one workload: Jouppi's victim cache vs the
+//! frequent value cache at equal area and equal access time, with the
+//! modelled timings alongside.
+//!
+//! ```text
+//! cargo run --release --example victim_vs_fvc [workload]
+//! ```
+
+use fvl::cache::{CacheGeometry, CacheSim, Simulator};
+use fvl::core::{FrequentValueSet, HybridCache, HybridConfig, VictimHybrid};
+use fvl::mem::{TraceBuffer, TracedMemory};
+use fvl::profile::ValueCounter;
+use fvl::timing::{fully_assoc_time, fvc_time, Tech};
+use fvl::workloads::{by_name, InputSize};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "perl".into());
+    let mut workload = by_name(&name, InputSize::Train, 1).unwrap_or_else(|| {
+        eprintln!("unknown workload {name}");
+        std::process::exit(1);
+    });
+    let mut buf = TraceBuffer::new();
+    {
+        let mut mem = TracedMemory::new(&mut buf);
+        workload.run(&mut mem);
+        mem.finish();
+    }
+    let trace = buf.into_trace();
+    let mut counter = ValueCounter::new();
+    trace.replay(&mut counter);
+    let values = FrequentValueSet::from_ranking(&counter.ranking(), 7).expect("nonempty");
+
+    // The paper's Figure 15 setting: a small 4KB direct-mapped cache.
+    let geom = CacheGeometry::new(4 * 1024, 32, 1).expect("valid");
+    let mut base = CacheSim::new(geom);
+    trace.replay(&mut base);
+    let base_rate = base.stats().miss_rate();
+    println!("== {name}: 4KB DMC baseline miss rate {:.3}% ==\n", base.stats().miss_percent());
+
+    let tech = Tech::micron_0_8();
+    let run_vc = |entries: usize| {
+        let mut sim = VictimHybrid::new(geom, entries);
+        trace.replay(&mut sim);
+        let cut = (base_rate - Simulator::stats(&sim).miss_rate()) / base_rate * 100.0;
+        (cut, fully_assoc_time(entries as u32, 32, &tech).total())
+    };
+    let run_fvc = |entries: u32| {
+        let mut sim = HybridCache::new(HybridConfig::new(geom, entries, values.clone()));
+        trace.replay(&mut sim);
+        let cut = (base_rate - sim.stats().miss_rate()) / base_rate * 100.0;
+        (cut, fvc_time(entries, 8, 3, &tech).total())
+    };
+
+    println!("equal area (~same SRAM incl. tags):");
+    let (vc, t_vc) = run_vc(16);
+    let (fvc, t_fvc) = run_fvc(128);
+    println!("  16-entry VC   cut {vc:>5.1}%  ({t_vc:.2} ns)");
+    println!("  128-entry FVC cut {fvc:>5.1}%  ({t_fvc:.2} ns)");
+
+    println!("equal access time:");
+    let (vc, t_vc) = run_vc(4);
+    let (fvc, t_fvc) = run_fvc(512);
+    println!("  4-entry VC    cut {vc:>5.1}%  ({t_vc:.2} ns)");
+    println!("  512-entry FVC cut {fvc:>5.1}%  ({t_fvc:.2} ns)");
+    println!("\n(paper: the VC wins the equal-area comparison, the FVC the equal-time one)");
+}

@@ -1,0 +1,174 @@
+//! The paper's qualitative claims, checked on the test inputs.
+//!
+//! Absolute numbers belong to `EXPERIMENTS.md` (reference inputs); these
+//! tests pin the *shapes* that must not regress.
+
+use fvl::cache::{CacheGeometry, CacheSim, Simulator};
+use fvl::core::{FrequentValueSet, HybridCache, HybridConfig};
+use fvl::mem::{Trace, TraceBuffer, TracedMemory};
+use fvl::profile::{ConstancyAnalyzer, OccurrenceSampler, ValueCounter};
+use fvl::workloads::{by_name, InputSize};
+
+struct Captured {
+    trace: Trace,
+    counter: ValueCounter,
+    occ: OccurrenceSampler,
+}
+
+fn capture(name: &str) -> Captured {
+    let mut workload = by_name(name, InputSize::Test, 1).expect("known");
+    let mut buf = TraceBuffer::new();
+    {
+        let mut mem = TracedMemory::new(&mut buf);
+        workload.run(&mut mem);
+        mem.finish();
+    }
+    let trace = buf.into_trace();
+    let mut counter = ValueCounter::new();
+    trace.replay(&mut counter);
+    let mut occ = OccurrenceSampler::new();
+    trace.replay_with_snapshots(&mut occ, (trace.accesses() / 20).max(1));
+    Captured { trace, counter, occ }
+}
+
+const FV_SIX: [&str; 6] = ["go", "m88ksim", "gcc", "li", "perl", "vortex"];
+
+/// Section 2: in the six FV benchmarks ten values occupy a large share
+/// of memory and of accesses; the negative controls stay low.
+#[test]
+fn claim_frequent_value_locality_exists() {
+    let mut occ_sum = 0.0;
+    let mut acc_sum = 0.0;
+    for name in FV_SIX {
+        let c = capture(name);
+        let occ10 = c.occ.coverage(10) * 100.0;
+        let acc10 = c.counter.coverage(10) * 100.0;
+        assert!(occ10 > 35.0, "{name}: top-10 occupy only {occ10:.1}%");
+        assert!(acc10 > 25.0, "{name}: top-10 cover only {acc10:.1}% of accesses");
+        occ_sum += occ10;
+        acc_sum += acc10;
+    }
+    assert!(occ_sum / 6.0 > 50.0, "avg occupancy {:.1}% should exceed 50%", occ_sum / 6.0);
+    assert!(acc_sum / 6.0 > 40.0, "avg access share {:.1}% should be near 50%", acc_sum / 6.0);
+
+    let ijpeg = capture("ijpeg");
+    assert!(
+        ijpeg.counter.coverage(10) < 0.30,
+        "ijpeg is a negative control: {:.1}%",
+        ijpeg.counter.coverage(10) * 100.0
+    );
+}
+
+/// Section 2: SPECfp-like workloads are also strongly value-local.
+#[test]
+fn claim_fp_workloads_are_value_local() {
+    for name in ["tomcatv", "swim", "hydro2d", "applu"] {
+        let c = capture(name);
+        assert!(
+            c.counter.coverage(10) > 0.5,
+            "{name}: top-10 access coverage {:.1}%",
+            c.counter.coverage(10) * 100.0
+        );
+    }
+}
+
+/// Section 4 headline: an FVC reduces the miss rate of every FV
+/// benchmark and never meaningfully hurts.
+#[test]
+fn claim_fvc_reduces_miss_rates() {
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+    for name in FV_SIX {
+        let c = capture(name);
+        let mut base = CacheSim::new(geom);
+        c.trace.replay(&mut base);
+        let values = FrequentValueSet::from_ranking(&c.counter.ranking(), 7).unwrap();
+        let mut hybrid = HybridCache::new(HybridConfig::new(geom, 512, values));
+        c.trace.replay(&mut hybrid);
+        let cut = hybrid.stats().miss_reduction_vs(base.stats());
+        assert!(cut > 1.0, "{name}: reduction only {cut:.1}%");
+    }
+}
+
+/// Section 4: more FVC entries never hurt much, and the biggest FVC beats
+/// the smallest for capacity-limited benchmarks.
+#[test]
+fn claim_reductions_grow_with_fvc_size() {
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+    for name in ["gcc", "vortex"] {
+        let c = capture(name);
+        let mut base = CacheSim::new(geom);
+        c.trace.replay(&mut base);
+        let values = FrequentValueSet::from_ranking(&c.counter.ranking(), 7).unwrap();
+        let cut = |entries: u32| {
+            let mut h = HybridCache::new(HybridConfig::new(geom, entries, values.clone()));
+            c.trace.replay(&mut h);
+            h.stats().miss_reduction_vs(base.stats())
+        };
+        let small = cut(64);
+        let large = cut(4096);
+        assert!(large > small, "{name}: 4096 entries ({large:.1}%) <= 64 ({small:.1}%)");
+    }
+}
+
+/// Section 4: exploiting 3 values adds much over 1; 7 adds less over 3.
+#[test]
+fn claim_value_count_step_sizes() {
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+    let mut gain13 = 0.0;
+    let mut gain37 = 0.0;
+    for name in FV_SIX {
+        let c = capture(name);
+        let mut base = CacheSim::new(geom);
+        c.trace.replay(&mut base);
+        let cut = |k: usize| {
+            let values = FrequentValueSet::from_ranking(&c.counter.ranking(), k).unwrap();
+            let mut h = HybridCache::new(HybridConfig::new(geom, 512, values));
+            c.trace.replay(&mut h);
+            h.stats().miss_reduction_vs(base.stats())
+        };
+        let (c1, c3, c7) = (cut(1), cut(3), cut(7));
+        gain13 += c3 - c1;
+        gain37 += c7 - c3;
+    }
+    assert!(gain13 > 0.0, "3 values should beat 1 on average: {gain13:.1}");
+    assert!(
+        gain13 > gain37,
+        "1→3 should gain more than 3→7 (paper): {gain13:.1} vs {gain37:.1}"
+    );
+}
+
+/// Table 4: constancy separates the FV benchmarks from compress/ijpeg.
+#[test]
+fn claim_constancy_split() {
+    let constancy = |name: &str| {
+        let c = capture(name);
+        let mut a = ConstancyAnalyzer::new();
+        c.trace.replay(&mut a);
+        a.constant_percent()
+    };
+    let m88k = constancy("m88ksim");
+    let compress = constancy("compress");
+    assert!(
+        m88k > compress + 20.0,
+        "m88ksim ({m88k:.1}%) should be far more constant than compress ({compress:.1}%)"
+    );
+}
+
+/// Section 3, goal 1: the hybrid never turns the run into a net loss —
+/// checked with the strict accounting ablation too.
+#[test]
+fn claim_fvc_is_nearly_harmless_even_with_strict_accounting() {
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+    for name in FV_SIX {
+        let c = capture(name);
+        let mut base = CacheSim::new(geom);
+        c.trace.replay(&mut base);
+        let values = FrequentValueSet::from_ranking(&c.counter.ranking(), 7).unwrap();
+        let mut strict = HybridCache::new(
+            HybridConfig::new(geom, 512, values).count_write_alloc_as_miss(true),
+        );
+        c.trace.replay(&mut strict);
+        let cut = strict.stats().miss_reduction_vs(base.stats());
+        assert!(cut > -35.0, "{name}: strict-accounting regression {cut:.1}%");
+    }
+}
