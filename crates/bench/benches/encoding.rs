@@ -25,7 +25,9 @@ fn bench_code_array(c: &mut Criterion) {
 
 fn bench_line_encode(c: &mut Criterion) {
     let values = FrequentValueSet::new(vec![0, u32::MAX, 1, 2, 4, 8, 10]).unwrap();
-    let line: Vec<u32> = (0..8).map(|i| if i % 2 == 0 { 0 } else { 0x1234_0000 + i }).collect();
+    let line: Vec<u32> = (0..8)
+        .map(|i| if i % 2 == 0 { 0 } else { 0x1234_0000 + i })
+        .collect();
     let mut group = c.benchmark_group("fvc_line");
     group.throughput(Throughput::Elements(8));
     group.bench_function("encode", |b| {

@@ -7,7 +7,9 @@ use fvl_workloads::{by_name, InputSize};
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate");
     group.sample_size(10);
-    for name in ["go", "m88ksim", "gcc", "li", "perl", "vortex", "compress", "ijpeg"] {
+    for name in [
+        "go", "m88ksim", "gcc", "li", "perl", "vortex", "compress", "ijpeg",
+    ] {
         group.bench_function(BenchmarkId::new("int", name), |b| {
             b.iter(|| {
                 let mut sink = NullSink;

@@ -1,23 +1,34 @@
 //! CLI regenerating the paper's tables and figures.
 //!
 //! ```text
-//! experiments <name>... [--quick|--train] [--seed N]
-//! experiments all [--quick]
+//! experiments <name>... [--quick|--train|--smoke] [--seed N] [--jobs N|--serial]
+//! experiments all [--smoke]
 //! experiments list
 //! ```
+//!
+//! Reports go to stdout; timing and engine-throughput lines go to
+//! stderr, so stdout is bit-identical for any `--jobs` count.
 
+use fvl_bench::engine::Engine;
 use fvl_bench::experiments;
 use fvl_bench::ExperimentContext;
 use fvl_workloads::InputSize;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <name>... [--quick|--train] [--seed N]\n\
+        "usage: experiments <name>... [--quick|--train|--smoke] [--seed N] [--jobs N|--serial]\n\
          names: {} | all | list\n\
-         --quick uses test inputs (seconds); default is reference inputs (minutes)",
-        experiments::all().iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" | ")
+         --quick uses test inputs (seconds); default is reference inputs (minutes)\n\
+         --smoke truncates every test-input trace to ~1000 references (CI)\n\
+         --jobs N shards simulation cells over N workers (default: all cores); --serial = --jobs 1",
+        experiments::all()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(" | ")
     );
     ExitCode::FAILURE
 }
@@ -29,12 +40,23 @@ fn main() -> ExitCode {
     }
     let mut input = InputSize::Ref;
     let mut seed = 1u64;
+    let mut smoke = false;
+    let mut jobs: Option<usize> = None;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => input = InputSize::Test,
             "--train" => input = InputSize::Train,
+            "--smoke" => {
+                input = InputSize::Test;
+                smoke = true;
+            }
+            "--serial" => jobs = Some(1),
+            "--jobs" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => jobs = Some(n),
+                _ => return usage(),
+            },
             "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => return usage(),
@@ -69,20 +91,35 @@ fn main() -> ExitCode {
         picked
     };
 
-    let ctx = ExperimentContext { input, seed };
+    let engine = Arc::new(match jobs {
+        Some(n) => Engine::new(n),
+        None => Engine::auto(),
+    });
+    let ctx = ExperimentContext::default()
+        .with_input(input)
+        .with_seed(seed)
+        .with_max_refs(smoke.then_some(fvl_bench::data::SMOKE_REFS))
+        .with_engine(Arc::clone(&engine));
     println!(
-        "# FVC reproduction experiments ({} inputs, seed {seed})\n",
+        "# FVC reproduction experiments ({} inputs{}, seed {seed})\n",
         match input {
             InputSize::Test => "test",
             InputSize::Train => "train",
             InputSize::Ref => "reference",
-        }
+        },
+        if smoke { ", smoke" } else { "" },
     );
     for (name, runner) in selected {
         let start = Instant::now();
         let report = runner(&ctx);
         println!("{report}");
-        println!("_{name} completed in {:.1?}_\n", start.elapsed());
+        eprintln!("{name} completed in {:.1?}", start.elapsed());
     }
+    eprintln!(
+        "engine: {} worker{} — {}",
+        engine.jobs(),
+        if engine.jobs() == 1 { "" } else { "s" },
+        engine.throughput(),
+    );
     ExitCode::SUCCESS
 }

@@ -1,13 +1,20 @@
 //! Workload execution and profiling shared by all experiments.
 
+use crate::engine::{CellId, Completed, Engine, FnJob};
 use fvl_mem::{Trace, TraceBuffer, TracedMemory, Word};
 use fvl_profile::{OccurrenceSampler, ValueCounter};
 use fvl_workloads::{by_name, InputSize, Workload};
 use std::fmt;
+use std::sync::Arc;
 
 /// Number of occurrence snapshots per run (the paper samples every 10M
 /// instructions; we sample ~20 times per execution).
 pub const SNAPSHOTS_PER_RUN: u64 = 20;
+
+/// Reference budget per workload in `--smoke` runs: large enough that
+/// every profile/simulation path is exercised, small enough that a
+/// full `all` sweep finishes in seconds.
+pub const SMOKE_REFS: u64 = 1000;
 
 /// One workload's recorded trace plus its value profiles — everything an
 /// experiment needs, produced by a single execution + two replays.
@@ -26,20 +33,36 @@ pub struct WorkloadData {
 
 impl WorkloadData {
     /// Runs `workload` to completion, recording and profiling it.
-    pub fn capture(mut workload: Box<dyn Workload>) -> Self {
+    pub fn capture(workload: Box<dyn Workload>) -> Self {
+        Self::capture_limited(workload, None)
+    }
+
+    /// Like [`WorkloadData::capture`], but keeps only the first
+    /// `max_refs` recorded references when a limit is given (smoke
+    /// mode); the profiles are built from the truncated trace.
+    pub fn capture_limited(mut workload: Box<dyn Workload>, max_refs: Option<u64>) -> Self {
         let mut buf = TraceBuffer::new();
         {
             let mut mem = TracedMemory::new(&mut buf);
             workload.run(&mut mem);
             mem.finish();
         }
-        let trace = buf.into_trace();
+        let mut trace = buf.into_trace();
+        if let Some(limit) = max_refs {
+            trace = trace.prefix(limit);
+        }
         let mut counter = ValueCounter::new();
         trace.replay(&mut counter);
         let sample_every = (trace.accesses() / SNAPSHOTS_PER_RUN).max(1);
         let mut occ = OccurrenceSampler::new();
         trace.replay_with_snapshots(&mut occ, sample_every);
-        WorkloadData { name: workload.name().to_string(), trace, counter, occ, sample_every }
+        WorkloadData {
+            name: workload.name().to_string(),
+            trace,
+            counter,
+            occ,
+            sample_every,
+        }
     }
 
     /// The top `k` frequently accessed values (the set the FVC uses).
@@ -62,26 +85,92 @@ impl fmt::Debug for WorkloadData {
     }
 }
 
-/// Shared configuration for a batch of experiments: input size and the
-/// base seed (experiments that compare inputs derive further seeds).
-#[derive(Copy, Clone, Debug)]
+/// Shared configuration for a batch of experiments: input size, the
+/// base seed (experiments that compare inputs derive further seeds),
+/// the smoke-mode reference budget, and the engine that schedules
+/// every experiment's simulation cells.
+#[derive(Clone, Debug)]
 pub struct ExperimentContext {
     /// Problem size used for every workload.
     pub input: InputSize,
     /// Base deterministic seed.
     pub seed: u64,
+    /// When set, every captured trace is truncated to this many
+    /// references (the `--smoke` mode).
+    pub max_refs: Option<u64>,
+    /// The cell scheduler shared by all experiments of the batch.
+    engine: Arc<Engine>,
 }
 
 impl Default for ExperimentContext {
     fn default() -> Self {
-        ExperimentContext { input: InputSize::Ref, seed: 1 }
+        ExperimentContext {
+            input: InputSize::Ref,
+            seed: 1,
+            max_refs: None,
+            engine: Arc::new(Engine::serial()),
+        }
     }
 }
 
 impl ExperimentContext {
-    /// A quick configuration for tests and Criterion benches.
+    /// A quick serial configuration for tests and benches.
     pub fn quick() -> Self {
-        ExperimentContext { input: InputSize::Test, seed: 1 }
+        ExperimentContext {
+            input: InputSize::Test,
+            ..Self::default()
+        }
+    }
+
+    /// A smoke configuration: test inputs truncated to
+    /// [`SMOKE_REFS`] references, so every experiment path runs in
+    /// milliseconds.
+    pub fn smoke() -> Self {
+        ExperimentContext {
+            input: InputSize::Test,
+            max_refs: Some(SMOKE_REFS),
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the engine (e.g. with a parallel one).
+    pub fn with_engine(mut self, engine: Arc<Engine>) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replaces the input size.
+    pub fn with_input(mut self, input: InputSize) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Replaces the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps every captured trace at `max_refs` references.
+    pub fn with_max_refs(mut self, max_refs: Option<u64>) -> Self {
+        self.max_refs = max_refs;
+        self
+    }
+
+    /// The engine scheduling this batch's cells.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Runs one simulation cell per item through the engine, returning
+    /// outputs in input order (see [`Engine::cells`]).
+    pub fn cells<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> Completed<R> + Sync,
+    {
+        self.engine.cells(items, f)
     }
 
     /// Captures one workload by name.
@@ -100,9 +189,33 @@ impl ExperimentContext {
     ///
     /// Panics if the name is unknown.
     pub fn capture_with(&self, name: &str, input: InputSize, seed: u64) -> WorkloadData {
-        let w = by_name(name, input, seed)
-            .unwrap_or_else(|| panic!("unknown workload {name}"));
-        WorkloadData::capture(w)
+        let w = by_name(name, input, seed).unwrap_or_else(|| panic!("unknown workload {name}"));
+        WorkloadData::capture_limited(w, self.max_refs)
+    }
+
+    /// Captures several workloads as engine cells (one per name), in
+    /// the given order. A capture executes the workload once and
+    /// replays its trace through the two value profilers, so each cell
+    /// reports three passes over the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any name is unknown.
+    pub fn capture_many(&self, experiment: &'static str, names: &[&str]) -> Vec<WorkloadData> {
+        let jobs: Vec<_> = names
+            .iter()
+            .map(|&name| {
+                let ctx = self.clone();
+                let name = name.to_string();
+                let id = CellId::new(experiment, name.clone(), format!("capture {}", self.input));
+                FnJob::new(id, move || {
+                    let data = ctx.capture(&name);
+                    let passes = 3 * data.trace.accesses();
+                    Completed::new(data, passes)
+                })
+            })
+            .collect();
+        self.engine.run_jobs(jobs)
     }
 
     /// The paper's six frequent-value benchmarks, in its order.
@@ -112,7 +225,9 @@ impl ExperimentContext {
 
     /// All eight SPECint95-like workloads.
     pub fn all_int(&self) -> [&'static str; 8] {
-        ["go", "m88ksim", "gcc", "li", "perl", "vortex", "compress", "ijpeg"]
+        [
+            "go", "m88ksim", "gcc", "li", "perl", "vortex", "compress", "ijpeg",
+        ]
     }
 
     /// The SPECfp95-like workloads.
@@ -141,5 +256,25 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_name_panics() {
         let _ = ExperimentContext::quick().capture("nope");
+    }
+
+    #[test]
+    fn smoke_context_truncates_traces() {
+        let ctx = ExperimentContext::smoke();
+        let data = ctx.capture("li");
+        assert_eq!(data.trace.accesses(), SMOKE_REFS);
+        // Profiles still exist on the truncated trace.
+        assert!(!data.top_accessed(3).is_empty());
+    }
+
+    #[test]
+    fn capture_many_is_ordered_and_counts_throughput() {
+        let ctx = ExperimentContext::smoke().with_engine(Arc::new(Engine::new(4)));
+        let all = ctx.capture_many("test", &["li", "go", "compress"]);
+        let names: Vec<_> = all.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["li", "go", "compress"]);
+        let t = ctx.engine().throughput();
+        assert_eq!(t.cells, 3);
+        assert_eq!(t.references, 3 * 3 * SMOKE_REFS);
     }
 }

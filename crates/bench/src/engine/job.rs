@@ -1,0 +1,97 @@
+//! The unit of schedulable work: one simulation cell.
+
+/// Identifies one cell for diagnostics: which experiment enqueued it,
+/// which workload it replays, and which configuration it simulates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellId {
+    /// Paper artifact that owns the cell (e.g. `"fig10"`).
+    pub experiment: &'static str,
+    /// Workload the cell replays (e.g. `"m88ksim"`), if any.
+    pub workload: String,
+    /// Free-form configuration label (e.g. `"512 entries, top-7"`).
+    pub config: String,
+}
+
+impl CellId {
+    /// Builds a cell id.
+    pub fn new(
+        experiment: &'static str,
+        workload: impl Into<String>,
+        config: impl Into<String>,
+    ) -> Self {
+        CellId {
+            experiment,
+            workload: workload.into(),
+            config: config.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CellId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}", self.experiment, self.workload, self.config)
+    }
+}
+
+/// A completed cell: its output plus the number of trace references
+/// the cell replayed (for the engine's aggregate throughput counters).
+#[derive(Clone, Debug)]
+pub struct Completed<R> {
+    /// The cell's result.
+    pub output: R,
+    /// References simulated while producing it.
+    pub references: u64,
+}
+
+impl<R> Completed<R> {
+    /// A completed cell that replayed `references` trace references.
+    pub fn new(output: R, references: u64) -> Self {
+        Completed { output, references }
+    }
+}
+
+/// One (workload, cache-config) simulation cell, schedulable by the
+/// engine. Implementations are consumed by [`run`](Job::run); the
+/// engine guarantees each job runs exactly once and its output lands
+/// at the job's submission index, so a batch's results are in
+/// canonical order regardless of worker interleaving.
+pub trait Job: Send {
+    /// The cell's result type.
+    type Output: Send;
+
+    /// Identifies the cell (used in diagnostics).
+    fn id(&self) -> CellId;
+
+    /// Executes the cell.
+    fn run(self) -> Completed<Self::Output>;
+}
+
+/// A [`Job`] built from a closure, used by the engine's `map`-style
+/// conveniences.
+pub struct FnJob<F> {
+    id: CellId,
+    f: F,
+}
+
+impl<F> FnJob<F> {
+    /// Wraps `f` as a job.
+    pub fn new<R>(id: CellId, f: F) -> Self
+    where
+        F: FnOnce() -> Completed<R> + Send,
+        R: Send,
+    {
+        FnJob { id, f }
+    }
+}
+
+impl<R: Send, F: FnOnce() -> Completed<R> + Send> Job for FnJob<F> {
+    type Output = R;
+
+    fn id(&self) -> CellId {
+        self.id.clone()
+    }
+
+    fn run(self) -> Completed<R> {
+        (self.f)()
+    }
+}

@@ -1,0 +1,173 @@
+//! The parallel experiment engine.
+//!
+//! Every figure/table/extension experiment decomposes into independent
+//! *cells* — one (workload, cache-configuration) simulation each. The
+//! engine shards a batch of cells across a scoped worker pool
+//! ([`fvl_runner::Pool`]) and merges the results back **in submission
+//! order**, so everything downstream (aggregation, table formatting)
+//! sees exactly the sequence a serial run would have produced and the
+//! rendered output is bit-identical for any `--jobs` count.
+//!
+//! Cells report how many trace references they replayed; the engine
+//! accumulates aggregate throughput ([`Throughput`]: cells/sec and
+//! references simulated/sec) across every batch it schedules, which
+//! the `experiments` binary prints at the end of a run.
+//!
+//! Nesting is safe by construction: when the `experiments` binary runs
+//! several experiments concurrently, each experiment's own cell
+//! batches draw from the same worker-token budget and degrade to
+//! inline execution once the budget is saturated (see `fvl-runner`).
+//!
+//! # Example
+//!
+//! ```
+//! use fvl_bench::engine::{Completed, Engine};
+//!
+//! let engine = Engine::new(4);
+//! let squares = engine.cells((0u64..10).collect(), |n| Completed::new(n * n, 1));
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+//! assert_eq!(engine.throughput().cells, 10);
+//! ```
+
+mod job;
+mod stats;
+
+pub use job::{CellId, Completed, FnJob, Job};
+pub use stats::Throughput;
+
+use fvl_runner::Pool;
+use stats::Counters;
+use std::time::Instant;
+
+/// Schedules simulation cells across a worker pool, deterministically.
+#[derive(Debug)]
+pub struct Engine {
+    pool: Pool,
+    counters: Counters,
+    started: Instant,
+}
+
+impl Engine {
+    /// An engine running at most `jobs` cells concurrently.
+    pub fn new(jobs: usize) -> Self {
+        Engine {
+            pool: Pool::new(jobs),
+            counters: Counters::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// A single-threaded engine: cells run inline, in order.
+    pub fn serial() -> Self {
+        Engine::new(1)
+    }
+
+    /// An engine sized to the machine.
+    pub fn auto() -> Self {
+        Engine {
+            pool: Pool::auto(),
+            counters: Counters::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The configured concurrency ceiling.
+    pub fn jobs(&self) -> usize {
+        self.pool.jobs()
+    }
+
+    /// Whether this engine runs everything inline.
+    pub fn is_serial(&self) -> bool {
+        self.jobs() == 1
+    }
+
+    /// Runs a batch of [`Job`]s, returning their outputs in submission
+    /// order.
+    pub fn run_jobs<J: Job>(&self, jobs: Vec<J>) -> Vec<J::Output> {
+        self.pool.map(jobs, |job| {
+            let done = job.run();
+            self.counters.record(done.references);
+            done.output
+        })
+    }
+
+    /// Runs one closure-shaped cell per item, returning outputs in
+    /// input order. The closure reports each cell's replayed reference
+    /// count via [`Completed`].
+    pub fn cells<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> Completed<R> + Sync,
+    {
+        self.pool.map(items, |item| {
+            let done = f(item);
+            self.counters.record(done.references);
+            done.output
+        })
+    }
+
+    /// Aggregate throughput since the engine was created.
+    pub fn throughput(&self) -> Throughput {
+        self.counters.snapshot(self.started.elapsed())
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SquareJob(u64);
+
+    impl Job for SquareJob {
+        type Output = u64;
+
+        fn id(&self) -> CellId {
+            CellId::new("test", "none", format!("square {}", self.0))
+        }
+
+        fn run(self) -> Completed<u64> {
+            Completed::new(self.0 * self.0, 10)
+        }
+    }
+
+    #[test]
+    fn jobs_run_in_submission_order_with_accounting() {
+        let engine = Engine::new(4);
+        let jobs: Vec<SquareJob> = (0..33).map(SquareJob).collect();
+        assert_eq!(jobs[3].id().to_string(), "test/none/square 3");
+        let out = engine.run_jobs(jobs);
+        assert_eq!(out, (0..33u64).map(|v| v * v).collect::<Vec<_>>());
+        let t = engine.throughput();
+        assert_eq!(t.cells, 33);
+        assert_eq!(t.references, 330);
+    }
+
+    #[test]
+    fn serial_and_parallel_cells_agree() {
+        let work = |v: u64| Completed::new(v.wrapping_mul(0x9e37_79b9).rotate_left(7), v);
+        let items: Vec<u64> = (0..100).collect();
+        let serial = Engine::serial().cells(items.clone(), work);
+        let parallel = Engine::new(8).cells(items, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn fn_jobs_adapt_closures() {
+        let engine = Engine::new(2);
+        let jobs: Vec<_> = (0..5u32)
+            .map(|i| {
+                FnJob::new(CellId::new("test", "w", i.to_string()), move || {
+                    Completed::new(i + 1, 1)
+                })
+            })
+            .collect();
+        assert_eq!(engine.run_jobs(jobs), vec![1, 2, 3, 4, 5]);
+    }
+}

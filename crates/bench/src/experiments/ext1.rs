@@ -6,7 +6,7 @@
 //! percent of the access stream with a bounded Misra–Gries sketch and is
 //! compared against the offline-profiled FVC.
 
-use super::{baseline, geom, hybrid, Report};
+use super::{baseline, geom, hybrid, per_workload, Report};
 use crate::data::ExperimentContext;
 use crate::table::{pct1, Table};
 use fvl_cache::Simulator;
@@ -27,10 +27,12 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     ]);
     let dmc = geom(16, 32, 1);
     let mut gaps = Vec::new();
-    for name in ctx.fv_six() {
-        let data = ctx.capture(name);
-        let base = baseline(&data, dmc);
-        let offline = hybrid(&data, dmc, 512, 7);
+    let datas = ctx.capture_many("ext1", &ctx.fv_six());
+    // Per workload: the baseline, offline hybrid and online hybrid —
+    // three trace passes per cell.
+    let cells = per_workload(ctx, &datas, 3, |data| {
+        let base = baseline(data, dmc);
+        let offline = hybrid(data, dmc, 512, 7);
         let offline_cut = offline.stats().miss_reduction_vs(&base);
 
         let window = (data.trace.accesses() / 20).max(1);
@@ -38,21 +40,27 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         data.trace.replay(&mut online);
         let combined = online.combined_stats();
         let online_cut = combined.miss_reduction_vs(&base);
-        gaps.push(offline_cut - online_cut);
 
         let offline_top10 = data.top_accessed(10);
         let learned = online
             .latched_values()
             .map(|vs| vs.iter().filter(|v| offline_top10.contains(v)).count())
             .unwrap_or(0);
+        (offline_cut, online_cut, learned)
+    });
+    for (data, (offline_cut, online_cut, learned)) in datas.iter().zip(cells) {
+        gaps.push(offline_cut - online_cut);
         table.row(vec![
-            name.to_string(),
+            data.name.clone(),
             pct1(offline_cut),
             pct1(online_cut),
             format!("{learned}/7"),
         ]);
     }
-    report.table("miss-rate reduction vs the same 16KB DMC (512-entry FVC, top-7)", table);
+    report.table(
+        "miss-rate reduction vs the same 16KB DMC (512-entry FVC, top-7)",
+        table,
+    );
     let avg_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
     report.note(format!(
         "average offline-minus-online gap: {avg_gap:.1} points — a 5% profiling window \

@@ -10,8 +10,9 @@
 //! * requiring half the line to be frequent before insertion;
 //! * a 2-way set-associative FVC.
 
-use super::{baseline, geom, Report};
+use super::{baseline, geom, per_workload, Report};
 use crate::data::ExperimentContext;
+use crate::engine::Completed;
 use crate::table::{pct1, Table};
 use fvl_cache::Simulator;
 use fvl_core::{FrequentValueSet, HybridCache, HybridConfig};
@@ -29,28 +30,42 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         "2-way FVC",
     ]);
     let dmc = geom(16, 32, 1);
-    for name in ctx.fv_six() {
-        let data = ctx.capture(name);
-        let base = baseline(&data, dmc);
+    const VARIANTS: usize = 6;
+    let datas = ctx.capture_many("ext3", &ctx.fv_six());
+    let bases = per_workload(ctx, &datas, 1, |data| baseline(data, dmc));
+    // One cell per (workload, policy variant).
+    let grid: Vec<(usize, usize)> = (0..datas.len())
+        .flat_map(|w| (0..VARIANTS).map(move |v| (w, v)))
+        .collect();
+    let cuts = ctx.cells(grid, |(w, v)| {
+        let data = &datas[w];
         let values = FrequentValueSet::from_ranking(&data.counter.ranking(), 7)
             .expect("profiled ranking is nonempty");
-        let cut = |config: HybridConfig| {
-            let mut sim = HybridCache::new(config);
-            data.trace.replay(&mut sim);
-            pct1(sim.stats().miss_reduction_vs(&base))
+        let mk = HybridConfig::new(dmc, 512, values);
+        let config = match v {
+            0 => mk,
+            1 => mk.write_allocate_fvc(false),
+            2 => mk.count_write_alloc_as_miss(true),
+            3 => mk.min_frequent_words(0),
+            4 => mk.min_frequent_words(4),
+            _ => mk.fvc_associativity(2),
         };
-        let mk = || HybridConfig::new(dmc, 512, values.clone());
-        table.row(vec![
-            name.to_string(),
-            cut(mk()),
-            cut(mk().write_allocate_fvc(false)),
-            cut(mk().count_write_alloc_as_miss(true)),
-            cut(mk().min_frequent_words(0)),
-            cut(mk().min_frequent_words(4)),
-            cut(mk().fvc_associativity(2)),
-        ]);
+        let mut sim = HybridCache::new(config);
+        data.trace.replay(&mut sim);
+        Completed::new(
+            pct1(sim.stats().miss_reduction_vs(&bases[w])),
+            data.trace.accesses(),
+        )
+    });
+    for (w, data) in datas.iter().enumerate() {
+        let mut row = vec![data.name.clone()];
+        row.extend_from_slice(&cuts[w * VARIANTS..(w + 1) * VARIANTS]);
+        table.row(row);
     }
-    report.table("% miss-rate reduction vs the plain 16KB DMC, per policy variant", table);
+    report.table(
+        "% miss-rate reduction vs the plain 16KB DMC, per policy variant",
+        table,
+    );
     report.note(
         "the write-allocate rule matters most for store-intensive workloads; the \
          insertion threshold and FVC associativity are second-order effects, matching \

@@ -6,7 +6,7 @@
 //! measures the actual word traffic of the DMC and DMC+FVC
 //! configurations and compares the two reductions.
 
-use super::{geom, hybrid, Report};
+use super::{geom, hybrid, per_workload, Report};
 use crate::data::ExperimentContext;
 use crate::table::{pct1, Table};
 use fvl_cache::{CacheSim, Simulator};
@@ -27,25 +27,32 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     ]);
     let dmc = geom(16, 32, 1);
     let mut diffs = Vec::new();
-    for name in ctx.fv_six() {
-        let data = ctx.capture(name);
+    let datas = ctx.capture_many("ext4", &ctx.fv_six());
+    // Per workload: the plain DMC and the hybrid — two trace passes.
+    let cells = per_workload(ctx, &datas, 2, |data| {
         let mut base = CacheSim::new(dmc);
         data.trace.replay(&mut base);
-        let sim = hybrid(&data, dmc, 512, 7);
+        let sim = hybrid(data, dmc, 512, 7);
         let base_traffic = base.traffic_words();
         let fvc_traffic = sim.traffic_words();
         let traffic_cut = (base_traffic as f64 - fvc_traffic as f64) / base_traffic as f64 * 100.0;
         let miss_cut = sim.stats().miss_reduction_vs(base.stats());
+        (base_traffic, fvc_traffic, traffic_cut, miss_cut)
+    });
+    for (data, (base_traffic, fvc_traffic, traffic_cut, miss_cut)) in datas.iter().zip(cells) {
         diffs.push((traffic_cut - miss_cut).abs());
         table.row(vec![
-            name.to_string(),
+            data.name.clone(),
             base_traffic.to_string(),
             fvc_traffic.to_string(),
             pct1(traffic_cut),
             pct1(miss_cut),
         ]);
     }
-    report.table("total words moved to/from memory, including write-backs", table);
+    report.table(
+        "total words moved to/from memory, including write-backs",
+        table,
+    );
     let max_gap = diffs.iter().fold(0.0f64, |a, &b| a.max(b));
     report.note(format!(
         "traffic reductions track miss-rate reductions within {max_gap:.1} points — \

@@ -19,8 +19,8 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let mut table = Table::new(headers);
     let mut six_occ10 = Vec::new();
     let mut six_acc10 = Vec::new();
-    for name in ctx.all_int() {
-        let data = ctx.capture(name);
+    for data in ctx.capture_many("fig1", &ctx.all_int()) {
+        let name = data.name.as_str();
         let mut occ_row = vec![name.to_string(), "occurring".to_string()];
         let mut acc_row = vec![String::new(), "accessed".to_string()];
         for k in KS {
@@ -35,7 +35,10 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         table.row(acc_row);
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    report.table("% of locations occupied / accesses involving the top k values", table);
+    report.table(
+        "% of locations occupied / accesses involving the top k values",
+        table,
+    );
     report.note(format!(
         "six FV benchmarks: avg top-10 occupancy {:.1}% (paper: >50%), avg top-10 access share {:.1}% (paper: ~50%)",
         avg(&six_occ10),

@@ -16,8 +16,8 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     headers.extend(KS.iter().map(|k| format!("top-{k} %")));
     let mut table = Table::new(headers);
     let mut min_occ10 = f64::INFINITY;
-    for name in ctx.all_fp() {
-        let data = ctx.capture(name);
+    for data in ctx.capture_many("fig2", &ctx.all_fp()) {
+        let name = data.name.as_str();
         let mut occ_row = vec![name.to_string(), "occurring".to_string()];
         let mut acc_row = vec![String::new(), "accessed".to_string()];
         for k in KS {
@@ -28,7 +28,10 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         table.row(occ_row);
         table.row(acc_row);
     }
-    report.table("% of locations occupied / accesses involving the top k values", table);
+    report.table(
+        "% of locations occupied / accesses involving the top k values",
+        table,
+    );
     report.note(format!(
         "minimum top-10 occupancy across fp workloads: {min_occ10:.1}% — floating point \
          programs also exhibit a high degree of frequent value locality (paper, Section 2)"

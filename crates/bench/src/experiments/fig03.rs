@@ -1,6 +1,6 @@
 //! Figure 3: frequent value locality in the gcc analogue over time.
 
-use super::Report;
+use super::{per_workload, Report};
 use crate::data::ExperimentContext;
 use crate::table::Table;
 use fvl_profile::TimelineRecorder;
@@ -9,20 +9,40 @@ use fvl_profile::TimelineRecorder;
 /// covered by its top 1/3/7/10 accessed values, tracked across the whole
 /// execution, plus the distinct-value curves.
 pub fn run(ctx: &ExperimentContext) -> Report {
-    let mut report =
-        Report::new("Figure 3", "frequent value locality in the gcc analogue over time");
-    let data = ctx.capture("gcc");
-    let focus = data.top_accessed(10);
-    let mut recorder = TimelineRecorder::new(focus);
-    // Paper fidelity: heap deallocations were not tracked in the study,
-    // so the location census only shrinks on stack pops.
-    data.trace.replay_with_snapshots_opts(&mut recorder, data.sample_every, false);
+    let mut report = Report::new(
+        "Figure 3",
+        "frequent value locality in the gcc analogue over time",
+    );
+    let datas = ctx.capture_many("fig3", &["gcc"]);
+    let recorder = per_workload(ctx, &datas, 1, |data| {
+        let focus = data.top_accessed(10);
+        let mut recorder = TimelineRecorder::new(focus);
+        // Paper fidelity: heap deallocations were not tracked in the
+        // study, so the location census only shrinks on stack pops.
+        data.trace
+            .replay_with_snapshots_opts(&mut recorder, data.sample_every, false);
+        recorder
+    })
+    .pop()
+    .expect("one cell per workload");
 
     let mut locations = Table::with_headers(&[
-        "accesses", "locations", "top-1", "top-3", "top-7", "top-10", "distinct values",
+        "accesses",
+        "locations",
+        "top-1",
+        "top-3",
+        "top-7",
+        "top-10",
+        "distinct values",
     ]);
     let mut accesses = Table::with_headers(&[
-        "accesses", "total", "top-1", "top-3", "top-7", "top-10", "distinct accessed",
+        "accesses",
+        "total",
+        "top-1",
+        "top-3",
+        "top-7",
+        "top-10",
+        "distinct accessed",
     ]);
     for p in recorder.points() {
         locations.row(vec![
@@ -57,8 +77,14 @@ pub fn run(ctx: &ExperimentContext) -> Report {
             last.distinct_in_memory as f64 / last.total_locations.max(1) as f64 * 100.0
         ));
     }
-    report.table("locations occupied by the top accessed values (left graph)", locations);
-    report.table("accesses involving the top accessed values (right graph)", accesses);
+    report.table(
+        "locations occupied by the top accessed values (left graph)",
+        locations,
+    );
+    report.table(
+        "accesses involving the top accessed values (right graph)",
+        accesses,
+    );
     report
 }
 

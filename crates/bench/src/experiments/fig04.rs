@@ -1,6 +1,6 @@
 //! Figure 4: cache misses attributable to the frequent values.
 
-use super::{geom, Report};
+use super::{geom, per_workload, Report};
 use crate::data::ExperimentContext;
 use crate::table::{pct1, Table};
 use fvl_profile::MissAttribution;
@@ -8,10 +8,7 @@ use fvl_profile::MissAttribution;
 /// Runs the Figure 4 study: with the paper's 16 KB DMC / 16-byte lines,
 /// what share of misses involves a top-10 occurring or accessed value?
 pub fn run(ctx: &ExperimentContext) -> Report {
-    let mut report = Report::new(
-        "Figure 4",
-        "cache miss behavior: 16KB DMC, 16-byte lines",
-    );
+    let mut report = Report::new("Figure 4", "cache miss behavior: 16KB DMC, 16-byte lines");
     let mut table = Table::with_headers(&[
         "benchmark",
         "misses",
@@ -20,21 +17,29 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     ]);
     let mut occ_sum = 0.0;
     let mut acc_sum = 0.0;
-    for name in ctx.fv_six() {
-        let data = ctx.capture(name);
-        let mut study =
-            MissAttribution::new(geom(16, 16, 1), data.top_occurring(10), data.top_accessed(10));
+    let datas = ctx.capture_many("fig4", &ctx.fv_six());
+    for (data, study) in datas.iter().zip(per_workload(ctx, &datas, 1, |data| {
+        let mut study = MissAttribution::new(
+            geom(16, 16, 1),
+            data.top_occurring(10),
+            data.top_accessed(10),
+        );
         data.trace.replay(&mut study);
+        study
+    })) {
         occ_sum += study.percent_occurring();
         acc_sum += study.percent_accessed();
         table.row(vec![
-            name.to_string(),
+            data.name.clone(),
             study.total_misses().to_string(),
             pct1(study.percent_occurring()),
             pct1(study.percent_accessed()),
         ]);
     }
-    report.table("distribution of cache misses attributable to frequent values", table);
+    report.table(
+        "distribution of cache misses attributable to frequent values",
+        table,
+    );
     report.note(format!(
         "averages: occurring {:.1}%, accessed {:.1}% (paper: slightly under and over 50%; \
          the accessed set attracts at least as many misses, so the FVC uses it)",

@@ -1,6 +1,6 @@
 //! Figure 5: spatial distribution of frequent values in memory.
 
-use super::Report;
+use super::{per_workload, Report};
 use crate::data::ExperimentContext;
 use crate::table::Table;
 use fvl_profile::SpatialAnalyzer;
@@ -13,14 +13,19 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         "Figure 5",
         "frequent occurrence of the top-7 values across memory blocks",
     );
-    let data = ctx.capture("gcc");
-    let focus = data.top_occurring(7);
-    let halfway = data.trace.accesses() / 2;
-    let mut analyzer = SpatialAnalyzer::new(focus, halfway);
-    // Paper fidelity: heap frees untracked, so the referenced-memory
-    // census matches the paper's (and yields many more blocks).
-    data.trace.replay_with_snapshots_opts(&mut analyzer, data.sample_every, false);
-    let profile = analyzer.into_profile().expect("halfway snapshot exists");
+    let datas = ctx.capture_many("fig5", &["gcc"]);
+    let profile = per_workload(ctx, &datas, 1, |data| {
+        let focus = data.top_occurring(7);
+        let halfway = data.trace.accesses() / 2;
+        let mut analyzer = SpatialAnalyzer::new(focus, halfway);
+        // Paper fidelity: heap frees untracked, so the referenced-memory
+        // census matches the paper's (and yields many more blocks).
+        data.trace
+            .replay_with_snapshots_opts(&mut analyzer, data.sample_every, false);
+        analyzer.into_profile().expect("halfway snapshot exists")
+    })
+    .pop()
+    .expect("one cell per workload");
 
     let mut table = Table::with_headers(&["block", "avg top-7 values per 8-word line"]);
     // Print up to 40 evenly spaced blocks so the series stays readable.

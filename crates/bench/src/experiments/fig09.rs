@@ -2,21 +2,33 @@
 
 use super::{geom, Report};
 use crate::data::ExperimentContext;
+use crate::engine::Completed;
 use crate::table::Table;
 use fvl_timing::{dm_cache_time, fully_assoc_time, fvc_time, Tech};
 
 /// Runs the Figure 9 study: modelled access times at 0.8 µm for every
-/// DMC configuration and FVC size the paper considers.
-pub fn run(_ctx: &ExperimentContext) -> Report {
+/// DMC configuration and FVC size the paper considers. Each table row
+/// is one engine cell (timing model only — no trace references).
+pub fn run(ctx: &ExperimentContext) -> Report {
     let tech = Tech::micron_0_8();
     let mut report = Report::new("Figure 9", "access time of FVC vs DMC (0.8um model)");
 
-    let mut dmc = Table::with_headers(&["DMC size", "16B lines (ns)", "32B lines (ns)", "64B lines (ns)"]);
-    for kb in [4u64, 8, 16, 32, 64] {
+    let mut dmc = Table::with_headers(&[
+        "DMC size",
+        "16B lines (ns)",
+        "32B lines (ns)",
+        "64B lines (ns)",
+    ]);
+    for row in ctx.cells(vec![4u64, 8, 16, 32, 64], |kb| {
         let mut row = vec![format!("{kb}KB")];
         for line in [16u32, 32, 64] {
-            row.push(format!("{:.2}", dm_cache_time(&geom(kb, line, 1), &tech).total()));
+            row.push(format!(
+                "{:.2}",
+                dm_cache_time(&geom(kb, line, 1), &tech).total()
+            ));
         }
+        Completed::new(row, 0)
+    }) {
         dmc.row(row);
     }
     report.table("direct-mapped cache access times", dmc);
@@ -27,11 +39,13 @@ pub fn run(_ctx: &ExperimentContext) -> Report {
         "8 words/line (ns)",
         "16 words/line (ns)",
     ]);
-    for entries in [64u32, 128, 256, 512, 1024, 2048, 4096] {
+    for row in ctx.cells(vec![64u32, 128, 256, 512, 1024, 2048, 4096], |entries| {
         let mut row = vec![entries.to_string()];
         for wpl in [4u32, 8, 16] {
             row.push(format!("{:.2}", fvc_time(entries, wpl, 3, &tech).total()));
         }
+        Completed::new(row, 0)
+    }) {
         fvc.row(row);
     }
     report.table("FVC access times (top-7 values, 3-bit codes)", fvc);

@@ -1,7 +1,8 @@
 //! Figure 10: miss rate reduction as the FVC grows.
 
-use super::{baseline, geom, hybrid, reduction, Report};
+use super::{baseline, geom, hybrid, per_workload, reduction, Report};
 use crate::data::ExperimentContext;
+use crate::engine::Completed;
 use crate::table::{pct, pct1, Table};
 use fvl_cache::Simulator;
 
@@ -21,16 +22,21 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let dmc = geom(16, 32, 1);
     let mut max_cut: f64 = 0.0;
     let mut monotone = true;
-    for name in ctx.fv_six() {
-        let data = ctx.capture(name);
-        let base = baseline(&data, dmc);
-        let mut row = vec![name.to_string(), pct(base.miss_percent())];
-        let cuts = crate::sweep::parallel(&data.trace, ENTRIES.to_vec(), |_t, entries| {
-            let sim = hybrid(&data, dmc, entries, 7);
-            reduction(&base, sim.stats())
-        });
+    let datas = ctx.capture_many("fig10", &ctx.fv_six());
+    let bases = per_workload(ctx, &datas, 1, |data| baseline(data, dmc));
+    // One cell per (workload, FVC size) point of the sweep.
+    let grid: Vec<(usize, u32)> = (0..datas.len())
+        .flat_map(|w| ENTRIES.iter().map(move |&entries| (w, entries)))
+        .collect();
+    let cuts = ctx.cells(grid, |(w, entries)| {
+        let data = &datas[w];
+        let sim = hybrid(data, dmc, entries, 7);
+        Completed::new(reduction(&bases[w], sim.stats()), data.trace.accesses())
+    });
+    for (w, data) in datas.iter().enumerate() {
+        let mut row = vec![data.name.clone(), pct(bases[w].miss_percent())];
         let mut prev = f64::NEG_INFINITY;
-        for cut in cuts {
+        for &cut in &cuts[w * ENTRIES.len()..(w + 1) * ENTRIES.len()] {
             // Allow small non-monotonic wiggles from conflict effects.
             if cut + 2.0 < prev {
                 monotone = false;
@@ -45,7 +51,11 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     report.note(format!(
         "maximum reduction {max_cut:.1}% (paper: from ~10% for li up to well over 50% for \
          m88ksim); reductions grow (weakly) with FVC size{}",
-        if monotone { "" } else { " with small conflict-induced wiggles" }
+        if monotone {
+            ""
+        } else {
+            " with small conflict-induced wiggles"
+        }
     ));
     report
 }

@@ -1,6 +1,6 @@
 //! Figure 11: effectiveness of the data compression.
 
-use super::{geom, hybrid, Report};
+use super::{geom, hybrid, per_workload, Report};
 use crate::data::ExperimentContext;
 use crate::table::{pct1, Table};
 
@@ -17,16 +17,27 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     ]);
     let dmc = geom(16, 32, 1);
     let mut occupancies = Vec::new();
-    for name in ctx.fv_six() {
-        let data = ctx.capture(name);
-        let sim = hybrid(&data, dmc, 512, 7);
+    let datas = ctx.capture_many("fig11", &ctx.fv_six());
+    let cells = per_workload(ctx, &datas, 1, |data| {
+        let sim = hybrid(data, dmc, 512, 7);
         let stats = sim.hybrid_stats();
-        let occupancy = stats.avg_occupancy_percent();
+        (
+            stats.avg_occupancy_percent(),
+            stats.effective_storage_ratio(32, 3.0),
+        )
+    });
+    for (data, (occupancy, ratio)) in datas.iter().zip(cells) {
         occupancies.push(occupancy);
-        let ratio = stats.effective_storage_ratio(32, 3.0);
-        table.row(vec![name.to_string(), pct1(occupancy), format!("{ratio:.2}x")]);
+        table.row(vec![
+            data.name.clone(),
+            pct1(occupancy),
+            format!("{ratio:.2}x"),
+        ]);
     }
-    report.table("sampled over the whole run (512-entry FVC, top-7 values)", table);
+    report.table(
+        "sampled over the whole run (512-entry FVC, top-7 values)",
+        table,
+    );
     let over40 = occupancies.iter().filter(|&&o| o > 40.0).count();
     report.note(format!(
         "{over40}/6 benchmarks keep over 40% of FVC words frequent (paper: most programs \

@@ -2,6 +2,7 @@
 
 use super::{baseline, geom, hybrid, reduction, Report};
 use crate::data::ExperimentContext;
+use crate::engine::Completed;
 use crate::table::{pct1, Table};
 use fvl_cache::{CacheGeometry, Simulator};
 use fvl_timing::{dm_cache_time, fvc_time, Tech};
@@ -40,25 +41,42 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let mut step13 = 0.0f64;
     let mut step37 = 0.0f64;
     let mut cells = 0u32;
-    for name in ctx.fv_six() {
-        let data = ctx.capture(name);
-        let mut table =
-            Table::with_headers(&["DMC config", "base miss %", "top-1 %cut", "top-3 %cut", "top-7 %cut"]);
-        for &g in &configs {
-            let base = baseline(&data, g);
+    let datas = ctx.capture_many("fig12", &ctx.fv_six());
+    // One cell per (workload, DMC config): a baseline replay plus the
+    // three top-k hybrid replays.
+    let grid: Vec<(usize, CacheGeometry)> = (0..datas.len())
+        .flat_map(|w| configs.iter().map(move |&g| (w, g)))
+        .collect();
+    let results = ctx.cells(grid, |(w, g)| {
+        let data = &datas[w];
+        let base = baseline(data, g);
+        let mut cuts = [0.0f64; 3];
+        for (i, k) in [1usize, 3, 7].into_iter().enumerate() {
+            let sim = hybrid(data, g, 512, k);
+            cuts[i] = reduction(&base, sim.stats());
+        }
+        Completed::new((base, cuts), 4 * data.trace.accesses())
+    });
+    for (w, data) in datas.iter().enumerate() {
+        let mut table = Table::with_headers(&[
+            "DMC config",
+            "base miss %",
+            "top-1 %cut",
+            "top-3 %cut",
+            "top-7 %cut",
+        ]);
+        for (g, (base, cuts)) in configs
+            .iter()
+            .zip(&results[w * configs.len()..(w + 1) * configs.len()])
+        {
             let mut row = vec![g.to_string(), format!("{:.3}", base.miss_percent())];
-            let mut cuts = [0.0f64; 3];
-            for (i, k) in [1usize, 3, 7].into_iter().enumerate() {
-                let sim = hybrid(&data, g, 512, k);
-                cuts[i] = reduction(&base, sim.stats());
-                row.push(pct1(cuts[i]));
-            }
+            row.extend(cuts.iter().map(|&c| pct1(c)));
             step13 += cuts[1] - cuts[0];
             step37 += cuts[2] - cuts[1];
             cells += 1;
             table.row(row);
         }
-        report.table(name.to_string(), table);
+        report.table(data.name.clone(), table);
     }
     report.note(format!(
         "average gain going 1→3 values: {:+.1} points; 3→7 values: {:+.1} points \

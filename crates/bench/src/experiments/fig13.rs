@@ -2,6 +2,7 @@
 
 use super::{baseline, geom, hybrid, Report};
 use crate::data::ExperimentContext;
+use crate::engine::Completed;
 use crate::table::{pct, Table};
 use fvl_cache::Simulator;
 
@@ -28,8 +29,31 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     );
     let mut wins = 0u32;
     let mut cells_total = 0u32;
-    for name in ["m88ksim", "perl"] {
-        let data = ctx.capture(name);
+    let datas = ctx.capture_many("fig13", &["m88ksim", "perl"]);
+    // One cell per (workload, top-k, geometry pair): the small DMC+FVC
+    // replay plus the doubled-DMC baseline replay.
+    let grid: Vec<(usize, usize, (u32, u64, u64))> = (0..datas.len())
+        .flat_map(|w| {
+            [7usize, 3, 1].into_iter().flat_map(move |k| {
+                CELLS
+                    .iter()
+                    .chain(WIDE_CELLS.iter())
+                    .map(move |&cell| (w, k, cell))
+            })
+        })
+        .collect();
+    let results = ctx.cells(grid, |(w, k, (line, small_kb, big_kb))| {
+        let data = &datas[w];
+        let small = geom(small_kb, line, 1);
+        let big = geom(big_kb, line, 1);
+        let sim = hybrid(data, small, 512, k);
+        let with_fvc = sim.stats().miss_percent();
+        let fvc_kb = sim.fvc_data_bytes() / 1024.0;
+        let doubled = baseline(data, big).miss_percent();
+        Completed::new((with_fvc, fvc_kb, doubled), 2 * data.trace.accesses())
+    });
+    let mut results = results.into_iter();
+    for data in &datas {
         for k in [7usize, 3, 1] {
             let mut table = Table::with_headers(&[
                 "line",
@@ -40,12 +64,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
                 "winner",
             ]);
             for &(line, small_kb, big_kb) in CELLS.iter().chain(WIDE_CELLS.iter()) {
-                let small = geom(small_kb, line, 1);
-                let big = geom(big_kb, line, 1);
-                let sim = hybrid(&data, small, 512, k);
-                let with_fvc = sim.stats().miss_percent();
-                let fvc_kb = sim.fvc_data_bytes() / 1024.0;
-                let doubled = baseline(&data, big).miss_percent();
+                let (with_fvc, fvc_kb, doubled) = results.next().expect("one result per cell");
                 cells_total += 1;
                 if with_fvc < doubled {
                     wins += 1;
@@ -56,10 +75,15 @@ pub fn run(ctx: &ExperimentContext) -> Report {
                     pct(with_fvc),
                     format!("{big_kb}KB"),
                     pct(doubled),
-                    if with_fvc < doubled { "DMC+FVC" } else { "2x DMC" }.to_string(),
+                    if with_fvc < doubled {
+                        "DMC+FVC"
+                    } else {
+                        "2x DMC"
+                    }
+                    .to_string(),
                 ]);
             }
-            report.table(format!("{name}, top-{k} values"), table);
+            report.table(format!("{}, top-{k} values", data.name), table);
         }
     }
     report.note(format!(

@@ -1,6 +1,6 @@
 //! Figure 14: FVC under set-associative main caches.
 
-use super::{baseline, geom, hybrid, reduction, Report};
+use super::{baseline, geom, hybrid, per_workload, reduction, Report};
 use crate::data::ExperimentContext;
 use crate::table::{pct, pct1, Table};
 use fvl_cache::{CacheSim, Simulator};
@@ -22,13 +22,15 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         "DM capacity misses %",
     ]);
     let mut shrank = 0u32;
-    for name in ctx.fv_six() {
-        let data = ctx.capture(name);
+    let datas = ctx.capture_many("fig14", &ctx.fv_six());
+    // Per workload: three (baseline, hybrid) pairs plus the classified
+    // replay — seven trace passes per cell.
+    let cells = per_workload(ctx, &datas, 7, |data| {
         let mut cuts = [0.0f64; 3];
         for (i, assoc) in [1u32, 2, 4].into_iter().enumerate() {
             let g = geom(16, 32, assoc);
-            let base = baseline(&data, g);
-            let sim = hybrid(&data, g, 512, 7);
+            let base = baseline(data, g);
+            let sim = hybrid(data, g, 512, 7);
             cuts[i] = reduction(&base, sim.stats());
         }
         // Miss classification of the direct-mapped baseline.
@@ -36,19 +38,29 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         data.trace.replay(&mut classified);
         let c = classified.classifier().expect("enabled");
         let total = c.total().max(1) as f64;
+        (
+            cuts,
+            c.conflict() as f64 / total * 100.0,
+            c.capacity() as f64 / total * 100.0,
+        )
+    });
+    for (data, (cuts, conflict, capacity)) in datas.iter().zip(cells) {
         if cuts[1] < cuts[0] {
             shrank += 1;
         }
         table.row(vec![
-            name.to_string(),
+            data.name.clone(),
             pct1(cuts[0]),
             pct1(cuts[1]),
             pct1(cuts[2]),
-            pct(c.conflict() as f64 / total * 100.0),
-            pct(c.capacity() as f64 / total * 100.0),
+            pct(conflict),
+            pct(capacity),
         ]);
     }
-    report.table("% miss-rate reduction from the FVC, by main-cache associativity", table);
+    report.table(
+        "% miss-rate reduction from the FVC, by main-cache associativity",
+        table,
+    );
     report.note(format!(
         "{shrank}/6 benchmarks lose FVC benefit under associativity — associativity \
          removes the conflict misses the FVC was absorbing; benchmarks whose misses are \

@@ -1,10 +1,10 @@
 //! Figure 15: victim cache vs frequent value cache.
 
-use super::{baseline, geom, hybrid, reduction, Report};
+use super::{baseline, geom, hybrid, per_workload, reduction, Report};
 use crate::data::ExperimentContext;
 use crate::table::{pct1, Table};
-use fvl_core::VictimHybrid;
 use fvl_cache::Simulator;
+use fvl_core::VictimHybrid;
 use fvl_timing::{fully_assoc_time, fvc_bits, fvc_time, victim_cache_bits, Tech};
 
 /// Runs the Figure 15 study on a 4 KB DMC with 8-word lines:
@@ -16,34 +16,29 @@ use fvl_timing::{fully_assoc_time, fvc_bits, fvc_time, victim_cache_bits, Tech};
 pub fn run(ctx: &ExperimentContext) -> Report {
     let mut report = Report::new("Figure 15", "fully-associative VC vs direct-mapped FVC");
     let dmc = geom(4, 32, 1);
-    let mut area_table = Table::with_headers(&[
-        "benchmark",
-        "base miss %",
-        "VC-16 cut %",
-        "FVC-128 cut %",
-    ]);
-    let mut time_table = Table::with_headers(&[
-        "benchmark",
-        "base miss %",
-        "VC-4 cut %",
-        "FVC-512 cut %",
-    ]);
+    let mut area_table =
+        Table::with_headers(&["benchmark", "base miss %", "VC-16 cut %", "FVC-128 cut %"]);
+    let mut time_table =
+        Table::with_headers(&["benchmark", "base miss %", "VC-4 cut %", "FVC-512 cut %"]);
     let mut vc_area_wins = 0u32;
     let mut fvc_time_wins = 0u32;
-    for name in ctx.fv_six() {
-        let data = ctx.capture(name);
-        let base = baseline(&data, dmc);
+    let datas = ctx.capture_many("fig15", &ctx.fv_six());
+    // Per workload: the baseline, two victim caches and two FVC sizes —
+    // five trace passes per cell.
+    let cells = per_workload(ctx, &datas, 5, |data| {
+        let base = baseline(data, dmc);
         let run_vc = |entries: usize| {
             let mut sim = VictimHybrid::new(dmc, entries);
             data.trace.replay(&mut sim);
             reduction(&base, Simulator::stats(&sim))
         };
         let run_fvc = |entries: u32| {
-            let sim = hybrid(&data, dmc, entries, 7);
+            let sim = hybrid(data, dmc, entries, 7);
             reduction(&base, sim.stats())
         };
-        let (vc16, fvc128) = (run_vc(16), run_fvc(128));
-        let (vc4, fvc512) = (run_vc(4), run_fvc(512));
+        (base, run_vc(16), run_fvc(128), run_vc(4), run_fvc(512))
+    });
+    for (data, (base, vc16, fvc128, vc4, fvc512)) in datas.iter().zip(cells) {
         if vc16 >= fvc128 {
             vc_area_wins += 1;
         }
@@ -51,13 +46,13 @@ pub fn run(ctx: &ExperimentContext) -> Report {
             fvc_time_wins += 1;
         }
         area_table.row(vec![
-            name.to_string(),
+            data.name.clone(),
             format!("{:.3}", base.miss_percent()),
             pct1(vc16),
             pct1(fvc128),
         ]);
         time_table.row(vec![
-            name.to_string(),
+            data.name.clone(),
             format!("{:.3}", base.miss_percent()),
             pct1(vc4),
             pct1(fvc512),

@@ -4,7 +4,6 @@ pub mod ext1;
 pub mod ext2;
 pub mod ext3;
 pub mod ext4;
-pub mod verify;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;
@@ -21,8 +20,10 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod verify;
 
 use crate::data::{ExperimentContext, WorkloadData};
+use crate::engine::Completed;
 use crate::table::Table;
 use fvl_cache::{CacheGeometry, CacheSim, CacheStats};
 use fvl_core::{FrequentValueSet, HybridCache, HybridConfig};
@@ -43,7 +44,12 @@ pub struct Report {
 
 impl Report {
     fn new(id: &'static str, title: impl Into<String>) -> Self {
-        Report { id, title: title.into(), tables: Vec::new(), notes: Vec::new() }
+        Report {
+            id,
+            title: title.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     fn table(&mut self, caption: impl Into<String>, table: Table) -> &mut Self {
@@ -137,4 +143,24 @@ pub(crate) fn hybrid(
 /// Percentage reduction of `new` vs `base` miss rates.
 pub(crate) fn reduction(base: &CacheStats, new: &CacheStats) -> f64 {
     new.miss_reduction_vs(base)
+}
+
+/// Runs one engine cell per captured workload, borrowing the shared
+/// data slice. `replays` is how many full trace passes each cell
+/// performs (for the engine's reference-throughput accounting).
+/// Results come back in `datas` order.
+pub(crate) fn per_workload<R, F>(
+    ctx: &ExperimentContext,
+    datas: &[WorkloadData],
+    replays: u64,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&WorkloadData) -> R + Sync,
+{
+    ctx.cells((0..datas.len()).collect(), |i| {
+        let data = &datas[i];
+        Completed::new(f(data), replays * data.trace.accesses())
+    })
 }

@@ -14,8 +14,8 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let mut table = Table::with_headers(&["rank", "benchmark", "accessed", "occurring"]);
     let mut small_value_count = 0usize;
     let mut pointer_value_count = 0usize;
-    for name in ctx.fv_six() {
-        let data = ctx.capture(name);
+    for data in ctx.capture_many("table1", &ctx.fv_six()) {
+        let name = data.name.as_str();
         let accessed = data.top_accessed(10);
         let occurring = data.top_occurring(10);
         for rank in 0..10 {
@@ -30,7 +30,11 @@ pub fn run(ctx: &ExperimentContext) -> Report {
             }
             table.row(vec![
                 (rank + 1).to_string(),
-                if rank == 0 { name.to_string() } else { String::new() },
+                if rank == 0 {
+                    name.to_string()
+                } else {
+                    String::new()
+                },
                 a.map(|v| format!("{v:x}")).unwrap_or_default(),
                 o.map(|v| format!("{v:x}")).unwrap_or_default(),
             ]);

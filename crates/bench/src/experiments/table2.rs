@@ -20,18 +20,38 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         InputSize::Test => (InputSize::Test, InputSize::Test),
     };
     let mut overlaps = Vec::new();
-    for name in ctx.fv_six() {
-        let reference = ctx.capture_with(name, ref_input, ctx.seed);
-        let test = ctx.capture_with(name, InputSize::Test, ctx.seed.wrapping_add(101));
-        let train = ctx.capture_with(name, train_input, ctx.seed.wrapping_add(57));
+    // One cell per (workload, input class) capture; merge per workload.
+    let grid: Vec<(&'static str, InputSize, u64)> = ctx
+        .fv_six()
+        .into_iter()
+        .flat_map(|name| {
+            [
+                (name, ref_input, ctx.seed),
+                (name, InputSize::Test, ctx.seed.wrapping_add(101)),
+                (name, train_input, ctx.seed.wrapping_add(57)),
+            ]
+        })
+        .collect();
+    let captures = ctx.cells(grid, |(name, input, seed)| {
+        let data = ctx.capture_with(name, input, seed);
+        let passes = 3 * data.trace.accesses();
+        crate::engine::Completed::new(data, passes)
+    });
+    for chunk in captures.chunks_exact(3) {
+        let [reference, test, train] = chunk else {
+            unreachable!()
+        };
         let ref_ranking = reference.top_accessed(10);
         let t = overlap_report(&test.top_accessed(10), &ref_ranking);
         let tr = overlap_report(&train.top_accessed(10), &ref_ranking);
         overlaps.push(t.top10 as f64 / 10.0);
         overlaps.push(tr.top10 as f64 / 10.0);
-        table.row(vec![name.to_string(), t.to_string(), tr.to_string()]);
+        table.row(vec![reference.name.clone(), t.to_string(), tr.to_string()]);
     }
-    report.table("X/Y = X of the top-Y reference values found in the other input's top-Y", table);
+    report.table(
+        "X/Y = X of the top-Y reference values found in the other input's top-Y",
+        table,
+    );
     let avg = overlaps.iter().sum::<f64>() / overlaps.len() as f64 * 100.0;
     report.note(format!(
         "average top-10 overlap across inputs: {avg:.0}% (paper: roughly 50%; small \
@@ -51,6 +71,9 @@ mod tests {
         assert_eq!(report.tables[0].1.len(), 6);
         // Every benchmark shares at least the value 0 across inputs.
         let rendered = report.tables[0].1.to_string();
-        assert!(!rendered.contains("0/7 0/10"), "zero overlap would be wrong:\n{rendered}");
+        assert!(
+            !rendered.contains("0/7 0/10"),
+            "zero overlap would be wrong:\n{rendered}"
+        );
     }
 }

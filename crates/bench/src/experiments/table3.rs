@@ -1,6 +1,6 @@
 //! Table 3: how quickly the frequent values are found.
 
-use super::Report;
+use super::{per_workload, Report};
 use crate::data::ExperimentContext;
 use crate::table::{pct1, Table};
 use fvl_profile::StabilityAnalyzer;
@@ -20,15 +20,17 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         "top-7 in top-10 after %",
     ]);
     let mut identity_points = Vec::new();
-    for name in ctx.fv_six() {
-        let data = ctx.capture(name);
+    let datas = ctx.capture_many("table3", &ctx.fv_six());
+    let reports = per_workload(ctx, &datas, 1, |data| {
         let check_every = (data.trace.accesses() / 500).max(1);
         let mut analyzer = StabilityAnalyzer::new(check_every);
         data.trace.replay(&mut analyzer);
-        let r = analyzer.report();
+        analyzer.report()
+    });
+    for (data, r) in datas.iter().zip(reports) {
         identity_points.push(r.identity_stable_percent[1]);
         table.row(vec![
-            name.to_string(),
+            data.name.clone(),
             r.total_accesses.to_string(),
             pct1(r.order_stable_percent[0]),
             pct1(r.order_stable_percent[1]),
@@ -37,7 +39,10 @@ pub fn run(ctx: &ExperimentContext) -> Report {
             pct1(r.identity_stable_percent[2]),
         ]);
     }
-    report.table("when the ranking becomes final (percentage of execution completed)", table);
+    report.table(
+        "when the ranking becomes final (percentage of execution completed)",
+        table,
+    );
     identity_points.sort_by(f64::total_cmp);
     report.note(format!(
         "median point at which the final top-3 values all appear in the running \

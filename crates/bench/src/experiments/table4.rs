@@ -1,6 +1,6 @@
 //! Table 4: addresses with constant values.
 
-use super::Report;
+use super::{per_workload, Report};
 use crate::data::ExperimentContext;
 use crate::table::{pct1, Table};
 use fvl_profile::ConstancyAnalyzer;
@@ -13,23 +13,28 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         Table::with_headers(&["benchmark", "address lifetimes", "constant addresses %"]);
     let mut fv_values = Vec::new();
     let mut control_values = Vec::new();
-    for name in ctx.all_int() {
-        let data = ctx.capture(name);
+    let datas = ctx.capture_many("table4", &ctx.all_int());
+    let cells = per_workload(ctx, &datas, 1, |data| {
         let mut analyzer = ConstancyAnalyzer::new();
         data.trace.replay(&mut analyzer);
-        let percent = analyzer.constant_percent();
-        if ctx.fv_six().contains(&name) {
+        (analyzer.lifetimes(), analyzer.constant_percent())
+    });
+    for (data, (lifetimes, percent)) in datas.iter().zip(cells) {
+        if ctx.fv_six().contains(&data.name.as_str()) {
             fv_values.push(percent);
         } else {
             control_values.push(percent);
         }
         table.row(vec![
-            name.to_string(),
-            analyzer.lifetimes().to_string(),
+            data.name.clone(),
+            lifetimes.to_string(),
             pct1(percent),
         ]);
     }
-    report.table("percentage of referenced addresses whose contents never change", table);
+    report.table(
+        "percentage of referenced addresses whose contents never change",
+        table,
+    );
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     report.note(format!(
         "FV benchmarks average {:.1}% constant vs {:.1}% for the compress/ijpeg \

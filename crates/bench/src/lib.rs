@@ -18,9 +18,11 @@
 #![deny(missing_docs)]
 
 pub mod data;
+pub mod engine;
 pub mod experiments;
 pub mod sweep;
 pub mod table;
 
 pub use data::{ExperimentContext, WorkloadData};
+pub use engine::Engine;
 pub use table::Table;

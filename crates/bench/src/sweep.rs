@@ -40,13 +40,15 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
     if workers <= 1 {
         return configs.into_iter().map(|c| run(trace, c)).collect();
     }
     // Work queue: indexed configs behind a mutex; results slotted by index.
-    let queue: Mutex<Vec<Option<C>>> =
-        Mutex::new(configs.into_iter().map(Some).collect());
+    let queue: Mutex<Vec<Option<C>>> = Mutex::new(configs.into_iter().map(Some).collect());
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
@@ -69,7 +71,11 @@ where
     });
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("result lock").expect("worker filled every slot"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result lock")
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 
@@ -80,7 +86,9 @@ mod tests {
 
     fn tiny_trace() -> Trace {
         Trace::from_events(
-            (0..100u32).map(|i| TraceEvent::Access(Access::load((i % 16) * 4, 0))).collect(),
+            (0..100u32)
+                .map(|i| TraceEvent::Access(Access::load((i % 16) * 4, 0)))
+                .collect(),
         )
     }
 
@@ -102,7 +110,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_simulation() {
-        use fvl_cache::{CacheGeometry, CacheSim, Simulator};
+        use fvl_cache::{CacheGeometry, CacheSim};
         let trace = tiny_trace();
         let configs = vec![(1u64, 16u32), (1, 32), (2, 16), (4, 64)];
         let simulate = |t: &Trace, (kb, line): (u64, u32)| {

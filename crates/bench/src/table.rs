@@ -24,7 +24,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Convenience constructor from string slices.

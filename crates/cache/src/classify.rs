@@ -67,7 +67,10 @@ impl MissClassifier {
     /// of two.
     pub fn new(capacity_lines: usize, line_bytes: u32) -> Self {
         assert!(capacity_lines > 0, "capacity must be positive");
-        assert!(line_bytes.is_power_of_two() && line_bytes >= 4, "bad line size");
+        assert!(
+            line_bytes.is_power_of_two() && line_bytes >= 4,
+            "bad line size"
+        );
         MissClassifier {
             line_mask: !(line_bytes - 1),
             capacity_lines,

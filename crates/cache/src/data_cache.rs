@@ -77,7 +77,11 @@ impl DataCache {
                 stamp: 0,
             })
             .collect();
-        DataCache { geom, lines, clock: 0 }
+        DataCache {
+            geom,
+            lines,
+            clock: 0,
+        }
     }
 
     /// The cache's organization.
@@ -148,9 +152,20 @@ impl DataCache {
     /// already resident (installing a duplicate would break the
     /// one-copy invariant).
     pub fn install(&mut self, line_addr: Addr, data: &[Word], dirty: bool) -> Option<EvictedLine> {
-        assert_eq!(data.len(), self.geom.words_per_line() as usize, "wrong line length");
-        assert_eq!(line_addr, self.geom.line_addr(line_addr), "not a line address");
-        assert!(self.probe(line_addr).is_none(), "line {line_addr:#x} already resident");
+        assert_eq!(
+            data.len(),
+            self.geom.words_per_line() as usize,
+            "wrong line length"
+        );
+        assert_eq!(
+            line_addr,
+            self.geom.line_addr(line_addr),
+            "not a line address"
+        );
+        assert!(
+            self.probe(line_addr).is_none(),
+            "line {line_addr:#x} already resident"
+        );
         let range = self.set_range(line_addr);
         // Choose an invalid way first, else the LRU way.
         let slot = self.lines[range.clone()]
@@ -205,7 +220,11 @@ impl DataCache {
         let line = &mut self.lines[slot];
         assert!(line.valid, "take on invalid line");
         line.valid = false;
-        EvictedLine { line_addr: line.line_addr, dirty: line.dirty, data: line.data.to_vec() }
+        EvictedLine {
+            line_addr: line.line_addr,
+            dirty: line.dirty,
+            data: line.data.to_vec(),
+        }
     }
 
     /// Number of currently valid lines.

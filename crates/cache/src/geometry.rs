@@ -84,12 +84,22 @@ impl CacheGeometry {
     /// Returns a [`GeometryError`] if any parameter is not a power of
     /// two, the line size is below one word, or the parameters don't
     /// divide evenly into at least one set.
-    pub fn new(size_bytes: u64, line_bytes: u32, associativity: u32) -> Result<Self, GeometryError> {
+    pub fn new(
+        size_bytes: u64,
+        line_bytes: u32,
+        associativity: u32,
+    ) -> Result<Self, GeometryError> {
         if !size_bytes.is_power_of_two() {
-            return Err(GeometryError::NotPowerOfTwo { what: "cache size", value: size_bytes });
+            return Err(GeometryError::NotPowerOfTwo {
+                what: "cache size",
+                value: size_bytes,
+            });
         }
         if !line_bytes.is_power_of_two() {
-            return Err(GeometryError::NotPowerOfTwo { what: "line size", value: line_bytes as u64 });
+            return Err(GeometryError::NotPowerOfTwo {
+                what: "line size",
+                value: line_bytes as u64,
+            });
         }
         if !associativity.is_power_of_two() {
             return Err(GeometryError::NotPowerOfTwo {
@@ -102,7 +112,11 @@ impl CacheGeometry {
         }
         let set_bytes = line_bytes as u64 * associativity as u64;
         if set_bytes == 0 || !size_bytes.is_multiple_of(set_bytes) || size_bytes / set_bytes == 0 {
-            return Err(GeometryError::Indivisible { size_bytes, line_bytes, associativity });
+            return Err(GeometryError::Indivisible {
+                size_bytes,
+                line_bytes,
+                associativity,
+            });
         }
         let sets = (size_bytes / set_bytes) as u32;
         Ok(CacheGeometry {
@@ -123,7 +137,10 @@ impl CacheGeometry {
     /// Propagates the same validation as [`CacheGeometry::new`].
     pub fn fully_associative(entries: u32, line_bytes: u32) -> Result<Self, GeometryError> {
         if !entries.is_power_of_two() {
-            return Err(GeometryError::NotPowerOfTwo { what: "entries", value: entries as u64 });
+            return Err(GeometryError::NotPowerOfTwo {
+                what: "entries",
+                value: entries as u64,
+            });
         }
         Self::new(entries as u64 * line_bytes as u64, line_bytes, entries)
     }
@@ -204,9 +221,19 @@ impl fmt::Display for CacheGeometry {
             format!("{}-way", self.associativity)
         };
         if self.size_bytes >= 1024 && self.size_bytes.is_multiple_of(1024) {
-            write!(f, "{}KB {} ({}B lines)", self.size_bytes / 1024, assoc, self.line_bytes)
+            write!(
+                f,
+                "{}KB {} ({}B lines)",
+                self.size_bytes / 1024,
+                assoc,
+                self.line_bytes
+            )
         } else {
-            write!(f, "{}B {} ({}B lines)", self.size_bytes, assoc, self.line_bytes)
+            write!(
+                f,
+                "{}B {} ({}B lines)",
+                self.size_bytes, assoc, self.line_bytes
+            )
         }
     }
 }
@@ -267,18 +294,33 @@ mod tests {
     fn rejects_bad_parameters() {
         assert!(matches!(
             CacheGeometry::new(3000, 32, 1),
-            Err(GeometryError::NotPowerOfTwo { what: "cache size", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                what: "cache size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(4096, 24, 1),
-            Err(GeometryError::NotPowerOfTwo { what: "line size", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                what: "line size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(4096, 32, 3),
-            Err(GeometryError::NotPowerOfTwo { what: "associativity", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                what: "associativity",
+                ..
+            })
         ));
-        assert!(matches!(CacheGeometry::new(4096, 2, 1), Err(GeometryError::BadLineSize { .. })));
-        assert!(matches!(CacheGeometry::new(64, 64, 2), Err(GeometryError::Indivisible { .. })));
+        assert!(matches!(
+            CacheGeometry::new(4096, 2, 1),
+            Err(GeometryError::BadLineSize { .. })
+        ));
+        assert!(matches!(
+            CacheGeometry::new(64, 64, 2),
+            Err(GeometryError::Indivisible { .. })
+        ));
     }
 
     #[test]

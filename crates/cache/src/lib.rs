@@ -43,10 +43,10 @@ mod stats;
 mod victim;
 
 pub use backing::MainMemory;
-pub use simulator::Simulator;
 pub use classify::{MissClass, MissClassifier};
 pub use data_cache::{DataCache, EvictedLine, LineRef};
 pub use geometry::{CacheGeometry, GeometryError};
 pub use sim::{CacheSim, WritePolicy};
+pub use simulator::Simulator;
 pub use stats::CacheStats;
 pub use victim::VictimCache;

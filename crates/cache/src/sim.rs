@@ -86,7 +86,10 @@ impl CacheSim {
     /// Enables compulsory/capacity/conflict classification of misses.
     pub fn with_classifier(mut self) -> Self {
         let geom = *self.cache.geometry();
-        self.classifier = Some(MissClassifier::new(geom.lines() as usize, geom.line_bytes()));
+        self.classifier = Some(MissClassifier::new(
+            geom.lines() as usize,
+            geom.line_bytes(),
+        ));
         self
     }
 
@@ -339,7 +342,11 @@ mod tests {
         s.on_access(Access::store(0x104, 6));
         assert_eq!(s.memory().peek(0x104), 6);
         s.on_finish();
-        assert_eq!(s.stats().writebacks, 0, "write-through lines are never dirty");
+        assert_eq!(
+            s.stats().writebacks,
+            0,
+            "write-through lines are never dirty"
+        );
     }
 
     #[test]

@@ -134,8 +134,16 @@ mod tests {
 
     #[test]
     fn reduction_vs_baseline() {
-        let base = CacheStats { read_misses: 10, read_hits: 90, ..Default::default() };
-        let improved = CacheStats { read_misses: 4, read_hits: 96, ..Default::default() };
+        let base = CacheStats {
+            read_misses: 10,
+            read_hits: 90,
+            ..Default::default()
+        };
+        let improved = CacheStats {
+            read_misses: 4,
+            read_hits: 96,
+            ..Default::default()
+        };
         assert!((improved.miss_reduction_vs(&base) - 60.0).abs() < 1e-9);
         // Degenerate baseline.
         assert_eq!(improved.miss_reduction_vs(&CacheStats::new()), 0.0);
@@ -143,8 +151,16 @@ mod tests {
 
     #[test]
     fn add_accumulates() {
-        let a = CacheStats { read_hits: 1, fetches: 2, ..Default::default() };
-        let b = CacheStats { read_hits: 3, writebacks: 1, ..Default::default() };
+        let a = CacheStats {
+            read_hits: 1,
+            fetches: 2,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            read_hits: 3,
+            writebacks: 1,
+            ..Default::default()
+        };
         let c = a + b;
         assert_eq!(c.read_hits, 4);
         assert_eq!(c.fetches, 2);
@@ -153,7 +169,11 @@ mod tests {
 
     #[test]
     fn display_mentions_miss_percent() {
-        let s = CacheStats { read_hits: 3, read_misses: 1, ..Default::default() };
+        let s = CacheStats {
+            read_hits: 3,
+            read_misses: 1,
+            ..Default::default()
+        };
         assert!(s.to_string().contains("25.000%"));
     }
 }

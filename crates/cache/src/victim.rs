@@ -94,7 +94,11 @@ impl VictimCache {
     /// Panics if `slot` is out of range.
     pub fn take(&mut self, slot: usize) -> EvictedLine {
         let e = self.entries.swap_remove(slot);
-        EvictedLine { line_addr: e.line_addr, dirty: e.dirty, data: e.data }
+        EvictedLine {
+            line_addr: e.line_addr,
+            dirty: e.dirty,
+            data: e.data,
+        }
     }
 
     /// Inserts an evicted line, returning the LRU line that had to be
@@ -105,7 +109,11 @@ impl VictimCache {
     /// Panics if the line is already present (controllers must `take`
     /// before re-inserting) or has the wrong length.
     pub fn insert(&mut self, line: EvictedLine) -> Option<EvictedLine> {
-        assert_eq!(line.data.len() as u32, self.words_per_line, "wrong line length");
+        assert_eq!(
+            line.data.len() as u32,
+            self.words_per_line,
+            "wrong line length"
+        );
         assert!(
             self.probe(line.line_addr).is_none(),
             "line {:#x} already in victim cache",
@@ -130,14 +138,22 @@ impl VictimCache {
             .map(|(i, _)| i)
             .expect("capacity is positive");
         let old = std::mem::replace(&mut self.entries[lru], entry);
-        Some(EvictedLine { line_addr: old.line_addr, dirty: old.dirty, data: old.data })
+        Some(EvictedLine {
+            line_addr: old.line_addr,
+            dirty: old.dirty,
+            data: old.data,
+        })
     }
 
     /// Drains all resident lines (end-of-simulation flush).
     pub fn drain(&mut self) -> Vec<EvictedLine> {
         self.entries
             .drain(..)
-            .map(|e| EvictedLine { line_addr: e.line_addr, dirty: e.dirty, data: e.data })
+            .map(|e| EvictedLine {
+                line_addr: e.line_addr,
+                dirty: e.dirty,
+                data: e.data,
+            })
             .collect()
     }
 }
@@ -156,7 +172,11 @@ mod tests {
     use super::*;
 
     fn line(addr: Addr, fill: Word) -> EvictedLine {
-        EvictedLine { line_addr: addr, dirty: false, data: vec![fill; 4] }
+        EvictedLine {
+            line_addr: addr,
+            dirty: false,
+            data: vec![fill; 4],
+        }
     }
 
     #[test]

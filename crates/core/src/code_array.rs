@@ -39,7 +39,11 @@ impl CodeArray {
         assert!((1..=7).contains(&width), "code width must be 1..=7 bits");
         assert!(len > 0, "code array cannot be empty");
         let bits = width as usize * len as usize;
-        CodeArray { limbs: vec![0; bits.div_ceil(64)], width, len }
+        CodeArray {
+            limbs: vec![0; bits.div_ceil(64)],
+            width,
+            len,
+        }
     }
 
     /// Creates an array with every code set to the all-ones
@@ -81,7 +85,11 @@ impl CodeArray {
 
     #[inline]
     fn locate(&self, index: u32) -> (usize, u32) {
-        assert!(index < self.len, "code index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "code index {index} out of range {}",
+            self.len
+        );
         let bit = index as usize * self.width as usize;
         (bit / 64, (bit % 64) as u32)
     }
@@ -182,7 +190,11 @@ mod tests {
                 a.set(i, ((i * 7 + 3) % max as u32) as u8);
             }
             for i in 0..len {
-                assert_eq!(a.get(i), ((i * 7 + 3) % max as u32) as u8, "width {width} idx {i}");
+                assert_eq!(
+                    a.get(i),
+                    ((i * 7 + 3) % max as u32) as u8,
+                    "width {width} idx {i}"
+                );
             }
         }
     }

@@ -91,7 +91,10 @@ impl CompressedCache {
     /// Panics if `geom` is not direct-mapped (the compression study uses
     /// direct-mapped frames).
     pub fn new(geom: CacheGeometry, values: FrequentValueSet) -> Self {
-        assert!(geom.is_direct_mapped(), "compressed cache frames are direct mapped");
+        assert!(
+            geom.is_direct_mapped(),
+            "compressed cache frames are direct mapped"
+        );
         let wpl = geom.words_per_line() as usize;
         CompressedCache {
             geom,
@@ -144,9 +147,11 @@ impl CompressedCache {
 
     fn probe(&self, addr: Addr) -> Option<usize> {
         let line_addr = self.geom.line_addr(addr);
-        self.subslots(self.frame_of(addr))
-            .into_iter()
-            .find(|&s| self.slots[s].as_ref().is_some_and(|l| l.line_addr == line_addr))
+        self.subslots(self.frame_of(addr)).into_iter().find(|&s| {
+            self.slots[s]
+                .as_ref()
+                .is_some_and(|l| l.line_addr == line_addr)
+        })
     }
 
     fn write_back(&mut self, line: &StoredLine) {
@@ -174,8 +179,7 @@ impl CompressedCache {
         // An uncompressed resident occupies both subslots logically: it
         // is stored in subslot `a` with `compressed == false` and `b`
         // kept empty.
-        let resident_uncompressed =
-            self.slots[a].as_ref().is_some_and(|l| !l.compressed);
+        let resident_uncompressed = self.slots[a].as_ref().is_some_and(|l| !l.compressed);
         if !is_compressed || resident_uncompressed {
             // Whole frame turnover.
             for s in [a, b] {
@@ -402,7 +406,11 @@ mod tests {
         c.on_access(Access::load(0x500, 0)); // partner joins
         c.on_access(Access::load(0x900, 0)); // third line: evicts LRU (0x100)
         c.on_finish();
-        assert_eq!(c.memory.peek(0x100), 3, "dirty compressed line written back");
+        assert_eq!(
+            c.memory.peek(0x100),
+            3,
+            "dirty compressed line written back"
+        );
     }
 
     #[test]

@@ -163,7 +163,10 @@ mod tests {
         assert_eq!(c.min_frequent(), 1);
         assert!(c.write_alloc());
         assert!(c.verify());
-        let c = c.fvc_associativity(4).min_frequent_words(0).write_allocate_fvc(false);
+        let c = c
+            .fvc_associativity(4)
+            .min_frequent_words(0)
+            .write_allocate_fvc(false);
         assert_eq!(c.fvc_assoc(), 4);
         assert_eq!(c.min_frequent(), 0);
         assert!(!c.write_alloc());

@@ -27,7 +27,11 @@ impl FvcLine {
         for (i, &w) in data.iter().enumerate() {
             codes.set(i as u32, values.encode(w).unwrap_or(marker));
         }
-        FvcLine { line_addr, dirty: false, codes }
+        FvcLine {
+            line_addr,
+            dirty: false,
+            codes,
+        }
     }
 
     /// Number of words this line can serve (non-infrequent codes).
@@ -130,8 +134,14 @@ impl Fvc {
         values: &FrequentValueSet,
         associativity: u32,
     ) -> Self {
-        assert!(entries.is_power_of_two(), "FVC entries must be a power of two");
-        assert!(words_per_line.is_power_of_two(), "words per line must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "FVC entries must be a power of two"
+        );
+        assert!(
+            words_per_line.is_power_of_two(),
+            "words per line must be a power of two"
+        );
         assert!(
             associativity.is_power_of_two() && associativity <= entries,
             "bad FVC associativity"
@@ -249,10 +259,17 @@ impl Fvc {
     /// Panics if the line is already resident or has mismatched
     /// width/length.
     pub fn install(&mut self, line: FvcLine) -> Option<FvcLine> {
-        assert_eq!(line.codes.len(), self.words_per_line, "line length mismatch");
+        assert_eq!(
+            line.codes.len(),
+            self.words_per_line,
+            "line length mismatch"
+        );
         assert_eq!(line.codes.width(), self.width, "encoding width mismatch");
         assert_eq!(line.line_addr % self.line_bytes, 0, "not a line address");
-        assert!(self.probe(line.line_addr).is_none(), "line already resident in FVC");
+        assert!(
+            self.probe(line.line_addr).is_none(),
+            "line already resident in FVC"
+        );
         let range = self.set_range(line.line_addr);
         let invalid = self.slots[range.clone()].iter().position(|s| !s.valid);
         let slot = match invalid {
@@ -295,7 +312,10 @@ impl Fvc {
         FvcLine {
             line_addr: s.line_addr,
             dirty: s.dirty,
-            codes: std::mem::replace(&mut s.codes, CodeArray::new(self.width, self.words_per_line)),
+            codes: std::mem::replace(
+                &mut s.codes,
+                CodeArray::new(self.width, self.words_per_line),
+            ),
         }
     }
 
@@ -395,7 +415,9 @@ mod tests {
         let mut fvc = Fvc::new(4, 8, &values);
         // 4 entries x 32B lines => addresses 128 bytes apart conflict.
         fvc.install(FvcLine::encode(0x000, &[0; 8], &values));
-        let evicted = fvc.install(FvcLine::encode(0x080, &[1; 8], &values)).unwrap();
+        let evicted = fvc
+            .install(FvcLine::encode(0x080, &[1; 8], &values))
+            .unwrap();
         assert_eq!(evicted.line_addr, 0x000);
         assert!(fvc.probe(0x000).is_none());
         assert!(fvc.probe(0x080).is_some());
@@ -406,7 +428,9 @@ mod tests {
         let values = top7();
         let mut fvc = Fvc::with_associativity(4, 8, &values, 2);
         fvc.install(FvcLine::encode(0x000, &[0; 8], &values));
-        assert!(fvc.install(FvcLine::encode(0x040, &[0; 8], &values)).is_none());
+        assert!(fvc
+            .install(FvcLine::encode(0x040, &[0; 8], &values))
+            .is_none());
         assert!(fvc.probe(0x000).is_some());
         assert!(fvc.probe(0x040).is_some());
     }

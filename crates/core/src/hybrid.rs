@@ -128,7 +128,9 @@ impl HybridCache {
     /// valid in the DMC and the FVC. Used by tests; linear in cache
     /// size.
     pub fn is_exclusive(&self) -> bool {
-        self.dmc.iter_valid().all(|l| self.fvc.probe(l.line_addr).is_none())
+        self.dmc
+            .iter_valid()
+            .all(|l| self.fvc.probe(l.line_addr).is_none())
     }
 
     /// Writes all dirty state back to memory and empties both caches.
@@ -195,7 +197,10 @@ impl HybridCache {
     }
 
     fn serve_on_dmc(&mut self, access: Access) {
-        let slot = self.dmc.probe(access.addr).expect("line resident after install");
+        let slot = self
+            .dmc
+            .probe(access.addr)
+            .expect("line resident after install");
         self.dmc.touch(slot);
         match access.kind {
             AccessKind::Load => {
@@ -292,9 +297,7 @@ impl HybridCache {
         } else {
             // Miss in both structures.
             match access.kind {
-                AccessKind::Store
-                    if self.write_alloc && self.values.contains(access.value) =>
-                {
+                AccessKind::Store if self.write_alloc && self.values.contains(access.value) => {
                     // Allocate directly in the FVC; no fetch. The FVC
                     // completes the write, so per the paper's accounting
                     // ("this strategy has the effect of either
@@ -309,14 +312,16 @@ impl HybridCache {
                     self.stats.fvc_write_allocs += 1;
                     let wpl = self.fvc.words_per_line();
                     let line_addr = self.dmc.geometry().line_addr(addr);
-                    let mut codes =
-                        CodeArray::all_infrequent(self.values.width_bits(), wpl);
+                    let mut codes = CodeArray::all_infrequent(self.values.width_bits(), wpl);
                     codes.set(
                         self.fvc.word_offset(addr),
                         self.values.encode(access.value).expect("frequent"),
                     );
-                    let displaced =
-                        self.fvc.install(FvcLine { line_addr, dirty: true, codes });
+                    let displaced = self.fvc.install(FvcLine {
+                        line_addr,
+                        dirty: true,
+                        codes,
+                    });
                     self.handle_fvc_eviction(displaced);
                 }
                 kind => {
@@ -467,7 +472,11 @@ mod tests {
         let mut h = small_hybrid(64);
         let fetches_before = h.stats().fetches;
         h.on_access(Access::store(0x200, 0));
-        assert_eq!(h.stats().fetches, fetches_before, "no fetch on FVC write-alloc");
+        assert_eq!(
+            h.stats().fetches,
+            fetches_before,
+            "no fetch on FVC write-alloc"
+        );
         assert_eq!(h.hybrid_stats().fvc_write_allocs, 1);
         // The FVC absorbs the write (the paper's "eliminate or delay").
         assert_eq!(h.stats().write_misses, 0);
@@ -483,13 +492,13 @@ mod tests {
         // Seed memory with a known value at 0x204 via DMC path.
         h.on_access(Access::store(0x204, 555));
         h.on_access(Access::load(0x600, 0)); // evict; 555 written back, line -> FVC? 555 not frequent but 0-words...
-        // The evicted line holds [0,555,0,...] (zeros from memory), so it
-        // enters the FVC with word 1 infrequent.
-        // Write frequent value to word 0 -> FVC write hit or alloc.
+                                             // The evicted line holds [0,555,0,...] (zeros from memory), so it
+                                             // enters the FVC with word 1 infrequent.
+                                             // Write frequent value to word 0 -> FVC write hit or alloc.
         h.on_access(Access::store(0x200, 1));
         // Read back the infrequent word: transfer miss must return 555.
         h.on_access(Access::load(0x204, 555)); // oracle checks value
-        // And the frequent word written while in the FVC survived.
+                                               // And the frequent word written while in the FVC survived.
         h.on_access(Access::load(0x200, 1));
         assert!(h.is_exclusive());
     }
@@ -498,7 +507,7 @@ mod tests {
     fn dirty_fvc_eviction_writes_frequent_words_back() {
         let mut h = small_hybrid(1); // single-entry FVC: every insert evicts
         h.on_access(Access::store(0x200, 0)); // write-alloc in FVC (dirty)
-        // Different line, also write-alloc -> evicts the first.
+                                              // Different line, also write-alloc -> evicts the first.
         h.on_access(Access::store(0x800, 1));
         assert_eq!(h.hybrid_stats().fvc_evictions, 1);
         assert_eq!(h.hybrid_stats().fvc_dirty_evictions, 1);
@@ -540,12 +549,8 @@ mod tests {
 
     #[test]
     fn occupancy_sampling_accumulates() {
-        let config = HybridConfig::new(
-            CacheGeometry::new(1024, 32, 1).unwrap(),
-            64,
-            top7(),
-        )
-        .occupancy_sample_every(8);
+        let config = HybridConfig::new(CacheGeometry::new(1024, 32, 1).unwrap(), 64, top7())
+            .occupancy_sample_every(8);
         let mut h = HybridCache::new(config);
         for i in 0..8 {
             h.on_access(Access::store(0x100 + i * 4, 0));
@@ -555,17 +560,16 @@ mod tests {
             h.on_access(Access::load(0x100 + (i % 8) * 4, 0));
         }
         assert!(h.hybrid_stats().occupancy_samples > 0);
-        assert!(h.hybrid_stats().avg_occupancy_percent() > 99.0, "all-zero line is 100% frequent");
+        assert!(
+            h.hybrid_stats().avg_occupancy_percent() > 99.0,
+            "all-zero line is 100% frequent"
+        );
     }
 
     #[test]
     fn write_alloc_ablation_disables_rule() {
-        let config = HybridConfig::new(
-            CacheGeometry::new(1024, 32, 1).unwrap(),
-            64,
-            top7(),
-        )
-        .write_allocate_fvc(false);
+        let config = HybridConfig::new(CacheGeometry::new(1024, 32, 1).unwrap(), 64, top7())
+            .write_allocate_fvc(false);
         let mut h = HybridCache::new(config);
         h.on_access(Access::store(0x200, 0));
         assert_eq!(h.hybrid_stats().fvc_write_allocs, 0);
@@ -574,12 +578,8 @@ mod tests {
 
     #[test]
     fn min_frequent_words_zero_inserts_everything() {
-        let config = HybridConfig::new(
-            CacheGeometry::new(1024, 32, 1).unwrap(),
-            64,
-            top7(),
-        )
-        .min_frequent_words(0);
+        let config = HybridConfig::new(CacheGeometry::new(1024, 32, 1).unwrap(), 64, top7())
+            .min_frequent_words(0);
         let mut h = HybridCache::new(config);
         h.on_access(Access::store(0x100, 99999)); // all-infrequent line
         h.on_access(Access::load(0x500, 0)); // evict it

@@ -116,7 +116,11 @@ mod tests {
 
     #[test]
     fn fvc_hits_sum() {
-        let s = HybridStats { fvc_read_hits: 2, fvc_write_hits: 3, ..Default::default() };
+        let s = HybridStats {
+            fvc_read_hits: 2,
+            fvc_write_hits: 3,
+            ..Default::default()
+        };
         assert_eq!(s.fvc_hits(), 5);
         assert!(s.to_string().contains("fvc hits 5"));
     }

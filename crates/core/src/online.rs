@@ -36,7 +36,11 @@ impl ValueSketch {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "sketch capacity must be positive");
-        ValueSketch { counters: HashMap::with_capacity(capacity + 1), capacity, observed: 0 }
+        ValueSketch {
+            counters: HashMap::with_capacity(capacity + 1),
+            capacity,
+            observed: 0,
+        }
     }
 
     /// Observes one value (Misra–Gries update).
@@ -167,8 +171,8 @@ impl OnlineHybrid {
 
     fn latch(&mut self) {
         let values = self.sketch.top_k(self.top_k);
-        let set = FrequentValueSet::new(values)
-            .expect("sketch yields nonempty deduplicated values");
+        let set =
+            FrequentValueSet::new(values).expect("sketch yields nonempty deduplicated values");
         // The hybrid starts cold; the profiling DMC's warm state means
         // our combined miss count is, if anything, pessimistic for the
         // online scheme.
@@ -222,8 +226,7 @@ impl Simulator for OnlineHybrid {
     }
 
     fn traffic_words(&self) -> u64 {
-        self.profiling_sim.traffic_words()
-            + self.hybrid.as_ref().map_or(0, |h| h.traffic_words())
+        self.profiling_sim.traffic_words() + self.hybrid.as_ref().map_or(0, |h| h.traffic_words())
     }
 
     fn label(&self) -> String {
@@ -303,7 +306,11 @@ mod tests {
             sim.on_access(Access::load(0x200 + i * 4, 0));
         }
         let stats = sim.hybrid_stats().expect("running");
-        assert!(stats.fvc_read_hits >= 8, "fvc hits: {}", stats.fvc_read_hits);
+        assert!(
+            stats.fvc_read_hits >= 8,
+            "fvc hits: {}",
+            stats.fvc_read_hits
+        );
         sim.on_finish();
         let combined = sim.combined_stats();
         assert_eq!(combined.accesses(), 49);

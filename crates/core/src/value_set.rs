@@ -90,7 +90,11 @@ impl FrequentValueSet {
         while (1u32 << width_bits) - 1 < values.len() as u32 {
             width_bits += 1;
         }
-        Ok(FrequentValueSet { values, codes, width_bits })
+        Ok(FrequentValueSet {
+            values,
+            codes,
+            width_bits,
+        })
     }
 
     /// Builds the paper's standard configurations by truncating a
@@ -160,7 +164,12 @@ impl FrequentValueSet {
 
 impl fmt::Display for FrequentValueSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "top-{} values ({} bits): ", self.values.len(), self.width_bits)?;
+        write!(
+            f,
+            "top-{} values ({} bits): ",
+            self.values.len(),
+            self.width_bits
+        )?;
         for (i, v) in self.values.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
@@ -178,18 +187,27 @@ mod tests {
     #[test]
     fn widths_match_paper_configs() {
         assert_eq!(FrequentValueSet::new(vec![0]).unwrap().width_bits(), 1);
-        assert_eq!(FrequentValueSet::new(vec![0, 1, 2]).unwrap().width_bits(), 2);
         assert_eq!(
-            FrequentValueSet::new((0..7).collect()).unwrap().width_bits(),
+            FrequentValueSet::new(vec![0, 1, 2]).unwrap().width_bits(),
+            2
+        );
+        assert_eq!(
+            FrequentValueSet::new((0..7).collect())
+                .unwrap()
+                .width_bits(),
             3
         );
         assert_eq!(
-            FrequentValueSet::new((0..8).collect()).unwrap().width_bits(),
+            FrequentValueSet::new((0..8).collect())
+                .unwrap()
+                .width_bits(),
             4,
             "8 values no longer fit 3 bits with a spare infrequent code"
         );
         assert_eq!(
-            FrequentValueSet::new((0..127).collect()).unwrap().width_bits(),
+            FrequentValueSet::new((0..127).collect())
+                .unwrap()
+                .width_bits(),
             7
         );
     }
@@ -218,7 +236,10 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert_eq!(FrequentValueSet::new(vec![]).unwrap_err(), ValueSetError::Empty);
+        assert_eq!(
+            FrequentValueSet::new(vec![]).unwrap_err(),
+            ValueSetError::Empty
+        );
         assert!(matches!(
             FrequentValueSet::new((0..200).collect()).unwrap_err(),
             ValueSetError::TooMany { got: 200 }

@@ -55,19 +55,31 @@ impl Access {
     /// Convenience constructor for a load event.
     #[inline]
     pub fn load(addr: Addr, value: Word) -> Self {
-        Access { addr, value, kind: AccessKind::Load }
+        Access {
+            addr,
+            value,
+            kind: AccessKind::Load,
+        }
     }
 
     /// Convenience constructor for a store event.
     #[inline]
     pub fn store(addr: Addr, value: Word) -> Self {
-        Access { addr, value, kind: AccessKind::Store }
+        Access {
+            addr,
+            value,
+            kind: AccessKind::Store,
+        }
     }
 }
 
 impl fmt::Display for Access {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {:#010x} = {:#010x}", self.kind, self.addr, self.value)
+        write!(
+            f,
+            "{} {:#010x} = {:#010x}",
+            self.kind, self.addr, self.value
+        )
     }
 }
 
@@ -216,7 +228,9 @@ impl<'a> Fanout<'a> {
 
 impl fmt::Debug for Fanout<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Fanout").field("sinks", &self.sinks.len()).finish()
+        f.debug_struct("Fanout")
+            .field("sinks", &self.sinks.len())
+            .finish()
     }
 }
 

@@ -169,7 +169,11 @@ impl Default for StackAllocator {
 impl StackAllocator {
     /// Creates a stack whose first frame will end at [`STACK_BASE`].
     pub fn new() -> Self {
-        StackAllocator { sp: STACK_BASE, frames: Vec::new(), max_depth_words: 0 }
+        StackAllocator {
+            sp: STACK_BASE,
+            frames: Vec::new(),
+            max_depth_words: 0,
+        }
     }
 
     /// Pushes a frame of `words` words; returns its region.
@@ -181,8 +185,13 @@ impl StackAllocator {
     pub fn push(&mut self, words: u32) -> Region {
         assert!(words > 0, "zero-sized stack frame");
         let bytes = words as u64 * WORD_BYTES as u64;
-        let base = (self.sp as u64).checked_sub(bytes).expect("simulated stack overflow");
-        assert!(base >= HEAP_BASE as u64, "simulated stack collided with heap segment");
+        let base = (self.sp as u64)
+            .checked_sub(bytes)
+            .expect("simulated stack overflow");
+        assert!(
+            base >= HEAP_BASE as u64,
+            "simulated stack collided with heap segment"
+        );
         self.sp = base as Addr;
         let region = Region::new(self.sp, words, RegionKind::Stack);
         self.frames.push(region);

@@ -72,7 +72,11 @@ impl Region {
     /// Panics if `base` is not word aligned or the region wraps the
     /// address space.
     pub fn new(base: Addr, words: u32, kind: RegionKind) -> Self {
-        assert_eq!(base % WORD_BYTES, 0, "region base {base:#x} not word aligned");
+        assert_eq!(
+            base % WORD_BYTES,
+            0,
+            "region base {base:#x} not word aligned"
+        );
         assert!(
             (base as u64) + (words as u64) * (WORD_BYTES as u64) <= u32::MAX as u64 + 1,
             "region wraps the 32-bit address space"
@@ -100,7 +104,11 @@ impl Region {
 
 impl fmt::Display for Region {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} region [{:#010x}, +{} words)", self.kind, self.base, self.words)
+        write!(
+            f,
+            "{} region [{:#010x}, +{} words)",
+            self.kind, self.base, self.words
+        )
     }
 }
 

@@ -49,9 +49,9 @@ mod layout;
 mod live;
 mod sim_memory;
 mod snapshot;
-mod traced;
 mod trace;
 mod trace_io;
+mod traced;
 
 pub use access::{Access, AccessKind, AccessSink, CountingSink, Fanout, NullSink};
 pub use alloc::{HeapAllocator, StackAllocator};

@@ -54,7 +54,10 @@ impl LiveSet {
     #[inline]
     pub fn mark(&mut self, addr: Addr) {
         let (page, limb, bit) = Self::split(addr);
-        let bm = self.pages.entry(page).or_insert_with(|| Box::new([0; LIMBS]));
+        let bm = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; LIMBS]));
         if bm[limb] & bit == 0 {
             bm[limb] |= bit;
             self.len += 1;

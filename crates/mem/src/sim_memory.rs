@@ -40,7 +40,10 @@ impl SimMemory {
     #[inline]
     fn split(addr: Addr) -> (u32, usize) {
         debug_assert_eq!(addr % WORD_BYTES, 0, "unaligned word address {addr:#x}");
-        (addr >> PAGE_SHIFT, ((addr >> 2) as usize) & (PAGE_WORDS - 1))
+        (
+            addr >> PAGE_SHIFT,
+            ((addr >> 2) as usize) & (PAGE_WORDS - 1),
+        )
     }
 
     /// Reads the word at `addr`.
@@ -69,7 +72,10 @@ impl SimMemory {
             // Writing zero into an unmaterialized page is a no-op.
             return;
         }
-        let p = self.pages.entry(page).or_insert_with(|| Box::new([0; PAGE_WORDS]));
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]));
         p[idx] = value;
     }
 

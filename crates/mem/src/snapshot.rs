@@ -20,7 +20,11 @@ pub struct MemorySnapshot<'a> {
 impl<'a> MemorySnapshot<'a> {
     /// Creates a snapshot view over the given memory and live set.
     pub fn new(mem: &'a SimMemory, live: &'a LiveSet, access_count: u64) -> Self {
-        MemorySnapshot { mem, live, access_count }
+        MemorySnapshot {
+            mem,
+            live,
+            access_count,
+        }
     }
 
     /// Number of accesses performed at snapshot time (the snapshot clock).
@@ -46,13 +50,17 @@ impl<'a> MemorySnapshot<'a> {
     /// Iterates over `(address, value)` for every interesting location,
     /// in no particular order (fast path for histogramming).
     pub fn iter(&self) -> impl Iterator<Item = (Addr, Word)> + '_ {
-        self.live.iter().map(move |addr| (addr, self.mem.read(addr)))
+        self.live
+            .iter()
+            .map(move |addr| (addr, self.mem.read(addr)))
     }
 
     /// Iterates over `(address, value)` in ascending address order
     /// (needed by spatially ordered analyses such as Figure 5).
     pub fn iter_sorted(&self) -> impl Iterator<Item = (Addr, Word)> + '_ {
-        self.live.iter_sorted().map(move |addr| (addr, self.mem.read(addr)))
+        self.live
+            .iter_sorted()
+            .map(move |addr| (addr, self.mem.read(addr)))
     }
 }
 

@@ -54,7 +54,10 @@ impl TraceBuffer {
 
     /// Finalizes the buffer into an immutable [`Trace`].
     pub fn into_trace(self) -> Trace {
-        Trace { events: self.events, accesses: self.accesses }
+        Trace {
+            events: self.events,
+            accesses: self.accesses,
+        }
     }
 }
 
@@ -84,7 +87,10 @@ pub struct Trace {
 impl Trace {
     /// Builds a trace directly from events (mostly for tests).
     pub fn from_events(events: Vec<TraceEvent>) -> Self {
-        let accesses = events.iter().filter(|e| matches!(e, TraceEvent::Access(_))).count() as u64;
+        let accesses = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Access(_)))
+            .count() as u64;
         Trace { events, accesses }
     }
 
@@ -106,6 +112,31 @@ impl Trace {
     /// Whether the trace holds no events.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Returns the prefix of this trace holding at most `max_accesses`
+    /// access events (allocation/free events up to the cut point are
+    /// preserved). Smoke-mode experiment runs use this to scale every
+    /// workload down to a fixed reference budget.
+    pub fn prefix(&self, max_accesses: u64) -> Trace {
+        if max_accesses >= self.accesses {
+            return self.clone();
+        }
+        let mut events = Vec::new();
+        let mut seen = 0u64;
+        for event in &self.events {
+            if matches!(event, TraceEvent::Access(_)) {
+                if seen == max_accesses {
+                    break;
+                }
+                seen += 1;
+            }
+            events.push(*event);
+        }
+        Trace {
+            events,
+            accesses: seen,
+        }
     }
 
     /// Iterates over access events only.
@@ -287,6 +318,19 @@ mod tests {
         // global): the freed heap words (and header) are gone, and one
         // global is live so far.
         assert_eq!(sink.0, 1);
+    }
+
+    #[test]
+    fn prefix_truncates_at_access_boundary() {
+        let trace = record_simple();
+        let cut = trace.prefix(5);
+        assert_eq!(cut.accesses(), 5);
+        assert_eq!(cut.iter_accesses().count(), 5);
+        // A prefix at least as long as the trace is the whole trace.
+        let whole = trace.prefix(1_000_000);
+        assert_eq!(whole.events(), trace.events());
+        // Zero keeps no accesses.
+        assert_eq!(trace.prefix(0).accesses(), 0);
     }
 
     #[test]

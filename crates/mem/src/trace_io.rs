@@ -85,7 +85,10 @@ impl Trace {
         let mut magic = [0u8; 8];
         reader.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not an FVLTRC1 trace"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an FVLTRC1 trace",
+            ));
         }
         let mut len8 = [0u8; 8];
         reader.read_exact(&mut len8)?;
@@ -103,8 +106,11 @@ impl Trace {
                 TAG_LOAD | TAG_STORE => {
                     let addr = read_u32(&mut reader)?;
                     let value = read_u32(&mut reader)?;
-                    let kind =
-                        if tag[0] == TAG_LOAD { AccessKind::Load } else { AccessKind::Store };
+                    let kind = if tag[0] == TAG_LOAD {
+                        AccessKind::Load
+                    } else {
+                        AccessKind::Store
+                    };
                     TraceEvent::Access(Access { addr, value, kind })
                 }
                 TAG_ALLOC | TAG_FREE => {

@@ -197,9 +197,13 @@ impl Bus for TracedMemory<'_> {
         assert!(words > 0, "zero-sized global allocation");
         let base = self.global_next;
         let end = base as u64 + words as u64 * WORD_BYTES as u64;
-        assert!(end <= HEAP_BASE as u64, "simulated global segment exhausted");
+        assert!(
+            end <= HEAP_BASE as u64,
+            "simulated global segment exhausted"
+        );
         self.global_next = end as Addr;
-        self.sink.on_alloc(Region::new(base, words, RegionKind::Global));
+        self.sink
+            .on_alloc(Region::new(base, words, RegionKind::Global));
         base
     }
 
@@ -285,7 +289,10 @@ mod tests {
         let h = m.alloc(2);
         m.store(h, 9);
         m.free(h);
-        assert!(m.live().contains(h), "paper mode keeps freed heap words live");
+        assert!(
+            m.live().contains(h),
+            "paper mode keeps freed heap words live"
+        );
 
         m.set_heap_free_tracking(true);
         let h2 = m.alloc(2);

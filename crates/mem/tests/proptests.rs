@@ -1,8 +1,12 @@
 //! Model-based property tests for the memory substrate.
+//!
+//! Gated behind the `proptest` feature so the default test run stays
+//! fast: `cargo test -p fvl-mem --features proptest`.
+#![cfg(feature = "proptest")]
 
 use fvl_mem::{
-    Access, AccessSink, Bus, CountingSink, HeapAllocator, LiveSet, Region, RegionKind,
-    SimMemory, Trace, TraceBuffer, TraceEvent, TracedMemory,
+    Access, AccessSink, Bus, CountingSink, HeapAllocator, LiveSet, Region, RegionKind, SimMemory,
+    Trace, TraceBuffer, TraceEvent, TracedMemory,
 };
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};

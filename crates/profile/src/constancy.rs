@@ -65,7 +65,13 @@ impl AccessSink for ConstancyAnalyzer {
                 }
             }
             None => {
-                self.cells.insert(access.addr, Cell { current: access.value, changed: false });
+                self.cells.insert(
+                    access.addr,
+                    Cell {
+                        current: access.value,
+                        changed: false,
+                    },
+                );
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Frequently *occurring* value profiling via memory snapshots.
 
-use fvl_mem::{AccessSink, Access, MemorySnapshot, Word};
+use fvl_mem::{Access, AccessSink, MemorySnapshot, Word};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -75,8 +75,10 @@ impl OccurrenceSampler {
         if self.total_locations == 0 {
             return 0.0;
         }
-        let covered: u64 =
-            values.iter().map(|&v| self.sums.get(&v).copied().unwrap_or(0)).sum();
+        let covered: u64 = values
+            .iter()
+            .map(|&v| self.sums.get(&v).copied().unwrap_or(0))
+            .sum();
         covered as f64 / self.total_locations as f64
     }
 }
@@ -130,7 +132,11 @@ mod tests {
         assert!(sampler.samples() >= 2);
         assert_eq!(sampler.ranking()[0], 0);
         assert_eq!(sampler.ranking()[1], 7);
-        assert!(sampler.coverage(1) > 0.7, "zeros dominate: {}", sampler.coverage(1));
+        assert!(
+            sampler.coverage(1) > 0.7,
+            "zeros dominate: {}",
+            sampler.coverage(1)
+        );
         assert!((sampler.coverage(2) - 1.0).abs() < 1e-9);
     }
 

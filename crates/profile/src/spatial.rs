@@ -32,7 +32,12 @@ impl SpatialProfile {
             return 0.0;
         }
         let mean = self.mean();
-        (self.block_averages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n as f64)
+        (self
+            .block_averages
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f64>()
+            / n as f64)
             .sqrt()
     }
 }
@@ -91,8 +96,10 @@ impl AccessSink for SpatialAnalyzer {
             }
             block_averages.push(total as f64 / lines as f64);
         }
-        self.profile =
-            Some(SpatialProfile { block_averages, snapshot_at: snapshot.access_count() });
+        self.profile = Some(SpatialProfile {
+            block_averages,
+            snapshot_at: snapshot.access_count(),
+        });
     }
 }
 
@@ -172,6 +179,10 @@ mod tests {
             mem.finish();
         }
         let p = a.profile().expect("captured");
-        assert_eq!(p.block_averages.len(), 1, "only one complete 800-word block");
+        assert_eq!(
+            p.block_averages.len(),
+            1,
+            "only one complete 800-word block"
+        );
     }
 }

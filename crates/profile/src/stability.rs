@@ -163,7 +163,10 @@ mod tests {
         }
         let r = s.report();
         assert_eq!(r.total_accesses, 100);
-        assert!(r.order_stable_percent[0] < 10.0, "top-1 fixed from the first checkpoint");
+        assert!(
+            r.order_stable_percent[0] < 10.0,
+            "top-1 fixed from the first checkpoint"
+        );
     }
 
     #[test]

@@ -89,7 +89,11 @@ fn attribution_flags_zero_heavy_misses() {
     let mut study = MissAttribution::new(geom, vec![0], vec![0]);
     trace.replay(&mut study);
     assert!(study.total_misses() > 0);
-    assert!(study.percent_accessed() > 40.0, "{}", study.percent_accessed());
+    assert!(
+        study.percent_accessed() > 40.0,
+        "{}",
+        study.percent_accessed()
+    );
 }
 
 #[test]

@@ -22,7 +22,10 @@ pub fn cache_bits(geom: &CacheGeometry) -> u64 {
 ///
 /// Panics if `line_bytes` is not a positive power of two of at least 4.
 pub fn victim_cache_bits(entries: u32, line_bytes: u32) -> u64 {
-    assert!(line_bytes.is_power_of_two() && line_bytes >= 4, "bad line size");
+    assert!(
+        line_bytes.is_power_of_two() && line_bytes >= 4,
+        "bad line size"
+    );
     let tag_bits = 32 - line_bytes.trailing_zeros();
     let per_line = line_bytes as u64 * 8 + tag_bits as u64 + 2;
     per_line * entries as u64
@@ -39,7 +42,10 @@ pub fn victim_cache_bits(entries: u32, line_bytes: u32) -> u64 {
 /// `width_bits` is outside `1..=7`.
 pub fn fvc_bits(entries: u32, words_per_line: u32, width_bits: u32) -> u64 {
     assert!(entries.is_power_of_two(), "entries must be a power of two");
-    assert!(words_per_line.is_power_of_two(), "words per line must be a power of two");
+    assert!(
+        words_per_line.is_power_of_two(),
+        "words per line must be a power of two"
+    );
     assert!((1..=7).contains(&width_bits), "width must be 1..=7 bits");
     let line_bytes = words_per_line * 4;
     let tag_bits = 32 - (line_bytes.trailing_zeros() + entries.trailing_zeros());
@@ -76,7 +82,10 @@ mod tests {
         let fvc = fvc_bits(512, 8, 3);
         let equivalent = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
         let cache = cache_bits(&equivalent);
-        assert!(cache as f64 / fvc as f64 > 5.0, "cache {cache} vs fvc {fvc}");
+        assert!(
+            cache as f64 / fvc as f64 > 5.0,
+            "cache {cache} vs fvc {fvc}"
+        );
     }
 
     #[test]

@@ -117,7 +117,12 @@ pub struct AccessTime {
 impl AccessTime {
     /// Total access time in nanoseconds.
     pub fn total(&self) -> f64 {
-        self.decoder + self.wordline + self.bitline + self.sense + self.compare + self.mux
+        self.decoder
+            + self.wordline
+            + self.bitline
+            + self.sense
+            + self.compare
+            + self.mux
             + self.extra
     }
 }
@@ -190,7 +195,10 @@ pub fn dm_cache_time(geom: &CacheGeometry, tech: &Tech) -> AccessTime {
 /// `width_bits` is outside `1..=7`.
 pub fn fvc_time(entries: u32, words_per_line: u32, width_bits: u32, tech: &Tech) -> AccessTime {
     assert!(entries.is_power_of_two(), "entries must be a power of two");
-    assert!(words_per_line.is_power_of_two(), "words per line must be a power of two");
+    assert!(
+        words_per_line.is_power_of_two(),
+        "words per line must be a power of two"
+    );
     assert!((1..=7).contains(&width_bits), "width must be 1..=7 bits");
     let line_bytes = words_per_line * 4;
     let tag_bits = 32 - (line_bytes.trailing_zeros() + entries.trailing_zeros());
@@ -207,7 +215,10 @@ pub fn fvc_time(entries: u32, words_per_line: u32, width_bits: u32, tech: &Tech)
 /// of two of at least one word.
 pub fn fully_assoc_time(entries: u32, line_bytes: u32, tech: &Tech) -> AccessTime {
     assert!(entries > 0, "need at least one entry");
-    assert!(line_bytes.is_power_of_two() && line_bytes >= 4, "bad line size");
+    assert!(
+        line_bytes.is_power_of_two() && line_bytes >= 4,
+        "bad line size"
+    );
     let tag_bits = 32 - line_bytes.trailing_zeros();
     let data_bits = (entries * line_bytes * 8) as f64;
     let (rows, cols) = organize(data_bits);
@@ -280,7 +291,10 @@ mod tests {
                 }
             }
         }
-        assert!(at_least >= 12, "only {at_least} of 15 configs are >= FVC time {f}");
+        assert!(
+            at_least >= 12,
+            "only {at_least} of 15 configs are >= FVC time {f}"
+        );
     }
 
     #[test]
@@ -320,7 +334,11 @@ mod tests {
 
     #[test]
     fn display_formats_total() {
-        let t = AccessTime { decoder: 1.0, sense: 0.5, ..Default::default() };
+        let t = AccessTime {
+            decoder: 1.0,
+            sense: 0.5,
+            ..Default::default()
+        };
         assert_eq!(t.to_string(), "1.50ns");
     }
 

@@ -105,7 +105,13 @@ struct Compiler<'b> {
 
 impl<'b> Compiler<'b> {
     fn new(bus: &'b mut dyn Bus) -> Self {
-        Compiler { bus, unit_nodes: Vec::new(), nodes_allocated: 0, folded: 0, dce_removed: 0 }
+        Compiler {
+            bus,
+            unit_nodes: Vec::new(),
+            nodes_allocated: 0,
+            folded: 0,
+            dce_removed: 0,
+        }
     }
 
     /// Releases every AST node of the finished unit (gcc's per-function
@@ -350,7 +356,11 @@ impl<'b> Compiler<'b> {
                 }
             }
             N_ASSIGN | N_RET => {
-                let b = if self.kind(n) == N_ASSIGN { self.b(n) } else { self.a(n) };
+                let b = if self.kind(n) == N_ASSIGN {
+                    self.b(n)
+                } else {
+                    self.a(n)
+                };
                 self.fold(b);
             }
             N_SEQ => {
@@ -570,7 +580,11 @@ pub struct GccLike {
 impl GccLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        GccLike { input, seed, last_result: None }
+        GccLike {
+            input,
+            seed,
+            last_result: None,
+        }
     }
 }
 

@@ -39,8 +39,16 @@ impl<'b> Lzw<'b> {
         let hash_codes = bus.global(hash_size);
         let prefixes = bus.global(MAX_CODES);
         let suffixes = bus.global(MAX_CODES);
-        let mut lzw =
-            Lzw { bus, hash_keys, hash_codes, hash_size, prefixes, suffixes, next_code: FIRST_CODE, resets: 0 };
+        let mut lzw = Lzw {
+            bus,
+            hash_keys,
+            hash_codes,
+            hash_size,
+            prefixes,
+            suffixes,
+            next_code: FIRST_CODE,
+            resets: 0,
+        };
         lzw.clear();
         lzw
     }
@@ -192,7 +200,11 @@ pub struct CompressLike {
 impl CompressLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        CompressLike { input, seed, last_result: None }
+        CompressLike {
+            input,
+            seed,
+            last_result: None,
+        }
     }
 }
 
@@ -303,8 +315,15 @@ mod tests {
     fn dictionary_reset_path_round_trips() {
         // Long mixed input forces MAX_CODES and a CLEAR_CODE reset.
         let mut rng = Rng::new(5);
-        let data: Vec<u8> =
-            (0..40_000).map(|_| if rng.chance(0.5) { b'x' } else { rng.below(256) as u8 }).collect();
+        let data: Vec<u8> = (0..40_000)
+            .map(|_| {
+                if rng.chance(0.5) {
+                    b'x'
+                } else {
+                    rng.below(256) as u8
+                }
+            })
+            .collect();
         let mut sink = NullSink;
         let mut mem = TracedMemory::new(&mut sink);
         let input = mem.alloc(data.len() as u32);

@@ -104,7 +104,12 @@ impl Instr {
 
 // Assembler helpers: register-register ops put rt in imm.
 fn r3(op: Op, rd: u8, rs: u8, rt: u8) -> Instr {
-    Instr { op, rd, rs, imm: rt as u16 }
+    Instr {
+        op,
+        rd,
+        rs,
+        imm: rt as u16,
+    }
 }
 
 fn ri(op: Op, rd: u8, rs: u8, imm: u16) -> Instr {
@@ -169,11 +174,15 @@ impl<'b> Machine<'b> {
     fn set_reg(&mut self, r: u8, v: u32) {
         // r0 is hardwired to zero but the write port still fires, as in
         // a uniform datapath.
-        self.bus.store_idx(self.regs, r as u32, if r == 0 { 0 } else { v });
+        self.bus
+            .store_idx(self.regs, r as u32, if r == 0 { 0 } else { v });
     }
 
     fn mem_addr(&self, word_index: u32) -> Addr {
-        assert!(word_index < self.dmem_words, "simulated access out of image");
+        assert!(
+            word_index < self.dmem_words,
+            "simulated access out of image"
+        );
         self.dmem + word_index * 4
     }
 
@@ -271,7 +280,13 @@ impl<'b> Machine<'b> {
 ///
 /// Layout (word indices): `[0..8)` results, `[8..8+table)` sort table,
 /// `[sparse_base..sparse_base+sparse)` sparse region.
-fn benchmark_program(table: u16, sparse_base: u16, sparse: u16, reps: u16, seed: u16) -> Vec<Instr> {
+fn benchmark_program(
+    table: u16,
+    sparse_base: u16,
+    sparse: u16,
+    reps: u16,
+    seed: u16,
+) -> Vec<Instr> {
     use Op::*;
     let mut p: Vec<Instr> = Vec::new();
     // r1 = reps, r2 = i, r3 = j, r4..r7 scratch, r8 = table base,
@@ -289,7 +304,7 @@ fn benchmark_program(table: u16, sparse_base: u16, sparse: u16, reps: u16, seed:
     p.push(ri(Addi, 2, 2, 1));
     p.push(r3(Sltu, 6, 2, 5));
     p.push(ri(Bne, 6, 0, ms_top)); // while i < sparse
-    // --- fill table with LCG values ---
+                                   // --- fill table with LCG values ---
     p.push(ri(Li, 8, 0, 8));
     p.push(ri(Li, 2, 0, 0));
     p.push(ri(Li, 5, 0, table));
@@ -385,7 +400,11 @@ pub struct M88ksimLike {
 impl M88ksimLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        M88ksimLike { input, seed, last_result: None }
+        M88ksimLike {
+            input,
+            seed,
+            last_result: None,
+        }
     }
 }
 
@@ -441,7 +460,12 @@ mod tests {
             Op::J,
             Op::Halt,
         ] {
-            let i = Instr { op, rd: 17, rs: 5, imm: 0xabc };
+            let i = Instr {
+                op,
+                rd: 17,
+                rs: 5,
+                imm: 0xabc,
+            };
             assert_eq!(Instr::decode(i.encode()), i);
         }
     }

@@ -20,7 +20,11 @@ struct Grid2<'a> {
 impl Grid2<'_> {
     fn new(bus: &mut dyn Bus, rows: u32, cols: u32, init: f32) -> Self {
         let base = bus.alloc(rows * cols);
-        let g = Grid2 { base, cols, _marker: std::marker::PhantomData };
+        let g = Grid2 {
+            base,
+            cols,
+            _marker: std::marker::PhantomData,
+        };
         for r in 0..rows {
             for c in 0..cols {
                 g.set(bus, r, c, init);
@@ -62,7 +66,11 @@ pub struct TomcatvLike {
 impl TomcatvLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        TomcatvLike { input, seed, last_residual: None }
+        TomcatvLike {
+            input,
+            seed,
+            last_residual: None,
+        }
     }
 }
 
@@ -134,7 +142,11 @@ pub struct SwimLike {
 impl SwimLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        SwimLike { input, seed, last_volume: None }
+        SwimLike {
+            input,
+            seed,
+            last_volume: None,
+        }
     }
 }
 
@@ -153,7 +165,7 @@ impl Workload for SwimLike {
         let u = Grid2::new(bus, n, n, 0.0); // velocities start still
         let v = Grid2::new(bus, n, n, 0.0);
         let h = Grid2::new(bus, n, n, 1.0); // uniform depth
-        // A droplet disturbance.
+                                            // A droplet disturbance.
         let (dr, dc) = (1 + rng.below(n - 2), 1 + rng.below(n - 2));
         h.set(bus, dr, dc, 1.5);
         let dt = 0.05f32;
@@ -173,8 +185,7 @@ impl Workload for SwimLike {
             // Continuity: height update from velocity divergence.
             for r in 1..n - 1 {
                 for c in 1..n - 1 {
-                    let div = (u.get(bus, r, c + 1) - u.get(bus, r, c - 1)
-                        + v.get(bus, r + 1, c)
+                    let div = (u.get(bus, r, c + 1) - u.get(bus, r, c - 1) + v.get(bus, r + 1, c)
                         - v.get(bus, r - 1, c))
                         * 0.5;
                     let nh = h.get(bus, r, c) - dt * div;
@@ -205,7 +216,11 @@ pub struct Hydro2dLike {
 impl Hydro2dLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        Hydro2dLike { input, seed, last_mass: None }
+        Hydro2dLike {
+            input,
+            seed,
+            last_mass: None,
+        }
     }
 }
 
@@ -271,7 +286,11 @@ pub struct ApplULike {
 impl ApplULike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        ApplULike { input, seed, last_norm: None }
+        ApplULike {
+            input,
+            seed,
+            last_norm: None,
+        }
     }
 }
 
@@ -305,8 +324,11 @@ impl Workload for ApplULike {
         for _ in 0..8 {
             let r = || 0;
             let _ = r;
-            let (x, y, z) =
-                (1 + rng.below(n - 2), 1 + rng.below(n - 2), 1 + rng.below(n - 2));
+            let (x, y, z) = (
+                1 + rng.below(n - 2),
+                1 + rng.below(n - 2),
+                1 + rng.below(n - 2),
+            );
             bus.store_f32(base + idx(x, y, z) * 4, 1.0);
         }
         let omega = 1.2f32;

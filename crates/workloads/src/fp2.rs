@@ -20,7 +20,11 @@ pub struct MgridLike {
 impl MgridLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        MgridLike { input, seed, last_residuals: None }
+        MgridLike {
+            input,
+            seed,
+            last_residuals: None,
+        }
     }
 }
 
@@ -169,7 +173,11 @@ pub struct Wave5Like {
 impl Wave5Like {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        Wave5Like { input, seed, last_inside: None }
+        Wave5Like {
+            input,
+            seed,
+            last_inside: None,
+        }
     }
 }
 
@@ -203,8 +211,14 @@ impl Workload for Wave5Like {
             // A tight beam near the centre: most of the grid never sees
             // charge, so the far field stays exactly zero.
             let span = (n / 8) as f32;
-            bus.store_f32(px + p * 4, (n / 2) as f32 + (rng.unit_f64() as f32 - 0.5) * span);
-            bus.store_f32(py + p * 4, (n / 2) as f32 + (rng.unit_f64() as f32 - 0.5) * span);
+            bus.store_f32(
+                px + p * 4,
+                (n / 2) as f32 + (rng.unit_f64() as f32 - 0.5) * span,
+            );
+            bus.store_f32(
+                py + p * 4,
+                (n / 2) as f32 + (rng.unit_f64() as f32 - 0.5) * span,
+            );
             bus.store_f32(vx + p * 4, 0.0);
             bus.store_f32(vy + p * 4, 0.0);
         }
@@ -292,7 +306,10 @@ mod tests {
             w.run(&mut mem);
         }
         let inside = w.last_inside.unwrap();
-        assert!(inside > 400, "most of the 800 particles stay inside: {inside}");
+        assert!(
+            inside > 400,
+            "most of the 800 particles stay inside: {inside}"
+        );
     }
 
     #[test]

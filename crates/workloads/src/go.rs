@@ -68,8 +68,7 @@ impl<'b> Game<'b> {
     /// Incremental position key (order-dependent but adequate for a
     /// transposition cache).
     fn mix_key(&mut self, i: u32, player: u32) {
-        self.key ^= (i.wrapping_add(1).wrapping_mul(0x85eb_ca6b))
-            .rotate_left(player * 7 + 1);
+        self.key ^= (i.wrapping_add(1).wrapping_mul(0x85eb_ca6b)).rotate_left(player * 7 + 1);
     }
 
     /// Probes the transposition table; returns the stored score when the
@@ -283,8 +282,7 @@ impl<'b> Game<'b> {
             self.bus.copy_words(self.board, frame, cells);
             let saved_key = self.key;
             let captured = self.play(mv, player, stamp);
-            let (mut score, _) =
-                self.search(3 - player, depth - 1, -beta, -alpha, width, stamp);
+            let (mut score, _) = self.search(3 - player, depth - 1, -beta, -alpha, width, stamp);
             score = -score + captured as i32 * 16;
             // Restore.
             self.bus.copy_words(frame, self.board, cells);
@@ -318,7 +316,11 @@ pub struct GoLike {
 impl GoLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        GoLike { input, seed, last_result: None }
+        GoLike {
+            input,
+            seed,
+            last_result: None,
+        }
     }
 }
 

@@ -48,8 +48,11 @@ fn zigzag_order() -> [(usize, usize); 64] {
                 (j < B).then_some((i, j))
             })
             .collect();
-        let iter: Box<dyn Iterator<Item = (usize, usize)>> =
-            if s % 2 == 0 { Box::new(coords.into_iter().rev()) } else { Box::new(coords.into_iter()) };
+        let iter: Box<dyn Iterator<Item = (usize, usize)>> = if s % 2 == 0 {
+            Box::new(coords.into_iter().rev())
+        } else {
+            Box::new(coords.into_iter())
+        };
         for c in iter {
             order[n] = c;
             n += 1;
@@ -66,7 +69,11 @@ struct Codec<'b> {
 
 impl<'b> Codec<'b> {
     fn new(bus: &'b mut dyn Bus) -> Self {
-        Codec { bus, cos: cos_table(), zigzag: zigzag_order() }
+        Codec {
+            bus,
+            cos: cos_table(),
+            zigzag: zigzag_order(),
+        }
     }
 
     fn load_block(&mut self, img: Addr, width: u32, bx: u32, by: u32, out: &mut [[i64; B]; B]) {
@@ -194,7 +201,11 @@ pub struct IjpegLike {
 impl IjpegLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        IjpegLike { input, seed, last_result: None }
+        IjpegLike {
+            input,
+            seed,
+            last_result: None,
+        }
     }
 }
 

@@ -110,7 +110,10 @@ pub fn fv_six(input: InputSize, seed: u64) -> Vec<Box<dyn Workload>> {
 /// The two SPECint95 benchmarks *without* frequent value locality:
 /// compress and ijpeg.
 pub fn non_fv_two(input: InputSize, seed: u64) -> Vec<Box<dyn Workload>> {
-    vec![Box::new(CompressLike::new(input, seed)), Box::new(IjpegLike::new(input, seed))]
+    vec![
+        Box::new(CompressLike::new(input, seed)),
+        Box::new(IjpegLike::new(input, seed)),
+    ]
 }
 
 /// All eight SPECint95-like workloads in the paper's order.
@@ -164,7 +167,13 @@ pub struct Rng {
 impl Rng {
     /// Seeds the generator; a zero seed is remapped to a fixed constant.
     pub fn new(seed: u64) -> Self {
-        Rng { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+        Rng {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next raw 64-bit value.
@@ -215,7 +224,10 @@ mod tests {
 
     #[test]
     fn registry_names_round_trip() {
-        for w in all_int(InputSize::Test, 1).iter().chain(all_fp(InputSize::Test, 1).iter()) {
+        for w in all_int(InputSize::Test, 1)
+            .iter()
+            .chain(all_fp(InputSize::Test, 1).iter())
+        {
             let looked = by_name(w.name(), InputSize::Test, 1).expect("by_name finds it");
             assert_eq!(looked.name(), w.name());
             assert!(!w.mirrors().is_empty());
@@ -225,7 +237,10 @@ mod tests {
 
     #[test]
     fn fv_six_is_the_papers_order() {
-        let names: Vec<_> = fv_six(InputSize::Test, 1).iter().map(|w| w.name()).collect();
+        let names: Vec<_> = fv_six(InputSize::Test, 1)
+            .iter()
+            .map(|w| w.name())
+            .collect();
         assert_eq!(names, vec!["go", "m88ksim", "gcc", "li", "perl", "vortex"]);
     }
 

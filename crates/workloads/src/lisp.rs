@@ -554,7 +554,11 @@ pub struct LiLike {
 impl LiLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        LiLike { input, seed, last_results: Vec::new() }
+        LiLike {
+            input,
+            seed,
+            last_results: Vec::new(),
+        }
     }
 
     fn script(&self) -> (String, u32) {
@@ -635,10 +639,7 @@ mod tests {
 
     #[test]
     fn define_lambda_and_recursion() {
-        assert_eq!(
-            run_script("(define (sq x) (* x x)) (sq 9)", 4096),
-            vec![81]
-        );
+        assert_eq!(run_script("(define (sq x) (* x x)) (sq 9)", 4096), vec![81]);
         assert_eq!(
             run_script(
                 "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))) (fib 10)",
@@ -691,7 +692,11 @@ mod tests {
         let mut interp = Interp::new(&mut mem, 3000);
         let r = interp.run_program(src);
         assert_eq!(r, vec![1200]);
-        assert!(interp.gc_runs > 0, "GC must have run (allocs={})", interp.allocs);
+        assert!(
+            interp.gc_runs > 0,
+            "GC must have run (allocs={})",
+            interp.allocs
+        );
     }
 
     #[test]

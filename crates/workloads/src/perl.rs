@@ -21,12 +21,24 @@ const MAX_WORD_LEN: usize = 16;
 /// Zipfy word distribution.
 fn generate_text(rng: &mut Rng, words: usize) -> String {
     const COMMON: &[&str] = &[
-        "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was", "for",
-        "on", "are", "as", "with", "his", "they", "at",
+        "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was", "for", "on",
+        "are", "as", "with", "his", "they", "at",
     ];
     const RARE: &[&str] = &[
-        "xylophone", "quixotic", "zephyr", "labyrinth", "ephemeral", "paradox", "quantum",
-        "nebula", "cascade", "harbinger", "monolith", "citadel", "aurora", "tempest",
+        "xylophone",
+        "quixotic",
+        "zephyr",
+        "labyrinth",
+        "ephemeral",
+        "paradox",
+        "quantum",
+        "nebula",
+        "cascade",
+        "harbinger",
+        "monolith",
+        "citadel",
+        "aurora",
+        "tempest",
     ];
     let mut out = String::new();
     for i in 0..words {
@@ -65,7 +77,13 @@ impl<'b> HashTable<'b> {
         for i in 0..bucket_count {
             bus.store_idx(buckets, i, 0); // null — the frequent value
         }
-        HashTable { bus, buckets, bucket_count, entries: 0, probes: 0 }
+        HashTable {
+            bus,
+            buckets,
+            bucket_count,
+            entries: 0,
+            probes: 0,
+        }
     }
 
     fn hash(word: &[u8]) -> u32 {
@@ -172,7 +190,11 @@ pub struct PerlLike {
 impl PerlLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        PerlLike { input, seed, last_result: None }
+        PerlLike {
+            input,
+            seed,
+            last_result: None,
+        }
     }
 }
 
@@ -333,7 +355,10 @@ mod tests {
         let (distinct, total, top) = w.last_result.unwrap();
         assert!(distinct > 30, "distinct={distinct}");
         assert!(total > 5_000, "total={total}");
-        assert!(top >= total / 50, "the top word is common: top={top} total={total}");
+        assert!(
+            top >= total / 50,
+            "the top word is common: top={top} total={total}"
+        );
         assert!(sink.accesses() > 60_000, "accesses: {}", sink.accesses());
     }
 

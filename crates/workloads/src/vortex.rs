@@ -189,7 +189,11 @@ pub struct VortexLike {
 impl VortexLike {
     /// Creates the workload.
     pub fn new(input: InputSize, seed: u64) -> Self {
-        VortexLike { input, seed, last_result: None }
+        VortexLike {
+            input,
+            seed,
+            last_result: None,
+        }
     }
 }
 

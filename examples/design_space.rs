@@ -44,7 +44,10 @@ fn main() {
     );
 
     println!("% miss-rate reduction by FVC entries x exploited values:");
-    println!("{:>8} {:>8} {:>8} {:>8}", "entries", "top-1", "top-3", "top-7");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8}",
+        "entries", "top-1", "top-3", "top-7"
+    );
     for entries in [64u32, 128, 256, 512, 1024, 2048, 4096] {
         let mut row = format!("{entries:>8}");
         for k in [1usize, 3, 7] {
@@ -58,7 +61,10 @@ fn main() {
     println!("\nablations at 512 entries, top-7 values:");
     let values = FrequentValueSet::from_ranking(&ranking, 7).expect("nonempty");
     let configs = [
-        ("paper defaults", HybridConfig::new(geom, 512, values.clone())),
+        (
+            "paper defaults",
+            HybridConfig::new(geom, 512, values.clone()),
+        ),
         (
             "no write-allocate rule",
             HybridConfig::new(geom, 512, values.clone()).write_allocate_fvc(false),
@@ -75,9 +81,15 @@ fn main() {
             "insert only half-frequent lines",
             HybridConfig::new(geom, 512, values.clone()).min_frequent_words(4),
         ),
-        ("2-way FVC", HybridConfig::new(geom, 512, values).fvc_associativity(2)),
+        (
+            "2-way FVC",
+            HybridConfig::new(geom, 512, values).fvc_associativity(2),
+        ),
     ];
     for (label, config) in configs {
-        println!("  {label:<32} {:>6.1}% reduction", cut(&trace, config, base));
+        println!(
+            "  {label:<32} {:>6.1}% reduction",
+            cut(&trace, config, base)
+        );
     }
 }

@@ -46,7 +46,11 @@ fn main() {
     trace.replay(&mut compressed);
 
     println!("== {name} on a 16KB direct-mapped cache ==\n");
-    println!("{:<44} miss {:.3}%", base.label(), base.stats().miss_percent());
+    println!(
+        "{:<44} miss {:.3}%",
+        base.label(),
+        base.stats().miss_percent()
+    );
     println!(
         "{:<44} miss {:.3}%  (cut {:.1}%)",
         "offline-profiled FVC (512 entries, top-7)",

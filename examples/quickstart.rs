@@ -12,16 +12,26 @@ use fvl::workloads::{by_name, InputSize};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.iter().find(|a| !a.starts_with('-')).map(String::as_str).unwrap_or("li");
-    let input =
-        if args.iter().any(|a| a == "--ref") { InputSize::Ref } else { InputSize::Test };
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .unwrap_or("li");
+    let input = if args.iter().any(|a| a == "--ref") {
+        InputSize::Ref
+    } else {
+        InputSize::Test
+    };
 
     // 1. Run the workload once, recording every memory access.
     let mut workload = by_name(name, input, 1).unwrap_or_else(|| {
         eprintln!("unknown workload {name}; try go|m88ksim|gcc|li|perl|vortex|compress|ijpeg");
         std::process::exit(1);
     });
-    println!("running {name} ({input} input, mirrors {})...", workload.mirrors());
+    println!(
+        "running {name} ({input} input, mirrors {})...",
+        workload.mirrors()
+    );
     let mut buf = TraceBuffer::new();
     {
         let mut mem = TracedMemory::new(&mut buf);
@@ -51,7 +61,11 @@ fn main() {
     let mut hybrid = HybridCache::new(HybridConfig::new(geom, 512, values));
     trace.replay(&mut hybrid);
 
-    println!("\n  {:<28} miss rate {:.3}%", dmc.label(), dmc.stats().miss_percent());
+    println!(
+        "\n  {:<28} miss rate {:.3}%",
+        dmc.label(),
+        dmc.stats().miss_percent()
+    );
     println!(
         "  {:<28} miss rate {:.3}%  ({:+.1}% reduction)",
         "with 1.5KB FVC (512 x top-7)",

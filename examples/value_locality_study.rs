@@ -30,17 +30,31 @@ fn main() {
     // Frequently accessed values.
     let mut counter = ValueCounter::new();
     trace.replay(&mut counter);
-    println!("\naccessed: {} accesses, {} distinct values", counter.total(), counter.distinct_values());
+    println!(
+        "\naccessed: {} accesses, {} distinct values",
+        counter.total(),
+        counter.distinct_values()
+    );
     for k in [1usize, 3, 7, 10] {
-        println!("  top-{k:<2} cover {:5.1}% of accesses", counter.coverage(k) * 100.0);
+        println!(
+            "  top-{k:<2} cover {:5.1}% of accesses",
+            counter.coverage(k) * 100.0
+        );
     }
 
     // Frequently occurring values (snapshot census).
     let mut occ = OccurrenceSampler::new();
     trace.replay_with_snapshots(&mut occ, sample_every);
-    println!("\noccurring: {} snapshots, avg {:.0} live locations", occ.samples(), occ.avg_locations());
+    println!(
+        "\noccurring: {} snapshots, avg {:.0} live locations",
+        occ.samples(),
+        occ.avg_locations()
+    );
     for k in [1usize, 3, 7, 10] {
-        println!("  top-{k:<2} occupy {:5.1}% of locations", occ.coverage(k) * 100.0);
+        println!(
+            "  top-{k:<2} occupy {:5.1}% of locations",
+            occ.coverage(k) * 100.0
+        );
     }
 
     // Stability (Table 3).

@@ -35,7 +35,10 @@ fn main() {
     let mut base = CacheSim::new(geom);
     trace.replay(&mut base);
     let base_rate = base.stats().miss_rate();
-    println!("== {name}: 4KB DMC baseline miss rate {:.3}% ==\n", base.stats().miss_percent());
+    println!(
+        "== {name}: 4KB DMC baseline miss rate {:.3}% ==\n",
+        base.stats().miss_percent()
+    );
 
     let tech = Tech::micron_0_8();
     let run_vc = |entries: usize| {

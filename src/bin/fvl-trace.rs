@@ -39,8 +39,15 @@ struct Flags {
 }
 
 fn parse_flags(args: &[String]) -> Option<Flags> {
-    let mut flags =
-        Flags { input: InputSize::Ref, seed: 1, kb: 16, line: 32, assoc: 1, fvc: None, values: 7 };
+    let mut flags = Flags {
+        input: InputSize::Ref,
+        seed: 1,
+        kb: 16,
+        line: 32,
+        assoc: 1,
+        fvc: None,
+        values: 7,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut next = || it.next().cloned();
@@ -85,7 +92,9 @@ fn main() -> ExitCode {
         }
         (pos, rest)
     };
-    let Some(flags) = parse_flags(&flag_args) else { return usage() };
+    let Some(flags) = parse_flags(&flag_args) else {
+        return usage();
+    };
 
     match positional.as_slice() {
         [cmd, name, path] if cmd == "record" => {
@@ -111,7 +120,10 @@ fn main() -> ExitCode {
                 eprintln!("write failed: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("recorded {} accesses from {name} into {path}", trace.accesses());
+            println!(
+                "recorded {} accesses from {name} into {path}",
+                trace.accesses()
+            );
             ExitCode::SUCCESS
         }
         [cmd, path] if cmd == "info" => {
@@ -121,7 +133,11 @@ fn main() -> ExitCode {
             };
             let mut counter = ValueCounter::new();
             trace.replay(&mut counter);
-            println!("{path}: {} events, {} accesses", trace.len(), trace.accesses());
+            println!(
+                "{path}: {} events, {} accesses",
+                trace.len(),
+                trace.accesses()
+            );
             println!(
                 "  {} loads / {} stores, {} distinct values",
                 counter.loads(),
@@ -156,10 +172,8 @@ fn main() -> ExitCode {
             if let Some(entries) = flags.fvc {
                 let mut counter = ValueCounter::new();
                 trace.replay(&mut counter);
-                let values = match FrequentValueSet::from_ranking(
-                    &counter.ranking(),
-                    flags.values,
-                ) {
+                let values = match FrequentValueSet::from_ranking(&counter.ranking(), flags.values)
+                {
                     Ok(v) => v,
                     Err(e) => {
                         eprintln!("cannot build value set: {e}");

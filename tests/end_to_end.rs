@@ -26,9 +26,9 @@ fn capture(name: &str) -> (Trace, Vec<u32>) {
 /// whole-system coherence check.
 #[test]
 fn all_controllers_stay_coherent_on_every_workload() {
-    for name in
-        ["go", "m88ksim", "gcc", "li", "perl", "vortex", "compress", "ijpeg", "tomcatv", "swim"]
-    {
+    for name in [
+        "go", "m88ksim", "gcc", "li", "perl", "vortex", "compress", "ijpeg", "tomcatv", "swim",
+    ] {
         let (trace, ranking) = capture(name);
         let geom = CacheGeometry::new(8 * 1024, 32, 1).unwrap();
 
@@ -105,7 +105,10 @@ fn traffic_is_consistent_with_fetch_and_writeback_counts() {
     let wpl = geom.words_per_line() as u64;
     assert_eq!(sim.memory().words_out(), sim.stats().fetches * wpl);
     assert_eq!(sim.memory().words_in(), sim.stats().writebacks * wpl);
-    assert_eq!(sim.traffic_words(), sim.memory().words_out() + sim.memory().words_in());
+    assert_eq!(
+        sim.traffic_words(),
+        sim.memory().words_out() + sim.memory().words_in()
+    );
 }
 
 /// A bigger direct-mapped cache cannot have more fetches than the trace
@@ -120,6 +123,10 @@ fn stats_conservation_across_geometries() {
         let s = sim.stats();
         assert_eq!(s.accesses(), trace.accesses());
         assert_eq!(s.hits() + s.misses(), s.accesses());
-        assert_eq!(s.fetches, s.misses(), "write-allocate fetches once per miss");
+        assert_eq!(
+            s.fetches,
+            s.misses(),
+            "write-allocate fetches once per miss"
+        );
     }
 }

@@ -76,7 +76,10 @@ fn compressed_cache_helps_value_dense_workloads() {
         compressed.stats().miss_percent(),
         base.stats().miss_percent()
     );
-    assert!(compressed.avg_compressed_fraction() > 0.5, "mostly compressed lines");
+    assert!(
+        compressed.avg_compressed_fraction() > 0.5,
+        "mostly compressed lines"
+    );
     assert_eq!(compressed.stats().accesses(), trace.accesses());
 }
 

@@ -28,7 +28,11 @@ fn capture(name: &str) -> Captured {
     trace.replay(&mut counter);
     let mut occ = OccurrenceSampler::new();
     trace.replay_with_snapshots(&mut occ, (trace.accesses() / 20).max(1));
-    Captured { trace, counter, occ }
+    Captured {
+        trace,
+        counter,
+        occ,
+    }
 }
 
 const FV_SIX: [&str; 6] = ["go", "m88ksim", "gcc", "li", "perl", "vortex"];
@@ -44,12 +48,23 @@ fn claim_frequent_value_locality_exists() {
         let occ10 = c.occ.coverage(10) * 100.0;
         let acc10 = c.counter.coverage(10) * 100.0;
         assert!(occ10 > 35.0, "{name}: top-10 occupy only {occ10:.1}%");
-        assert!(acc10 > 25.0, "{name}: top-10 cover only {acc10:.1}% of accesses");
+        assert!(
+            acc10 > 25.0,
+            "{name}: top-10 cover only {acc10:.1}% of accesses"
+        );
         occ_sum += occ10;
         acc_sum += acc10;
     }
-    assert!(occ_sum / 6.0 > 50.0, "avg occupancy {:.1}% should exceed 50%", occ_sum / 6.0);
-    assert!(acc_sum / 6.0 > 40.0, "avg access share {:.1}% should be near 50%", acc_sum / 6.0);
+    assert!(
+        occ_sum / 6.0 > 50.0,
+        "avg occupancy {:.1}% should exceed 50%",
+        occ_sum / 6.0
+    );
+    assert!(
+        acc_sum / 6.0 > 40.0,
+        "avg access share {:.1}% should be near 50%",
+        acc_sum / 6.0
+    );
 
     let ijpeg = capture("ijpeg");
     assert!(
@@ -106,7 +121,10 @@ fn claim_reductions_grow_with_fvc_size() {
         };
         let small = cut(64);
         let large = cut(4096);
-        assert!(large > small, "{name}: 4096 entries ({large:.1}%) <= 64 ({small:.1}%)");
+        assert!(
+            large > small,
+            "{name}: 4096 entries ({large:.1}%) <= 64 ({small:.1}%)"
+        );
     }
 }
 
@@ -130,7 +148,10 @@ fn claim_value_count_step_sizes() {
         gain13 += c3 - c1;
         gain37 += c7 - c3;
     }
-    assert!(gain13 > 0.0, "3 values should beat 1 on average: {gain13:.1}");
+    assert!(
+        gain13 > 0.0,
+        "3 values should beat 1 on average: {gain13:.1}"
+    );
     assert!(
         gain13 > gain37,
         "1→3 should gain more than 3→7 (paper): {gain13:.1} vs {gain37:.1}"
@@ -164,11 +185,13 @@ fn claim_fvc_is_nearly_harmless_even_with_strict_accounting() {
         let mut base = CacheSim::new(geom);
         c.trace.replay(&mut base);
         let values = FrequentValueSet::from_ranking(&c.counter.ranking(), 7).unwrap();
-        let mut strict = HybridCache::new(
-            HybridConfig::new(geom, 512, values).count_write_alloc_as_miss(true),
-        );
+        let mut strict =
+            HybridCache::new(HybridConfig::new(geom, 512, values).count_write_alloc_as_miss(true));
         c.trace.replay(&mut strict);
         let cut = strict.stats().miss_reduction_vs(base.stats());
-        assert!(cut > -35.0, "{name}: strict-accounting regression {cut:.1}%");
+        assert!(
+            cut > -35.0,
+            "{name}: strict-accounting regression {cut:.1}%"
+        );
     }
 }

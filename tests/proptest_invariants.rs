@@ -1,9 +1,12 @@
 //! Property-based tests of the core invariants.
+//!
+//! Gated behind the `proptest` feature so the default test run stays
+//! fast: `cargo test --features proptest`.
+#![cfg(feature = "proptest")]
 
 use fvl::cache::{CacheGeometry, CacheSim, Simulator};
 use fvl::core::{
-    CodeArray, CompressedCache, FrequentValueSet, FvcLine, HybridCache, HybridConfig,
-    VictimHybrid,
+    CodeArray, CompressedCache, FrequentValueSet, FvcLine, HybridCache, HybridConfig, VictimHybrid,
 };
 use fvl::mem::{Access, AccessSink};
 use proptest::prelude::*;
@@ -15,8 +18,12 @@ fn any_geometry() -> impl Strategy<Value = CacheGeometry> {
     (2u32..=16, 2u32..=6, 0u32..=3).prop_filter_map(
         "divisible organization",
         |(size_log2, line_log2, assoc_log2)| {
-            CacheGeometry::new(1u64 << size_log2.max(line_log2 + assoc_log2 + 1), 1 << line_log2, 1 << assoc_log2)
-                .ok()
+            CacheGeometry::new(
+                1u64 << size_log2.max(line_log2 + assoc_log2 + 1),
+                1 << line_log2,
+                1 << assoc_log2,
+            )
+            .ok()
         },
     )
 }

@@ -1,0 +1,520 @@
+//! Offline property-testing shim, API-compatible with the subset of
+//! [proptest](https://crates.io/crates/proptest) this workspace uses.
+//!
+//! The build environment has no network access, so the real crate
+//! cannot be downloaded; the workspace `[patch.crates-io]` table points
+//! the `proptest` dependency here instead. The shim is a genuine (if
+//! small) property-testing engine: strategies generate pseudo-random
+//! values from a deterministic per-test RNG and every `proptest!` test
+//! runs `ProptestConfig::cases` cases. There is no shrinking — a
+//! failing case panics with the generated inputs left to inspect via
+//! the assertion message.
+//!
+//! Supported surface:
+//!
+//! * `proptest! { ... }` with optional `#![proptest_config(...)]`
+//! * integer range strategies (`0u32..100`, `1u32..=7`), `any::<T>()`
+//! * tuple strategies, `prop_oneof!`, `.prop_map`, `.prop_filter_map`
+//! * `prop::collection::vec`, `prop::collection::hash_set`,
+//!   `prop::option::of`
+//! * `prop_assert!`, `prop_assert_eq!`, `ProptestConfig::with_cases`
+
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test deterministic RNG (xorshift64*), seeded from the test name
+/// so every test draws an independent, reproducible stream. Set
+/// `PROPTEST_SEED` to vary the stream across runs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for one named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut h);
+        let env = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        let seed = h.finish() ^ env;
+        TestRng {
+            state: if seed == 0 {
+                0x2545_f491_4f6c_dd1d
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() needs a positive bound");
+        self.next_u64() % bound
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Number of cases each property runs (default 256, like proptest).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of pseudo-random values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values `f` maps to `Some`, retrying otherwise.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Clone, Debug)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map rejected 10000 candidates: {}", self.whence);
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u64) - (start as u64) + 1;
+                start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, usize);
+
+/// Produces any value of a supported primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// `any::<T>()` — the full domain of `T`.
+pub fn any<T>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<u8> {
+    type Value = u8;
+    fn generate(&self, rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Strategy for Any<u32> {
+    type Value = u32;
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        // Bias towards structured values (small, near-max) half the
+        // time, like proptest's edge-weighted generators.
+        match rng.below(4) {
+            0 => rng.below(16) as u32,
+            1 => u32::MAX - rng.below(16) as u32,
+            _ => rng.next_u64() as u32,
+        }
+    }
+}
+
+impl Strategy for Any<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Uniformly picks one of several boxed strategies (see [`prop_oneof!`]).
+pub struct OneOf<T> {
+    /// The candidate strategies.
+    pub arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Collection and option strategies (`prop::collection::vec`, ...).
+pub mod strategies {
+    use super::*;
+
+    /// A size specification: an exact `usize` or a `Range<usize>`.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+
+    /// `Vec` of values from `element`, with a size drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `HashSet` of values from `element`; insertion retries until the
+    /// sampled size is reached (bounded, so sparse domains terminate).
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.size.sample(rng);
+            let mut set = HashSet::new();
+            let mut attempts = 0usize;
+            while set.len() < n && attempts < n.saturating_mul(100) + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            assert!(
+                self.size.lo == 0 || !set.is_empty(),
+                "hash_set strategy could not reach its minimum size"
+            );
+            set
+        }
+    }
+
+    /// `Option` of values from `inner` (80% `Some`).
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit() < 0.8 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Builds a [`HashSetStrategy`].
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Builds an [`OptionStrategy`].
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection`, `prop::option`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategies::{hash_set, vec};
+    }
+    /// Option strategies.
+    pub mod option {
+        pub use crate::strategies::of;
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Uniformly picks one of the listed strategies per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let arms: Vec<Box<dyn $crate::Strategy<Value = _>>> = vec![$(Box::new($strategy)),+];
+        $crate::OneOf { arms }
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running `ProptestConfig::cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); ) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for _ in 0..config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = (1u32..=7).generate(&mut rng);
+            assert!((1..=7).contains(&v));
+            let w = (0u8..128).generate(&mut rng);
+            assert!(w < 128);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro plumbing itself round-trips values.
+        #[test]
+        fn macro_generates_cases(
+            v in prop::collection::vec((0u32..100, any::<bool>()), 1..20),
+            flag in prop::option::of(0u32..4),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (n, _) in &v {
+                prop_assert!(*n < 100);
+            }
+            if let Some(f) = flag {
+                prop_assert!(f < 4);
+            }
+        }
+
+        /// prop_oneof and prop_map compose.
+        #[test]
+        fn oneof_picks_every_arm(
+            choices in prop::collection::vec(
+                prop_oneof![
+                    (0u32..10).prop_map(|v| v * 2),
+                    (0u32..10).prop_map(|v| v * 2 + 1),
+                ],
+                1..50,
+            ),
+        ) {
+            for c in choices {
+                prop_assert!(c < 20);
+            }
+        }
+    }
+}
