@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! experiments <name>... [--quick|--train|--smoke] [--seed N] [--jobs N|--serial]
+//!             [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]
 //! experiments all [--smoke]
 //! experiments list
 //! ```
 //!
 //! Reports go to stdout; timing and engine-throughput lines go to
-//! stderr, so stdout is bit-identical for any `--jobs` count.
+//! stderr, so stdout is bit-identical for any `--jobs` count. The
+//! `--metrics` export is deterministic too, unless `--metrics-timing`
+//! opts into wall-clock fields (see `fvl_bench::metrics`).
 
 use fvl_bench::engine::Engine;
 use fvl_bench::experiments;
+use fvl_bench::metrics::{self, RunInfo};
 use fvl_bench::ExperimentContext;
 use fvl_workloads::InputSize;
 use std::process::ExitCode;
@@ -20,10 +24,14 @@ use std::time::Instant;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <name>... [--quick|--train|--smoke] [--seed N] [--jobs N|--serial]\n\
+         \x20                        [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]\n\
          names: {} | all | list\n\
          --quick uses test inputs (seconds); default is reference inputs (minutes)\n\
          --smoke truncates every test-input trace to ~1000 references (CI)\n\
-         --jobs N shards simulation cells over N workers (default: all cores); --serial = --jobs 1",
+         --jobs N shards simulation cells over N workers (default: all cores); --serial = --jobs 1\n\
+         --metrics FILE writes a versioned JSON metrics export (deterministic across --jobs)\n\
+         --metrics-csv FILE writes the per-cell log as CSV\n\
+         --metrics-timing adds wall-clock/throughput fields to the JSON export",
         experiments::all()
             .iter()
             .map(|(n, _)| *n)
@@ -42,6 +50,9 @@ fn main() -> ExitCode {
     let mut seed = 1u64;
     let mut smoke = false;
     let mut jobs: Option<usize> = None;
+    let mut metrics_json: Option<String> = None;
+    let mut metrics_csv: Option<String> = None;
+    let mut metrics_timing = false;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -61,6 +72,15 @@ fn main() -> ExitCode {
                 Some(s) => seed = s,
                 None => return usage(),
             },
+            "--metrics" => match iter.next() {
+                Some(path) => metrics_json = Some(path),
+                None => return usage(),
+            },
+            "--metrics-csv" => match iter.next() {
+                Some(path) => metrics_csv = Some(path),
+                None => return usage(),
+            },
+            "--metrics-timing" => metrics_timing = true,
             "list" => {
                 for (name, _) in experiments::all() {
                     println!("{name}");
@@ -121,5 +141,31 @@ fn main() -> ExitCode {
         if engine.jobs() == 1 { "" } else { "s" },
         engine.throughput(),
     );
+    if let Some(path) = metrics_json {
+        let run = RunInfo::new(
+            match input {
+                InputSize::Test => "test",
+                InputSize::Train => "train",
+                InputSize::Ref => "reference",
+            },
+            seed,
+            smoke,
+        );
+        let doc = metrics::json_report(&engine, &run, metrics_timing);
+        let mut body = doc.render_pretty();
+        body.push('\n');
+        if let Err(err) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write metrics file {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics: wrote {path}");
+    }
+    if let Some(path) = metrics_csv {
+        if let Err(err) = std::fs::write(&path, metrics::csv_report(&engine)) {
+            eprintln!("error: cannot write metrics CSV {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics: wrote {path}");
+    }
     ExitCode::SUCCESS
 }

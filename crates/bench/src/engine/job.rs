@@ -1,5 +1,8 @@
 //! The unit of schedulable work: one simulation cell.
 
+use super::record::ClassStats;
+use fvl_cache::CacheStats;
+
 /// Identifies one cell for diagnostics: which experiment enqueued it,
 /// which workload it replays, and which configuration it simulates.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,19 +37,61 @@ impl std::fmt::Display for CellId {
 }
 
 /// A completed cell: its output plus the number of trace references
-/// the cell replayed (for the engine's aggregate throughput counters).
+/// the cell replayed (for the engine's aggregate throughput counters)
+/// and, optionally, a label and per-cache-class counters for the
+/// engine's per-cell metrics log.
+///
+/// ```
+/// use fvl_bench::engine::{CellId, Completed};
+///
+/// let done = Completed::new(42u32, 1000)
+///     .at(CellId::new("fig10", "go", "512 entries"))
+///     .class("dmc", 900, 100);
+/// assert_eq!(done.output, 42);
+/// assert_eq!(done.classes[0].misses, 100);
+/// ```
 #[derive(Clone, Debug)]
 pub struct Completed<R> {
     /// The cell's result.
     pub output: R,
     /// References simulated while producing it.
     pub references: u64,
+    /// Cell identity for the engine's metrics log. Cells produced by a
+    /// [`Job`] are identified by [`Job::id`] instead; anonymous
+    /// closure cells without a label are counted in the aggregate
+    /// throughput but leave no per-cell record.
+    pub cell: Option<CellId>,
+    /// Per-cache-class hit/miss counters measured inside the cell.
+    pub classes: Vec<ClassStats>,
 }
 
 impl<R> Completed<R> {
     /// A completed cell that replayed `references` trace references.
     pub fn new(output: R, references: u64) -> Self {
-        Completed { output, references }
+        Completed {
+            output,
+            references,
+            cell: None,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Labels the cell so the engine logs a per-cell metrics record.
+    pub fn at(mut self, id: CellId) -> Self {
+        self.cell = Some(id);
+        self
+    }
+
+    /// Attaches raw hit/miss counters for one cache class.
+    pub fn class(mut self, class: &'static str, hits: u64, misses: u64) -> Self {
+        self.classes.push(ClassStats::new(class, hits, misses));
+        self
+    }
+
+    /// Attaches a simulator's [`CacheStats`] as one cache class.
+    pub fn class_stats(mut self, class: &'static str, stats: &CacheStats) -> Self {
+        self.classes.push(ClassStats::from_stats(class, stats));
+        self
     }
 }
 

@@ -30,13 +30,16 @@
 //! ```
 
 mod job;
+mod record;
 mod stats;
 
 pub use job::{CellId, Completed, FnJob, Job};
+pub use record::{CellRecord, ClassStats};
 pub use stats::Throughput;
 
 use fvl_runner::Pool;
 use stats::Counters;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Schedules simulation cells across a worker pool, deterministically.
@@ -44,6 +47,7 @@ use std::time::Instant;
 pub struct Engine {
     pool: Pool,
     counters: Counters,
+    records: Mutex<Vec<CellRecord>>,
     started: Instant,
 }
 
@@ -53,6 +57,7 @@ impl Engine {
         Engine {
             pool: Pool::new(jobs),
             counters: Counters::default(),
+            records: Mutex::new(Vec::new()),
             started: Instant::now(),
         }
     }
@@ -67,6 +72,7 @@ impl Engine {
         Engine {
             pool: Pool::auto(),
             counters: Counters::default(),
+            records: Mutex::new(Vec::new()),
             started: Instant::now(),
         }
     }
@@ -82,34 +88,77 @@ impl Engine {
     }
 
     /// Runs a batch of [`Job`]s, returning their outputs in submission
-    /// order.
+    /// order. Every job leaves a [`CellRecord`] (identified by
+    /// [`Job::id`]) in the engine's metrics log.
     pub fn run_jobs<J: Job>(&self, jobs: Vec<J>) -> Vec<J::Output> {
-        self.pool.map(jobs, |job| {
+        let done = self.pool.map(jobs, |job| {
+            let id = job.id();
+            let begun = Instant::now();
             let done = job.run();
+            let wall = begun.elapsed();
             self.counters.record(done.references);
-            done.output
-        })
+            let record = CellRecord {
+                id,
+                references: done.references,
+                wall_nanos: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+                classes: done.classes,
+            };
+            (done.output, Some(record))
+        });
+        self.merge(done)
     }
 
     /// Runs one closure-shaped cell per item, returning outputs in
     /// input order. The closure reports each cell's replayed reference
-    /// count via [`Completed`].
+    /// count via [`Completed`]; cells labeled with [`Completed::at`]
+    /// additionally leave a [`CellRecord`] in the metrics log.
     pub fn cells<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
         R: Send,
         F: Fn(T) -> Completed<R> + Sync,
     {
-        self.pool.map(items, |item| {
+        let done = self.pool.map(items, |item| {
+            let begun = Instant::now();
             let done = f(item);
+            let wall = begun.elapsed();
             self.counters.record(done.references);
-            done.output
-        })
+            let record = done.cell.map(|id| CellRecord {
+                id,
+                references: done.references,
+                wall_nanos: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+                classes: done.classes,
+            });
+            (done.output, record)
+        });
+        self.merge(done)
+    }
+
+    /// Appends a completed batch's records to the log **in submission
+    /// order** (the pool already returned results in input order, so
+    /// the log — unlike the workers' actual interleaving — is
+    /// deterministic) and unwraps the outputs.
+    fn merge<R>(&self, done: Vec<(R, Option<CellRecord>)>) -> Vec<R> {
+        let mut log = self.records.lock().expect("record log lock");
+        done.into_iter()
+            .map(|(output, record)| {
+                if let Some(record) = record {
+                    log.push(record);
+                }
+                output
+            })
+            .collect()
     }
 
     /// Aggregate throughput since the engine was created.
     pub fn throughput(&self) -> Throughput {
         self.counters.snapshot(self.started.elapsed())
+    }
+
+    /// A copy of the per-cell metrics log, in deterministic batch
+    /// submission order.
+    pub fn cell_records(&self) -> Vec<CellRecord> {
+        self.records.lock().expect("record log lock").clone()
     }
 }
 

@@ -6,8 +6,9 @@
 //! percent of the access stream with a bounded Misra–Gries sketch and is
 //! compared against the offline-profiled FVC.
 
-use super::{baseline, geom, hybrid, per_workload, Report};
+use super::{baseline, geom, hybrid, per_workload_stats, Report};
 use crate::data::ExperimentContext;
+use crate::engine::ClassStats;
 use crate::table::{pct1, Table};
 use fvl_cache::Simulator;
 use fvl_core::OnlineHybrid;
@@ -30,7 +31,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let datas = ctx.capture_many("ext1", &ctx.fv_six());
     // Per workload: the baseline, offline hybrid and online hybrid —
     // three trace passes per cell.
-    let cells = per_workload(ctx, &datas, 3, |data| {
+    let cells = per_workload_stats(ctx, "ext1", "online vs offline top-7", &datas, 3, |data| {
         let base = baseline(data, dmc);
         let offline = hybrid(data, dmc, 512, 7);
         let offline_cut = offline.stats().miss_reduction_vs(&base);
@@ -46,7 +47,12 @@ pub fn run(ctx: &ExperimentContext) -> Report {
             .latched_values()
             .map(|vs| vs.iter().filter(|v| offline_top10.contains(v)).count())
             .unwrap_or(0);
-        (offline_cut, online_cut, learned)
+        let classes = vec![
+            ClassStats::from_stats("dmc", &base),
+            ClassStats::from_stats("dmc+fvc-offline", offline.stats()),
+            ClassStats::from_stats("dmc+fvc-online", &combined),
+        ];
+        ((offline_cut, online_cut, learned), classes)
     });
     for (data, (offline_cut, online_cut, learned)) in datas.iter().zip(cells) {
         gaps.push(offline_cut - online_cut);

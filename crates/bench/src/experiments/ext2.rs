@@ -5,8 +5,9 @@
 //! frequent values. This experiment measures how much of a doubled
 //! cache's benefit the compression recovers.
 
-use super::{baseline, geom, per_workload, Report};
+use super::{baseline, geom, per_workload_stats, Report};
 use crate::data::ExperimentContext;
+use crate::engine::ClassStats;
 use crate::table::{pct, pct1, Table};
 use fvl_cache::Simulator;
 use fvl_core::{CompressedCache, FrequentValueSet};
@@ -31,7 +32,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let datas = ctx.capture_many("ext2", &ctx.fv_six());
     // Per workload: two plain baselines plus the compressed cache —
     // three trace passes per cell.
-    let cells = per_workload(ctx, &datas, 3, |data| {
+    let cells = per_workload_stats(ctx, "ext2", "compressed 16KB frames", &datas, 3, |data| {
         let base_small = baseline(data, small);
         let base_big = baseline(data, big);
         let values = FrequentValueSet::from_ranking(&data.counter.ranking(), 7)
@@ -44,12 +45,20 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         } else {
             0.0
         };
+        let classes = vec![
+            ClassStats::from_stats("dmc-16kb", &base_small),
+            ClassStats::from_stats("dmc-32kb", &base_big),
+            ClassStats::from_stats("compressed-16kb", compressed.stats()),
+        ];
         (
-            base_small,
-            base_big,
-            *compressed.stats(),
-            recovered,
-            compressed.avg_compressed_fraction(),
+            (
+                base_small,
+                base_big,
+                *compressed.stats(),
+                recovered,
+                compressed.avg_compressed_fraction(),
+            ),
+            classes,
         )
     });
     for (data, (base_small, base_big, compressed, recovered, fraction)) in datas.iter().zip(cells) {

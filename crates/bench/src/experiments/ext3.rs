@@ -10,9 +10,9 @@
 //! * requiring half the line to be frequent before insertion;
 //! * a 2-way set-associative FVC.
 
-use super::{baseline, geom, per_workload, Report};
+use super::{baseline, geom, per_workload_stats, Report};
 use crate::data::ExperimentContext;
-use crate::engine::Completed;
+use crate::engine::{CellId, ClassStats, Completed};
 use crate::table::{pct1, Table};
 use fvl_cache::Simulator;
 use fvl_core::{FrequentValueSet, HybridCache, HybridConfig};
@@ -31,8 +31,19 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     ]);
     let dmc = geom(16, 32, 1);
     const VARIANTS: usize = 6;
+    const VARIANT_NAMES: [&str; VARIANTS] = [
+        "paper default",
+        "no write-alloc",
+        "strict walloc miss",
+        "insert all lines",
+        "insert half-frequent",
+        "2-way FVC",
+    ];
     let datas = ctx.capture_many("ext3", &ctx.fv_six());
-    let bases = per_workload(ctx, &datas, 1, |data| baseline(data, dmc));
+    let bases = per_workload_stats(ctx, "ext3", "16KB DMC baseline", &datas, 1, |data| {
+        let base = baseline(data, dmc);
+        (base, vec![ClassStats::from_stats("dmc", &base)])
+    });
     // One cell per (workload, policy variant).
     let grid: Vec<(usize, usize)> = (0..datas.len())
         .flat_map(|w| (0..VARIANTS).map(move |v| (w, v)))
@@ -56,6 +67,8 @@ pub fn run(ctx: &ExperimentContext) -> Report {
             pct1(sim.stats().miss_reduction_vs(&bases[w])),
             data.trace.accesses(),
         )
+        .at(CellId::new("ext3", data.name.clone(), VARIANT_NAMES[v]))
+        .class_stats("dmc+fvc", sim.stats())
     });
     for (w, data) in datas.iter().enumerate() {
         let mut row = vec![data.name.clone()];

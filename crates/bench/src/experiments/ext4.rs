@@ -6,8 +6,9 @@
 //! measures the actual word traffic of the DMC and DMC+FVC
 //! configurations and compares the two reductions.
 
-use super::{geom, hybrid, per_workload, Report};
+use super::{geom, hybrid, per_workload_stats, Report};
 use crate::data::ExperimentContext;
+use crate::engine::ClassStats;
 use crate::table::{pct1, Table};
 use fvl_cache::{CacheSim, Simulator};
 
@@ -29,7 +30,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let mut diffs = Vec::new();
     let datas = ctx.capture_many("ext4", &ctx.fv_six());
     // Per workload: the plain DMC and the hybrid — two trace passes.
-    let cells = per_workload(ctx, &datas, 2, |data| {
+    let cells = per_workload_stats(ctx, "ext4", "word traffic", &datas, 2, |data| {
         let mut base = CacheSim::new(dmc);
         data.trace.replay(&mut base);
         let sim = hybrid(data, dmc, 512, 7);
@@ -37,7 +38,11 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         let fvc_traffic = sim.traffic_words();
         let traffic_cut = (base_traffic as f64 - fvc_traffic as f64) / base_traffic as f64 * 100.0;
         let miss_cut = sim.stats().miss_reduction_vs(base.stats());
-        (base_traffic, fvc_traffic, traffic_cut, miss_cut)
+        let classes = vec![
+            ClassStats::from_stats("dmc", base.stats()),
+            ClassStats::from_stats("dmc+fvc", sim.stats()),
+        ];
+        ((base_traffic, fvc_traffic, traffic_cut, miss_cut), classes)
     });
     for (data, (base_traffic, fvc_traffic, traffic_cut, miss_cut)) in datas.iter().zip(cells) {
         diffs.push((traffic_cut - miss_cut).abs());

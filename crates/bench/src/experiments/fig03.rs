@@ -14,7 +14,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         "frequent value locality in the gcc analogue over time",
     );
     let datas = ctx.capture_many("fig3", &["gcc"]);
-    let recorder = per_workload(ctx, &datas, 1, |data| {
+    let recorder = per_workload(ctx, "fig3", "timeline top-10", &datas, 1, |data| {
         let focus = data.top_accessed(10);
         let mut recorder = TimelineRecorder::new(focus);
         // Paper fidelity: heap deallocations were not tracked in the

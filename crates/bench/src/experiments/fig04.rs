@@ -18,15 +18,22 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let mut occ_sum = 0.0;
     let mut acc_sum = 0.0;
     let datas = ctx.capture_many("fig4", &ctx.fv_six());
-    for (data, study) in datas.iter().zip(per_workload(ctx, &datas, 1, |data| {
-        let mut study = MissAttribution::new(
-            geom(16, 16, 1),
-            data.top_occurring(10),
-            data.top_accessed(10),
-        );
-        data.trace.replay(&mut study);
-        study
-    })) {
+    for (data, study) in datas.iter().zip(per_workload(
+        ctx,
+        "fig4",
+        "miss attribution 16KB/16B",
+        &datas,
+        1,
+        |data| {
+            let mut study = MissAttribution::new(
+                geom(16, 16, 1),
+                data.top_occurring(10),
+                data.top_accessed(10),
+            );
+            data.trace.replay(&mut study);
+            study
+        },
+    )) {
         occ_sum += study.percent_occurring();
         acc_sum += study.percent_accessed();
         table.row(vec![

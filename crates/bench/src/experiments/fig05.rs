@@ -14,7 +14,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         "frequent occurrence of the top-7 values across memory blocks",
     );
     let datas = ctx.capture_many("fig5", &["gcc"]);
-    let profile = per_workload(ctx, &datas, 1, |data| {
+    let profile = per_workload(ctx, "fig5", "spatial top-7", &datas, 1, |data| {
         let focus = data.top_occurring(7);
         let halfway = data.trace.accesses() / 2;
         let mut analyzer = SpatialAnalyzer::new(focus, halfway);

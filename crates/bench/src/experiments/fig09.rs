@@ -2,7 +2,7 @@
 
 use super::{geom, Report};
 use crate::data::ExperimentContext;
-use crate::engine::Completed;
+use crate::engine::{CellId, Completed};
 use crate::table::Table;
 use fvl_timing::{dm_cache_time, fully_assoc_time, fvc_time, Tech};
 
@@ -27,7 +27,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
                 dm_cache_time(&geom(kb, line, 1), &tech).total()
             ));
         }
-        Completed::new(row, 0)
+        Completed::new(row, 0).at(CellId::new("fig9", "timing model", format!("DMC {kb}KB")))
     }) {
         dmc.row(row);
     }
@@ -44,7 +44,11 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         for wpl in [4u32, 8, 16] {
             row.push(format!("{:.2}", fvc_time(entries, wpl, 3, &tech).total()));
         }
-        Completed::new(row, 0)
+        Completed::new(row, 0).at(CellId::new(
+            "fig9",
+            "timing model",
+            format!("FVC {entries} entries"),
+        ))
     }) {
         fvc.row(row);
     }

@@ -1,8 +1,8 @@
 //! Figure 10: miss rate reduction as the FVC grows.
 
-use super::{baseline, geom, hybrid, per_workload, reduction, Report};
+use super::{baseline, geom, hybrid, per_workload_stats, reduction, Report};
 use crate::data::ExperimentContext;
-use crate::engine::Completed;
+use crate::engine::{CellId, ClassStats, Completed};
 use crate::table::{pct, pct1, Table};
 use fvl_cache::Simulator;
 
@@ -23,7 +23,10 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let mut max_cut: f64 = 0.0;
     let mut monotone = true;
     let datas = ctx.capture_many("fig10", &ctx.fv_six());
-    let bases = per_workload(ctx, &datas, 1, |data| baseline(data, dmc));
+    let bases = per_workload_stats(ctx, "fig10", "16KB DMC baseline", &datas, 1, |data| {
+        let base = baseline(data, dmc);
+        (base, vec![ClassStats::from_stats("dmc", &base)])
+    });
     // One cell per (workload, FVC size) point of the sweep.
     let grid: Vec<(usize, u32)> = (0..datas.len())
         .flat_map(|w| ENTRIES.iter().map(move |&entries| (w, entries)))
@@ -32,6 +35,12 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         let data = &datas[w];
         let sim = hybrid(data, dmc, entries, 7);
         Completed::new(reduction(&bases[w], sim.stats()), data.trace.accesses())
+            .at(CellId::new(
+                "fig10",
+                data.name.clone(),
+                format!("{entries} entries"),
+            ))
+            .class_stats("dmc+fvc", sim.stats())
     });
     for (w, data) in datas.iter().enumerate() {
         let mut row = vec![data.name.clone(), pct(bases[w].miss_percent())];

@@ -1,8 +1,10 @@
 //! Figure 11: effectiveness of the data compression.
 
-use super::{geom, hybrid, per_workload, Report};
+use super::{geom, hybrid, per_workload_stats, Report};
 use crate::data::ExperimentContext;
+use crate::engine::ClassStats;
 use crate::table::{pct1, Table};
+use fvl_cache::Simulator;
 
 /// Runs the Figure 11 study: with a 16 KB DMC (8 words/line) and a
 /// 512-entry top-7 FVC, what fraction of valid FVC lines actually holds
@@ -18,14 +20,24 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let dmc = geom(16, 32, 1);
     let mut occupancies = Vec::new();
     let datas = ctx.capture_many("fig11", &ctx.fv_six());
-    let cells = per_workload(ctx, &datas, 1, |data| {
-        let sim = hybrid(data, dmc, 512, 7);
-        let stats = sim.hybrid_stats();
-        (
-            stats.avg_occupancy_percent(),
-            stats.effective_storage_ratio(32, 3.0),
-        )
-    });
+    let cells = per_workload_stats(
+        ctx,
+        "fig11",
+        "16KB DMC + 512-entry FVC",
+        &datas,
+        1,
+        |data| {
+            let sim = hybrid(data, dmc, 512, 7);
+            let stats = sim.hybrid_stats();
+            (
+                (
+                    stats.avg_occupancy_percent(),
+                    stats.effective_storage_ratio(32, 3.0),
+                ),
+                vec![ClassStats::from_stats("dmc+fvc", sim.stats())],
+            )
+        },
+    );
     for (data, (occupancy, ratio)) in datas.iter().zip(cells) {
         occupancies.push(occupancy);
         table.row(vec![

@@ -2,7 +2,7 @@
 
 use super::{baseline, geom, hybrid, reduction, Report};
 use crate::data::ExperimentContext;
-use crate::engine::Completed;
+use crate::engine::{CellId, ClassStats, Completed};
 use crate::table::{pct1, Table};
 use fvl_cache::{CacheGeometry, Simulator};
 use fvl_timing::{dm_cache_time, fvc_time, Tech};
@@ -51,11 +51,20 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         let data = &datas[w];
         let base = baseline(data, g);
         let mut cuts = [0.0f64; 3];
+        let mut classes = vec![ClassStats::from_stats("dmc", &base)];
+        let labels = ["dmc+fvc-top1", "dmc+fvc-top3", "dmc+fvc-top7"];
         for (i, k) in [1usize, 3, 7].into_iter().enumerate() {
             let sim = hybrid(data, g, 512, k);
             cuts[i] = reduction(&base, sim.stats());
+            classes.push(ClassStats::from_stats(labels[i], sim.stats()));
         }
-        Completed::new((base, cuts), 4 * data.trace.accesses())
+        let mut done = Completed::new((base, cuts), 4 * data.trace.accesses()).at(CellId::new(
+            "fig12",
+            data.name.clone(),
+            g.to_string(),
+        ));
+        done.classes = classes;
+        done
     });
     for (w, data) in datas.iter().enumerate() {
         let mut table = Table::with_headers(&[

@@ -2,7 +2,7 @@
 
 use super::{baseline, geom, hybrid, Report};
 use crate::data::ExperimentContext;
-use crate::engine::Completed;
+use crate::engine::{CellId, Completed};
 use crate::table::{pct, Table};
 use fvl_cache::Simulator;
 
@@ -49,8 +49,16 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         let sim = hybrid(data, small, 512, k);
         let with_fvc = sim.stats().miss_percent();
         let fvc_kb = sim.fvc_data_bytes() / 1024.0;
-        let doubled = baseline(data, big).miss_percent();
+        let doubled_stats = baseline(data, big);
+        let doubled = doubled_stats.miss_percent();
         Completed::new((with_fvc, fvc_kb, doubled), 2 * data.trace.accesses())
+            .at(CellId::new(
+                "fig13",
+                data.name.clone(),
+                format!("{small_kb}KB+FVC vs {big_kb}KB, {line}B lines, top-{k}"),
+            ))
+            .class_stats("dmc+fvc", sim.stats())
+            .class_stats("dmc-doubled", &doubled_stats)
     });
     let mut results = results.into_iter();
     for data in &datas {

@@ -1,7 +1,8 @@
 //! Figure 14: FVC under set-associative main caches.
 
-use super::{baseline, geom, hybrid, per_workload, reduction, Report};
+use super::{baseline, geom, hybrid, per_workload_stats, reduction, Report};
 use crate::data::ExperimentContext;
+use crate::engine::ClassStats;
 use crate::table::{pct, pct1, Table};
 use fvl_cache::{CacheSim, Simulator};
 
@@ -25,13 +26,21 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let datas = ctx.capture_many("fig14", &ctx.fv_six());
     // Per workload: three (baseline, hybrid) pairs plus the classified
     // replay — seven trace passes per cell.
-    let cells = per_workload(ctx, &datas, 7, |data| {
+    let cells = per_workload_stats(ctx, "fig14", "16KB, assoc 1/2/4", &datas, 7, |data| {
         let mut cuts = [0.0f64; 3];
+        let mut classes = Vec::new();
+        let labels = [
+            ("dmc-1way", "dmc+fvc-1way"),
+            ("dmc-2way", "dmc+fvc-2way"),
+            ("dmc-4way", "dmc+fvc-4way"),
+        ];
         for (i, assoc) in [1u32, 2, 4].into_iter().enumerate() {
             let g = geom(16, 32, assoc);
             let base = baseline(data, g);
             let sim = hybrid(data, g, 512, 7);
             cuts[i] = reduction(&base, sim.stats());
+            classes.push(ClassStats::from_stats(labels[i].0, &base));
+            classes.push(ClassStats::from_stats(labels[i].1, sim.stats()));
         }
         // Miss classification of the direct-mapped baseline.
         let mut classified = CacheSim::new(geom(16, 32, 1)).with_classifier();
@@ -39,9 +48,12 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         let c = classified.classifier().expect("enabled");
         let total = c.total().max(1) as f64;
         (
-            cuts,
-            c.conflict() as f64 / total * 100.0,
-            c.capacity() as f64 / total * 100.0,
+            (
+                cuts,
+                c.conflict() as f64 / total * 100.0,
+                c.capacity() as f64 / total * 100.0,
+            ),
+            classes,
         )
     });
     for (data, (cuts, conflict, capacity)) in datas.iter().zip(cells) {

@@ -1,7 +1,8 @@
 //! Figure 15: victim cache vs frequent value cache.
 
-use super::{baseline, geom, hybrid, per_workload, reduction, Report};
+use super::{baseline, geom, hybrid, per_workload_stats, reduction, Report};
 use crate::data::ExperimentContext;
+use crate::engine::ClassStats;
 use crate::table::{pct1, Table};
 use fvl_cache::Simulator;
 use fvl_core::VictimHybrid;
@@ -25,18 +26,30 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let datas = ctx.capture_many("fig15", &ctx.fv_six());
     // Per workload: the baseline, two victim caches and two FVC sizes —
     // five trace passes per cell.
-    let cells = per_workload(ctx, &datas, 5, |data| {
+    let cells = per_workload_stats(ctx, "fig15", "4KB DMC, VC vs FVC", &datas, 5, |data| {
         let base = baseline(data, dmc);
         let run_vc = |entries: usize| {
             let mut sim = VictimHybrid::new(dmc, entries);
             data.trace.replay(&mut sim);
-            reduction(&base, Simulator::stats(&sim))
+            let stats = *Simulator::stats(&sim);
+            (reduction(&base, &stats), stats)
         };
         let run_fvc = |entries: u32| {
             let sim = hybrid(data, dmc, entries, 7);
-            reduction(&base, sim.stats())
+            (reduction(&base, sim.stats()), *sim.stats())
         };
-        (base, run_vc(16), run_fvc(128), run_vc(4), run_fvc(512))
+        let (vc16, s_vc16) = run_vc(16);
+        let (fvc128, s_fvc128) = run_fvc(128);
+        let (vc4, s_vc4) = run_vc(4);
+        let (fvc512, s_fvc512) = run_fvc(512);
+        let classes = vec![
+            ClassStats::from_stats("dmc", &base),
+            ClassStats::from_stats("dmc+victim-16", &s_vc16),
+            ClassStats::from_stats("dmc+fvc-128", &s_fvc128),
+            ClassStats::from_stats("dmc+victim-4", &s_vc4),
+            ClassStats::from_stats("dmc+fvc-512", &s_fvc512),
+        ];
+        ((base, vc16, fvc128, vc4, fvc512), classes)
     });
     for (data, (base, vc16, fvc128, vc4, fvc512)) in datas.iter().zip(cells) {
         if vc16 >= fvc128 {

@@ -23,7 +23,7 @@ pub mod table4;
 pub mod verify;
 
 use crate::data::{ExperimentContext, WorkloadData};
-use crate::engine::Completed;
+use crate::engine::{CellId, ClassStats, Completed};
 use crate::table::Table;
 use fvl_cache::{CacheGeometry, CacheSim, CacheStats};
 use fvl_core::{FrequentValueSet, HybridCache, HybridConfig};
@@ -148,9 +148,12 @@ pub(crate) fn reduction(base: &CacheStats, new: &CacheStats) -> f64 {
 /// Runs one engine cell per captured workload, borrowing the shared
 /// data slice. `replays` is how many full trace passes each cell
 /// performs (for the engine's reference-throughput accounting).
-/// Results come back in `datas` order.
+/// Results come back in `datas` order; each cell leaves a
+/// `(experiment, workload, config)` record in the engine's metrics log.
 pub(crate) fn per_workload<R, F>(
     ctx: &ExperimentContext,
+    experiment: &'static str,
+    config: &'static str,
     datas: &[WorkloadData],
     replays: u64,
     f: F,
@@ -159,8 +162,34 @@ where
     R: Send,
     F: Fn(&WorkloadData) -> R + Sync,
 {
+    per_workload_stats(ctx, experiment, config, datas, replays, |data| {
+        (f(data), Vec::new())
+    })
+}
+
+/// Like [`per_workload`], but the closure also reports per-cache-class
+/// hit/miss counters which land in the cell's metrics record.
+pub(crate) fn per_workload_stats<R, F>(
+    ctx: &ExperimentContext,
+    experiment: &'static str,
+    config: &'static str,
+    datas: &[WorkloadData],
+    replays: u64,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&WorkloadData) -> (R, Vec<ClassStats>) + Sync,
+{
     ctx.cells((0..datas.len()).collect(), |i| {
         let data = &datas[i];
-        Completed::new(f(data), replays * data.trace.accesses())
+        let (output, classes) = f(data);
+        let mut done = Completed::new(output, replays * data.trace.accesses()).at(CellId::new(
+            experiment,
+            data.name.clone(),
+            config,
+        ));
+        done.classes = classes;
+        done
     })
 }

@@ -35,7 +35,11 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let captures = ctx.cells(grid, |(name, input, seed)| {
         let data = ctx.capture_with(name, input, seed);
         let passes = 3 * data.trace.accesses();
-        crate::engine::Completed::new(data, passes)
+        crate::engine::Completed::new(data, passes).at(crate::engine::CellId::new(
+            "table2",
+            name,
+            format!("capture {input}, seed {seed}"),
+        ))
     });
     for chunk in captures.chunks_exact(3) {
         let [reference, test, train] = chunk else {

@@ -21,7 +21,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     ]);
     let mut identity_points = Vec::new();
     let datas = ctx.capture_many("table3", &ctx.fv_six());
-    let reports = per_workload(ctx, &datas, 1, |data| {
+    let reports = per_workload(ctx, "table3", "ranking stability", &datas, 1, |data| {
         let check_every = (data.trace.accesses() / 500).max(1);
         let mut analyzer = StabilityAnalyzer::new(check_every);
         data.trace.replay(&mut analyzer);

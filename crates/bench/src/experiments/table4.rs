@@ -14,7 +14,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let mut fv_values = Vec::new();
     let mut control_values = Vec::new();
     let datas = ctx.capture_many("table4", &ctx.all_int());
-    let cells = per_workload(ctx, &datas, 1, |data| {
+    let cells = per_workload(ctx, "table4", "value constancy", &datas, 1, |data| {
         let mut analyzer = ConstancyAnalyzer::new();
         data.trace.replay(&mut analyzer);
         (analyzer.lifetimes(), analyzer.constant_percent())

@@ -9,8 +9,9 @@
 //! cargo run --release -p fvl-bench --bin experiments -- verify
 //! ```
 
-use super::{baseline, geom, hybrid, per_workload, Report};
+use super::{baseline, geom, hybrid, per_workload, per_workload_stats, Report};
 use crate::data::{ExperimentContext, WorkloadData};
+use crate::engine::ClassStats;
 use crate::table::Table;
 use fvl_cache::Simulator;
 use fvl_core::VictimHybrid;
@@ -63,7 +64,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     // One cell per FV benchmark computes every per-workload quantity
     // the claims consume (eleven trace passes each); the m88ksim-only
     // Figure 13 cell and the two control cells run alongside.
-    let six_metrics = per_workload(ctx, &six, 11, |data| {
+    let six_metrics = per_workload_stats(ctx, "verify", "headline claims", &six, 11, |data| {
         let base16 = baseline(data, dmc16);
         let cut = |k: usize| {
             let sim = hybrid(data, dmc16, 512, k);
@@ -83,29 +84,37 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         let mut vc = VictimHybrid::new(dmc4, 4);
         data.trace.replay(&mut vc);
         let vc_cut = Simulator::stats(&vc).miss_reduction_vs(&base4);
-        SixMetrics {
-            occ10: data.occ.coverage(10),
-            acc10: data.counter.coverage(10),
-            cut16_7,
-            gain13: c3 - c1,
-            gain37: cut16_7 - c3,
-            w2_shrank: w2_cut < cut16_7,
-            fvc_beats_vc: fvc_cut >= vc_cut,
-            occupancy: hybrid16.hybrid_stats().avg_occupancy_percent(),
-            constancy: constancy(data),
-        }
+        let classes = vec![
+            ClassStats::from_stats("dmc", &base16),
+            ClassStats::from_stats("dmc+fvc", hybrid16.stats()),
+        ];
+        (
+            SixMetrics {
+                occ10: data.occ.coverage(10),
+                acc10: data.counter.coverage(10),
+                cut16_7,
+                gain13: c3 - c1,
+                gain37: cut16_7 - c3,
+                w2_shrank: w2_cut < cut16_7,
+                fvc_beats_vc: fvc_cut >= vc_cut,
+                occupancy: hybrid16.hybrid_stats().avg_occupancy_percent(),
+                constancy: constancy(data),
+            },
+            classes,
+        )
     });
     // Claim 5's dedicated geometries, on the m88ksim analogue only.
-    let (small_plus, doubled) = per_workload(ctx, &six[1..2], 2, |m88| {
-        (
-            hybrid(m88, geom(8, 32, 1), 512, 7).stats().miss_percent(),
-            baseline(m88, geom(16, 32, 1)).miss_percent(),
-        )
-    })
-    .pop()
-    .expect("one cell");
+    let (small_plus, doubled) =
+        per_workload(ctx, "verify", "fig13 geometries", &six[1..2], 2, |m88| {
+            (
+                hybrid(m88, geom(8, 32, 1), 512, 7).stats().miss_percent(),
+                baseline(m88, geom(16, 32, 1)).miss_percent(),
+            )
+        })
+        .pop()
+        .expect("one cell");
     // Controls: top-10 access share, the claim-9 cut, and constancy.
-    let control_metrics = per_workload(ctx, &controls, 3, |data| {
+    let control_metrics = per_workload(ctx, "verify", "controls", &controls, 3, |data| {
         let base = baseline(data, dmc16);
         let cut = hybrid(data, dmc16, 512, 7).stats().miss_reduction_vs(&base);
         (data.counter.coverage(10), cut, constancy(data))

@@ -14,12 +14,19 @@
 //! experiment's *shape* — who wins, by roughly what factor, where the
 //! crossovers fall — is the reproduction target, recorded in
 //! `EXPERIMENTS.md`.
+//!
+//! Beyond the human-oriented reports, every simulation cell leaves a
+//! machine-readable record in the [`engine`]'s metrics log; the
+//! [`metrics`] module exports it as a versioned JSON/CSV document via
+//! `experiments --metrics <path>` (deterministic across `--jobs`
+//! counts; see that module's docs for the schema).
 
 #![deny(missing_docs)]
 
 pub mod data;
 pub mod engine;
 pub mod experiments;
+pub mod metrics;
 pub mod sweep;
 pub mod table;
 

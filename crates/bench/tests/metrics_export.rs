@@ -1,0 +1,88 @@
+//! The metrics exporter's guarantees: the default JSON document is
+//! byte-identical across worker counts, carries the schema version and
+//! per-cell miss rates, and the CSV flattening matches the record log.
+
+use fvl_bench::engine::Engine;
+use fvl_bench::experiments::{self, Runner};
+use fvl_bench::metrics::{self, RunInfo, SCHEMA_VERSION};
+use fvl_bench::ExperimentContext;
+use std::sync::Arc;
+
+const NAMES: [&str; 4] = ["fig4", "fig10", "fig15", "ext3"];
+
+fn runner(name: &str) -> Runner {
+    experiments::all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown experiment {name}"))
+        .1
+}
+
+/// Runs a few cache experiments on `jobs` workers and renders the
+/// deterministic (no-timing) JSON export.
+fn export(jobs: usize) -> (Arc<Engine>, String) {
+    let engine = Arc::new(Engine::new(jobs));
+    let ctx = ExperimentContext::smoke().with_engine(Arc::clone(&engine));
+    for name in NAMES {
+        let _ = runner(name)(&ctx);
+    }
+    let run = RunInfo::new("test", 1, true);
+    let json = metrics::json_report(&engine, &run, false).render_pretty();
+    (engine, json)
+}
+
+#[test]
+fn metrics_json_is_byte_identical_across_worker_counts() {
+    let (_, serial) = export(1);
+    for jobs in [2, 5] {
+        let (_, parallel) = export(jobs);
+        assert_eq!(
+            serial, parallel,
+            "metrics export diverged between --serial and --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn metrics_json_carries_schema_and_miss_rates() {
+    let (engine, json) = export(1);
+    assert!(json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+    assert!(json.contains("\"miss_rate\":"));
+    assert!(json.contains("\"experiment\": \"fig10\""));
+    // Every experiment we ran appears as a group.
+    for name in NAMES {
+        assert!(
+            json.contains(&format!("\"experiment\": \"{name}\"")),
+            "{name} missing"
+        );
+    }
+    // No scheduling-dependent fields in the default export.
+    for field in [
+        "wall_ns",
+        "elapsed_ns",
+        "cells_per_sec",
+        "refs_per_sec",
+        "hotpath",
+    ] {
+        assert!(!json.contains(field), "deterministic export leaked {field}");
+    }
+    // The engine block aggregates every record's references and more
+    // (anonymous cells count toward throughput but leave no record).
+    let records = engine.cell_records();
+    assert!(!records.is_empty());
+    let logged: u64 = records.iter().map(|r| r.references).sum();
+    assert!(engine.throughput().references >= logged);
+}
+
+#[test]
+fn csv_rows_match_the_record_log() {
+    let (engine, _) = export(1);
+    let csv = metrics::csv_report(&engine);
+    let class_rows: usize = engine
+        .cell_records()
+        .iter()
+        .map(|r| r.classes.len().max(1))
+        .sum();
+    assert_eq!(csv.lines().count(), 1 + class_rows);
+    assert!(csv.starts_with("experiment,workload,config,class,hits,misses,miss_rate,references\n"));
+}

@@ -37,6 +37,8 @@ mod backing;
 mod classify;
 mod data_cache;
 mod geometry;
+#[cfg(feature = "metrics")]
+pub mod metrics;
 mod sim;
 mod simulator;
 mod stats;

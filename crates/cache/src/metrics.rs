@@ -1,0 +1,39 @@
+//! Simulator instrumentation, compiled only under the `metrics`
+//! feature.
+//!
+//! These are *global* hot-path counters, aggregated across every
+//! simulator instance in the process — the per-instance figures of
+//! merit stay in [`crate::CacheStats`]. Their purpose is throughput
+//! observability: how many lookups the conventional-cache and
+//! victim-cache paths actually execute in a run, feeding the `hotpath`
+//! block of the experiment metrics export. Totals are sums of relaxed
+//! atomic increments, so their final values are identical for any
+//! worker interleaving.
+
+use fvl_obs::{Counter, Sample};
+
+/// Accesses simulated through [`crate::CacheSim`] (the paper's DMC and
+/// every set-associative baseline).
+pub static DMC_LOOKUPS: Counter = Counter::new();
+
+/// Probes of a [`crate::VictimCache`] (Figure 15's comparison point).
+pub static VICTIM_LOOKUPS: Counter = Counter::new();
+
+/// Lines swapped back out of a victim cache on a probe hit.
+pub static VICTIM_TAKES: Counter = Counter::new();
+
+/// Reads every simulator instrument.
+pub fn snapshot() -> Vec<Sample> {
+    vec![
+        Sample::new("cache_dmc_lookups", DMC_LOOKUPS.get()),
+        Sample::new("cache_victim_lookups", VICTIM_LOOKUPS.get()),
+        Sample::new("cache_victim_takes", VICTIM_TAKES.get()),
+    ]
+}
+
+/// Zeroes every simulator instrument (between experiment batches).
+pub fn reset() {
+    DMC_LOOKUPS.reset();
+    VICTIM_LOOKUPS.reset();
+    VICTIM_TAKES.reset();
+}

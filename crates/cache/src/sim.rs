@@ -139,6 +139,8 @@ impl CacheSim {
     /// Figure 4 miss-attribution study). [`AccessSink::on_access`]
     /// delegates here.
     pub fn access(&mut self, access: Access) -> bool {
+        #[cfg(feature = "metrics")]
+        crate::metrics::DMC_LOOKUPS.incr();
         let addr = access.addr;
         let slot = self.cache.probe(addr);
         let missed = slot.is_none();

@@ -349,6 +349,8 @@ impl HybridCache {
 impl AccessSink for HybridCache {
     #[inline]
     fn on_access(&mut self, access: Access) {
+        #[cfg(feature = "metrics")]
+        crate::metrics::HYBRID_DISPATCHES.incr();
         self.handle(access);
     }
 

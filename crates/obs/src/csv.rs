@@ -1,0 +1,61 @@
+//! RFC 4180-style CSV escaping for the spreadsheet export path.
+
+/// Quotes a single CSV field when it contains a comma, quote, or
+/// newline; otherwise returns it unchanged.
+///
+/// ```
+/// use fvl_obs::csv_field;
+///
+/// assert_eq!(csv_field("plain"), "plain");
+/// assert_eq!(csv_field("a,b"), "\"a,b\"");
+/// assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+/// ```
+pub fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_string()
+    }
+}
+
+/// Joins fields into one CSV record line (no trailing newline).
+///
+/// ```
+/// use fvl_obs::csv_row;
+///
+/// assert_eq!(csv_row(&["fig10", "go", "512 entries"]), "fig10,go,512 entries");
+/// ```
+pub fn csv_row(fields: &[impl AsRef<str>]) -> String {
+    fields
+        .iter()
+        .map(|f| csv_field(f.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_pass_through() {
+        assert_eq!(csv_row(&["a", "b c", "1.5"]), "a,b c,1.5");
+    }
+
+    #[test]
+    fn special_fields_are_quoted() {
+        assert_eq!(
+            csv_row(&["a,b", "q\"q", "line\nbreak"]),
+            "\"a,b\",\"q\"\"q\",\"line\nbreak\""
+        );
+    }
+}

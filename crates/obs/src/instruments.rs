@@ -1,0 +1,227 @@
+//! The three instrument kinds: counters, gauges, and timers.
+//!
+//! All three are `const`-constructible wrappers over a single
+//! [`AtomicU64`], so a `static` probe costs one relaxed atomic
+//! operation on the hot path and nothing at all when the enclosing
+//! crate's `metrics` feature is off (the probe call sites are
+//! `#[cfg]`-gated out).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic event counter.
+///
+/// ```
+/// use fvl_obs::Counter;
+///
+/// static HITS: Counter = Counter::new();
+/// HITS.incr();
+/// HITS.add(9);
+/// assert_eq!(HITS.get(), 10);
+/// assert_eq!(HITS.reset(), 10);
+/// assert_eq!(HITS.get(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter (usable in `static` position).
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Returns the current count and zeroes the counter (used between
+    /// experiment batches so each export sees only its own events).
+    pub fn reset(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge that also tracks its high watermark.
+///
+/// ```
+/// use fvl_obs::Gauge;
+///
+/// static DEPTH: Gauge = Gauge::new();
+/// DEPTH.set(7);
+/// DEPTH.set(3);
+/// assert_eq!(DEPTH.get(), 3);
+/// assert_eq!(DEPTH.max(), 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge (usable in `static` position).
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+            high: AtomicU64::new(0),
+        }
+    }
+
+    /// Records the current level, updating the high watermark.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The last recorded level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The highest level ever recorded.
+    pub fn max(&self) -> u64 {
+        self.high.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes both the level and the watermark.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.high.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Accumulated wall-clock time in nanoseconds.
+///
+/// Use [`Timer::start`] to time a scope: the returned guard adds the
+/// elapsed nanoseconds when dropped. Saturates at `u64::MAX` ns
+/// (~584 years), which no simulation reaches.
+///
+/// ```
+/// use fvl_obs::Timer;
+///
+/// static ENCODE_TIME: Timer = Timer::new();
+/// {
+///     let _guard = ENCODE_TIME.start();
+///     std::hint::black_box(2 + 2);
+/// }
+/// // The scope above took *some* time; reset returns what accrued.
+/// let _ = ENCODE_TIME.reset();
+/// assert_eq!(ENCODE_TIME.nanos(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Timer(AtomicU64);
+
+impl Timer {
+    /// A zeroed timer (usable in `static` position).
+    pub const fn new() -> Self {
+        Timer(AtomicU64::new(0))
+    }
+
+    /// Starts timing a scope; elapsed time lands when the guard drops.
+    pub fn start(&self) -> TimerGuard<'_> {
+        TimerGuard {
+            timer: self,
+            begun: Instant::now(),
+        }
+    }
+
+    /// Adds `nanos` directly (for pre-measured durations).
+    pub fn add_nanos(&self, nanos: u64) {
+        let prev = self.0.fetch_add(nanos, Ordering::Relaxed);
+        if prev.checked_add(nanos).is_none() {
+            self.0.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Total accumulated nanoseconds.
+    pub fn nanos(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Returns the accumulated nanoseconds and zeroes the timer.
+    pub fn reset(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Scope guard returned by [`Timer::start`].
+#[derive(Debug)]
+pub struct TimerGuard<'t> {
+    timer: &'t Timer,
+    begun: Instant,
+}
+
+impl Drop for TimerGuard<'_> {
+    fn drop(&mut self) {
+        let nanos = u64::try_from(self.begun.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.timer.add_nanos(nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_shared_across_threads() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_watermark() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set(2);
+        g.set(6);
+        assert_eq!(g.get(), 6);
+        assert_eq!(g.max(), 10);
+        g.reset();
+        assert_eq!((g.get(), g.max()), (0, 0));
+    }
+
+    #[test]
+    fn timer_accumulates_guard_scopes() {
+        let t = Timer::new();
+        {
+            let _g = t.start();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(t.nanos() >= 1_000_000, "timer recorded {}", t.nanos());
+        t.add_nanos(u64::MAX);
+        assert_eq!(t.nanos(), u64::MAX, "saturates instead of wrapping");
+    }
+}

@@ -1,0 +1,250 @@
+//! A minimal, deterministic JSON document model.
+//!
+//! The exporter needs a writer whose output is *byte-identical* across
+//! runs and worker counts, so this model makes the two choices that
+//! matter for that and nothing more:
+//!
+//! * objects are ordered (`Vec` of pairs, insertion order preserved —
+//!   no hash-map iteration-order hazard);
+//! * numbers render through Rust's shortest-roundtrip formatting, so
+//!   the same `f64` always produces the same bytes; non-finite floats
+//!   render as `null` (JSON has no NaN/Infinity).
+//!
+//! There is deliberately no parser: the repo only *emits* metrics.
+
+use std::fmt;
+
+/// A JSON value. Build documents with [`Json::object`]/[`Json::array`]
+/// and render with [`Json::render`] or [`Json::render_pretty`].
+///
+/// ```
+/// use fvl_obs::Json;
+///
+/// let doc = Json::object([
+///     ("name", Json::from("fig10")),
+///     ("miss_rate", Json::F64(0.0625)),
+///     ("cells", Json::array([Json::U64(1), Json::U64(2)])),
+/// ]);
+/// assert_eq!(
+///     doc.render(),
+///     r#"{"name":"fig10","miss_rate":0.0625,"cells":[1,2]}"#
+/// );
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (counters, hit/miss totals).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float; NaN and infinities render as `null`.
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An ordered object (insertion order preserved).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// Renders the document compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the document with two-space indentation, for files a
+    /// human will read (`BENCH_fvl.json` in CI artifacts).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let mut buf = itoa_buffer();
+                out.push_str(write_u64(&mut buf, *n));
+            }
+            Json::I64(n) => {
+                use fmt::Write;
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(v) => {
+                use fmt::Write;
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    escape_into(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..depth * step {
+            out.push(' ');
+        }
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included) into `out`.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// u64 is the dominant number type in the export; format it without the
+// fmt machinery so rendering large per-cell record lists stays cheap.
+fn itoa_buffer() -> [u8; 20] {
+    [0; 20]
+}
+
+fn write_u64(buf: &mut [u8; 20], mut n: u64) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    std::str::from_utf8(&buf[i..]).expect("ASCII digits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::U64(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::I64(-7).render(), "-7");
+        assert_eq!(Json::F64(0.5).render(), "0.5");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(s.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let doc = Json::object([
+            ("z", Json::U64(1)),
+            ("a", Json::U64(2)),
+            ("m", Json::U64(3)),
+        ]);
+        assert_eq!(doc.render(), r#"{"z":1,"a":2,"m":3}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let doc = Json::object([("k", Json::array([Json::U64(1)]))]);
+        assert_eq!(doc.render_pretty(), "{\n  \"k\": [\n    1\n  ]\n}\n");
+        assert_eq!(Json::object::<String>([]).render_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            Json::object([
+                ("rate", Json::F64(1.0 / 3.0)),
+                ("n", Json::U64(12345678901234567890)),
+            ])
+        };
+        assert_eq!(build().render(), build().render());
+    }
+}

@@ -1,8 +1,10 @@
 //! Scoped-thread work-queue pool for embarrassingly parallel sweeps.
 //!
-//! The experiment engine fans (workload × cache-config) simulation
-//! cells out across OS threads. This crate provides the scheduling
-//! substrate, with three properties the engine relies on:
+//! Reproduction infrastructure with no direct counterpart in the paper:
+//! the paper's evaluation (Sections 2 and 4) sweeps many (workload ×
+//! cache-configuration) points, and the experiment engine fans those
+//! simulation cells out across OS threads. This crate provides the
+//! scheduling substrate, with three properties the engine relies on:
 //!
 //! * **Determinism** — [`Pool::map`] returns results in input order, so
 //!   downstream aggregation and formatting are bit-identical to a
@@ -27,6 +29,9 @@
 //! ```
 
 #![deny(missing_docs)]
+
+#[cfg(feature = "metrics")]
+pub mod metrics;
 
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -118,10 +123,20 @@ impl Pool {
         if n == 0 {
             return Vec::new();
         }
+        #[cfg(feature = "metrics")]
+        {
+            metrics::MAPS.incr();
+            metrics::ITEMS.add(n as u64);
+            metrics::QUEUE_DEPTH.set(n as u64);
+        }
         let extra = if n > 1 { self.acquire(n - 1) } else { 0 };
         if extra == 0 {
+            #[cfg(feature = "metrics")]
+            metrics::INLINE_MAPS.incr();
             return items.into_iter().map(f).collect();
         }
+        #[cfg(feature = "metrics")]
+        metrics::WORKERS_SPAWNED.add(extra as u64);
 
         let queue: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();

@@ -1,0 +1,52 @@
+//! Scheduling instrumentation, compiled only under the `metrics`
+//! feature.
+//!
+//! The probes answer the two questions the experiment engine's
+//! throughput lines cannot: *how deep do the cell queues get* (gauge
+//! high-watermark) and *how often does the token budget force a map to
+//! degrade to inline serial execution* (counter ratio). Totals are sums
+//! of relaxed atomic increments, so their final values are identical
+//! for any worker interleaving.
+
+use fvl_obs::{Counter, Gauge, Sample};
+
+/// `Pool::map` batches scheduled (including degenerate empty ones).
+pub static MAPS: Counter = Counter::new();
+
+/// Batches that ran inline because no worker tokens were free (nested
+/// maps under a saturated budget) or the batch had a single item.
+pub static INLINE_MAPS: Counter = Counter::new();
+
+/// Items fanned out across all batches.
+pub static ITEMS: Counter = Counter::new();
+
+/// Extra worker threads spawned across all batches (the calling thread
+/// always participates and is not counted).
+pub static WORKERS_SPAWNED: Counter = Counter::new();
+
+/// Queue depth per batch (items in the work queue at submission);
+/// `max()` is the deepest batch seen.
+pub static QUEUE_DEPTH: Gauge = Gauge::new();
+
+/// Reads every scheduling instrument.
+///
+/// Names are stable: they feed the `hotpath` block of the experiment
+/// metrics export.
+pub fn snapshot() -> Vec<Sample> {
+    vec![
+        Sample::new("runner_maps", MAPS.get()),
+        Sample::new("runner_inline_maps", INLINE_MAPS.get()),
+        Sample::new("runner_items", ITEMS.get()),
+        Sample::new("runner_workers_spawned", WORKERS_SPAWNED.get()),
+        Sample::new("runner_max_queue_depth", QUEUE_DEPTH.max()),
+    ]
+}
+
+/// Zeroes every scheduling instrument (between experiment batches).
+pub fn reset() {
+    MAPS.reset();
+    INLINE_MAPS.reset();
+    ITEMS.reset();
+    WORKERS_SPAWNED.reset();
+    QUEUE_DEPTH.reset();
+}

@@ -8,14 +8,29 @@
 //! workloads, a conventional cache simulator, a victim cache, and a
 //! CACTI-style timing model.
 //!
-//! This facade crate re-exports the workspace members:
+//! This facade crate re-exports the workspace members, each mapped to
+//! the part of the paper it reproduces:
 //!
-//! * [`mem`] — simulated 32-bit memory, tracing bus, allocators.
-//! * [`workloads`] — twelve SPEC95-like benchmark programs.
-//! * [`cache`] — conventional set-associative/victim cache simulator.
-//! * [`core`] — the FVC and the DMC+FVC hybrid controller.
-//! * [`profile`] — the Section 2 locality analyses.
-//! * [`timing`] — the Figure 9 access-time model.
+//! * [`mem`] — simulated 32-bit memory, tracing bus, allocators (the
+//!   paper's instrumented-execution substrate, Section 2.1).
+//! * [`workloads`] — SPEC95-like benchmark programs (the paper's
+//!   benchmark suite, Table 1 / Section 2).
+//! * [`cache`] — conventional set-associative/victim cache simulator
+//!   (the paper's baseline DMC and Figure 15's victim cache).
+//! * [`core`] — the FVC and the DMC+FVC hybrid controller (Section 3,
+//!   the paper's contribution).
+//! * [`profile`] — the Section 2 locality analyses (Figures 1–5,
+//!   Tables 2–4).
+//! * [`timing`] — the Figure 9 access-time model (CACTI-style).
+//! * [`runner`] — the worker pool that shards (workload × config)
+//!   simulation cells for the evaluation sweeps (infrastructure; no
+//!   paper counterpart).
+//! * [`obs`] — metrics/instrumentation primitives behind the
+//!   `experiments --metrics` export (infrastructure).
+//!
+//! The experiment harness regenerating every figure and table lives in
+//! the separate `fvl-bench` crate (binary: `experiments`); see
+//! `EXPERIMENTS.md` for the full reproduction matrix.
 //!
 //! # Quickstart
 //!
@@ -58,6 +73,8 @@
 pub use fvl_cache as cache;
 pub use fvl_core as core;
 pub use fvl_mem as mem;
+pub use fvl_obs as obs;
 pub use fvl_profile as profile;
+pub use fvl_runner as runner;
 pub use fvl_timing as timing;
 pub use fvl_workloads as workloads;
