@@ -1,0 +1,165 @@
+//! Criterion benches for the PR-3 hot-path work: dyn vs monomorphized
+//! replay, the frequent-value encode micro-kernel, `SimMemory` access,
+//! and capture-once vs capture-per-experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fvl_bench::{ExperimentContext, TraceKey, TraceStore};
+use fvl_cache::{CacheGeometry, CacheSim};
+use fvl_core::FrequentValueSet;
+use fvl_mem::{AccessSink, SimMemory, Word};
+use fvl_profile::ValueCounter;
+use fvl_workloads::by_name;
+use std::collections::HashMap;
+
+/// Dynamic-dispatch vs monomorphized trace replay, for a stateful
+/// simulator sink and a profiling sink. `replay` routes every event
+/// through `&mut dyn AccessSink`; `replay_into` inlines the sink.
+fn bench_dyn_vs_generic(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick();
+    let data = ctx.capture("li");
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+
+    let mut group = c.benchmark_group("dispatch");
+    group.throughput(Throughput::Elements(data.trace.accesses()));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("cache-sim", "dyn"), |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(geom);
+            data.trace.replay(&mut sim as &mut dyn AccessSink);
+            sim.stats().misses()
+        })
+    });
+    group.bench_function(BenchmarkId::new("cache-sim", "generic"), |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(geom);
+            data.trace.replay_into(&mut sim);
+            sim.stats().misses()
+        })
+    });
+    group.bench_function(BenchmarkId::new("value-counter", "dyn"), |b| {
+        b.iter(|| {
+            let mut counter = ValueCounter::new();
+            data.trace.replay(&mut counter as &mut dyn AccessSink);
+            counter.total()
+        })
+    });
+    group.bench_function(BenchmarkId::new("value-counter", "generic"), |b| {
+        b.iter(|| {
+            let mut counter = ValueCounter::new();
+            data.trace.replay_into(&mut counter);
+            counter.total()
+        })
+    });
+    group.finish();
+}
+
+/// The per-access frequent-value lookup: the sorted-array binary search
+/// inside [`FrequentValueSet::encode`] vs an equivalent `HashMap`
+/// probe (the data structure it replaced).
+fn bench_encode(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick();
+    let data = ctx.capture("li");
+    let set = FrequentValueSet::from_ranking(&data.counter.ranking(), 7).unwrap();
+    let map: HashMap<Word, u8> = set
+        .values()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u8))
+        .collect();
+    // Probe with the values the replay loop actually sees.
+    let probes: Vec<Word> = data
+        .trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            fvl_mem::TraceEvent::Access(a) => Some(a.value),
+            _ => None,
+        })
+        .take(65_536)
+        .collect();
+
+    let mut group = c.benchmark_group("encode");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function(BenchmarkId::new("top7", "array"), |b| {
+        b.iter(|| {
+            let mut frequent = 0u64;
+            for &v in &probes {
+                frequent += u64::from(set.encode(black_box(v)).is_some());
+            }
+            frequent
+        })
+    });
+    group.bench_function(BenchmarkId::new("top7", "hashmap"), |b| {
+        b.iter(|| {
+            let mut frequent = 0u64;
+            for &v in &probes {
+                frequent += u64::from(map.contains_key(&black_box(v)));
+            }
+            frequent
+        })
+    });
+    group.finish();
+}
+
+/// `SimMemory` word access: sequential sweeps hit the one-entry page
+/// cache 1023 times out of 1024.
+fn bench_sim_memory(c: &mut Criterion) {
+    const WORDS: u32 = 64 * 1024; // 256 KiB = 64 pages
+    let mut mem = SimMemory::new();
+    for i in 0..WORDS {
+        mem.write(i * 4, i);
+    }
+
+    let mut group = c.benchmark_group("sim-memory");
+    group.throughput(Throughput::Elements(u64::from(WORDS)));
+    group.bench_function(BenchmarkId::new("read", "sequential"), |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for i in 0..WORDS {
+                sum += u64::from(mem.read(black_box(i * 4)));
+            }
+            sum
+        })
+    });
+    group.bench_function(BenchmarkId::new("write", "sequential"), |b| {
+        b.iter(|| {
+            for i in 0..WORDS {
+                mem.write(black_box(i * 4), i ^ 1);
+            }
+            mem.resident_pages()
+        })
+    });
+    group.finish();
+}
+
+/// One experiment's view of workload data: asking the shared store
+/// (every request after the first is an `Arc` clone) vs re-capturing
+/// the workload the way every experiment used to.
+fn bench_capture(c: &mut Criterion) {
+    let cap = Some(1000);
+    let key = TraceKey::new("li", fvl_workloads::InputSize::Test, 1, cap);
+    let store = TraceStore::new();
+    let capture = || {
+        fvl_bench::WorkloadData::capture_limited(by_name("li", key.input, key.seed).unwrap(), cap)
+    };
+    store.get_or_capture(key.clone(), capture); // warm the latch
+
+    let mut group = c.benchmark_group("capture");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("li-smoke", "store-hit"), |b| {
+        b.iter(|| store.get_or_capture(key.clone(), capture).trace.accesses())
+    });
+    group.bench_function(BenchmarkId::new("li-smoke", "per-experiment"), |b| {
+        b.iter(|| capture().trace.accesses())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dyn_vs_generic,
+    bench_encode,
+    bench_sim_memory,
+    bench_capture
+);
+criterion_main!(benches);

@@ -2,15 +2,17 @@
 //!
 //! ```text
 //! experiments <name>... [--quick|--train|--smoke] [--seed N] [--jobs N|--serial]
+//!             [--no-trace-cache]
 //!             [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]
 //! experiments all [--smoke]
 //! experiments list
 //! ```
 //!
-//! Reports go to stdout; timing and engine-throughput lines go to
-//! stderr, so stdout is bit-identical for any `--jobs` count. The
-//! `--metrics` export is deterministic too, unless `--metrics-timing`
-//! opts into wall-clock fields (see `fvl_bench::metrics`).
+//! Reports go to stdout; timing, engine-throughput and trace-store
+//! lines go to stderr, so stdout is bit-identical for any `--jobs`
+//! count and for the trace cache on or off. The `--metrics` export is
+//! deterministic too, unless `--metrics-timing` opts into wall-clock
+//! and cache hit/miss fields (see `fvl_bench::metrics`).
 
 use fvl_bench::engine::Engine;
 use fvl_bench::experiments;
@@ -24,14 +26,16 @@ use std::time::Instant;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <name>... [--quick|--train|--smoke] [--seed N] [--jobs N|--serial]\n\
+         \x20                        [--no-trace-cache]\n\
          \x20                        [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]\n\
          names: {} | all | list\n\
          --quick uses test inputs (seconds); default is reference inputs (minutes)\n\
          --smoke truncates every test-input trace to ~1000 references (CI)\n\
          --jobs N shards simulation cells over N workers (default: all cores); --serial = --jobs 1\n\
+         --no-trace-cache re-captures each workload per experiment instead of sharing one capture\n\
          --metrics FILE writes a versioned JSON metrics export (deterministic across --jobs)\n\
          --metrics-csv FILE writes the per-cell log as CSV\n\
-         --metrics-timing adds wall-clock/throughput fields to the JSON export",
+         --metrics-timing adds wall-clock/throughput/cache-counter fields to the JSON export",
         experiments::all()
             .iter()
             .map(|(n, _)| *n)
@@ -53,6 +57,7 @@ fn main() -> ExitCode {
     let mut metrics_json: Option<String> = None;
     let mut metrics_csv: Option<String> = None;
     let mut metrics_timing = false;
+    let mut trace_cache = true;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -81,6 +86,7 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--metrics-timing" => metrics_timing = true,
+            "--no-trace-cache" => trace_cache = false,
             "list" => {
                 for (name, _) in experiments::all() {
                     println!("{name}");
@@ -119,7 +125,8 @@ fn main() -> ExitCode {
         .with_input(input)
         .with_seed(seed)
         .with_max_refs(smoke.then_some(fvl_bench::data::SMOKE_REFS))
-        .with_engine(Arc::clone(&engine));
+        .with_engine(Arc::clone(&engine))
+        .with_trace_cache(trace_cache);
     println!(
         "# FVC reproduction experiments ({} inputs{}, seed {seed})\n",
         match input {
@@ -141,6 +148,19 @@ fn main() -> ExitCode {
         if engine.jobs() == 1 { "" } else { "s" },
         engine.throughput(),
     );
+    let store = ctx.store();
+    eprintln!(
+        "trace store: {} — {} distinct capture{}, {} executed, {} served from cache",
+        if store.enabled() {
+            "enabled"
+        } else {
+            "disabled"
+        },
+        store.distinct_keys(),
+        if store.distinct_keys() == 1 { "" } else { "s" },
+        store.total_misses(),
+        store.total_hits(),
+    );
     if let Some(path) = metrics_json {
         let run = RunInfo::new(
             match input {
@@ -151,7 +171,7 @@ fn main() -> ExitCode {
             seed,
             smoke,
         );
-        let doc = metrics::json_report(&engine, &run, metrics_timing);
+        let doc = metrics::json_report_full(&engine, &run, Some(ctx.store()), metrics_timing);
         let mut body = doc.render_pretty();
         body.push('\n');
         if let Err(err) = std::fs::write(&path, body) {

@@ -1,6 +1,7 @@
 //! Workload execution and profiling shared by all experiments.
 
 use crate::engine::{CellId, Completed, Engine, FnJob};
+use crate::store::{TraceKey, TraceStore};
 use fvl_mem::{Trace, TraceBuffer, TracedMemory, Word};
 use fvl_profile::{OccurrenceSampler, ValueCounter};
 use fvl_workloads::{by_name, InputSize, Workload};
@@ -49,13 +50,13 @@ impl WorkloadData {
         }
         let mut trace = buf.into_trace();
         if let Some(limit) = max_refs {
-            trace = trace.prefix(limit);
+            trace = trace.into_prefix(limit);
         }
         let mut counter = ValueCounter::new();
-        trace.replay(&mut counter);
+        trace.replay_into(&mut counter);
         let sample_every = (trace.accesses() / SNAPSHOTS_PER_RUN).max(1);
         let mut occ = OccurrenceSampler::new();
-        trace.replay_with_snapshots(&mut occ, sample_every);
+        trace.replay_with_snapshots_into(&mut occ, sample_every);
         WorkloadData {
             name: workload.name().to_string(),
             trace,
@@ -87,8 +88,9 @@ impl fmt::Debug for WorkloadData {
 
 /// Shared configuration for a batch of experiments: input size, the
 /// base seed (experiments that compare inputs derive further seeds),
-/// the smoke-mode reference budget, and the engine that schedules
-/// every experiment's simulation cells.
+/// the smoke-mode reference budget, the engine that schedules every
+/// experiment's simulation cells, and the [`TraceStore`] that makes
+/// each distinct workload capture happen exactly once per batch.
 #[derive(Clone, Debug)]
 pub struct ExperimentContext {
     /// Problem size used for every workload.
@@ -100,6 +102,8 @@ pub struct ExperimentContext {
     pub max_refs: Option<u64>,
     /// The cell scheduler shared by all experiments of the batch.
     engine: Arc<Engine>,
+    /// Capture-once memoization shared by all experiments of the batch.
+    store: Arc<TraceStore>,
 }
 
 impl Default for ExperimentContext {
@@ -109,6 +113,7 @@ impl Default for ExperimentContext {
             seed: 1,
             max_refs: None,
             engine: Arc::new(Engine::serial()),
+            store: Arc::new(TraceStore::new()),
         }
     }
 }
@@ -157,9 +162,26 @@ impl ExperimentContext {
         self
     }
 
+    /// Enables or disables capture memoization. Disabling swaps in a
+    /// fresh [`TraceStore::disabled`], reproducing the historical
+    /// capture-per-experiment behavior (`--no-trace-cache`).
+    pub fn with_trace_cache(mut self, enabled: bool) -> Self {
+        self.store = Arc::new(if enabled {
+            TraceStore::new()
+        } else {
+            TraceStore::disabled()
+        });
+        self
+    }
+
     /// The engine scheduling this batch's cells.
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// The capture-once store shared by this batch's experiments.
+    pub fn store(&self) -> &TraceStore {
+        &self.store
     }
 
     /// Runs one simulation cell per item through the engine, returning
@@ -173,35 +195,44 @@ impl ExperimentContext {
         self.engine.cells(items, f)
     }
 
-    /// Captures one workload by name.
+    /// Captures one workload by name, sharing the result through the
+    /// batch's [`TraceStore`]: the first request for a given
+    /// `(name, input, seed, max_refs)` key executes the workload, every
+    /// later one returns the same [`Arc`] handle.
     ///
     /// # Panics
     ///
     /// Panics if the name is unknown.
-    pub fn capture(&self, name: &str) -> WorkloadData {
+    pub fn capture(&self, name: &str) -> Arc<WorkloadData> {
         self.capture_with(name, self.input, self.seed)
     }
 
     /// Captures one workload with explicit input size and seed (used by
-    /// the Table 2 input-sensitivity study).
+    /// the Table 2 input-sensitivity study), routed through the batch's
+    /// [`TraceStore`].
     ///
     /// # Panics
     ///
     /// Panics if the name is unknown.
-    pub fn capture_with(&self, name: &str, input: InputSize, seed: u64) -> WorkloadData {
-        let w = by_name(name, input, seed).unwrap_or_else(|| panic!("unknown workload {name}"));
-        WorkloadData::capture_limited(w, self.max_refs)
+    pub fn capture_with(&self, name: &str, input: InputSize, seed: u64) -> Arc<WorkloadData> {
+        let key = TraceKey::new(name, input, seed, self.max_refs);
+        self.store.get_or_capture(key, || {
+            let w = by_name(name, input, seed).unwrap_or_else(|| panic!("unknown workload {name}"));
+            WorkloadData::capture_limited(w, self.max_refs)
+        })
     }
 
     /// Captures several workloads as engine cells (one per name), in
     /// the given order. A capture executes the workload once and
     /// replays its trace through the two value profilers, so each cell
-    /// reports three passes over the trace.
+    /// reports three passes over the trace — whether the capture ran
+    /// live or was served from the [`TraceStore`], so cell records stay
+    /// byte-identical with the cache on or off.
     ///
     /// # Panics
     ///
     /// Panics if any name is unknown.
-    pub fn capture_many(&self, experiment: &'static str, names: &[&str]) -> Vec<WorkloadData> {
+    pub fn capture_many(&self, experiment: &'static str, names: &[&str]) -> Vec<Arc<WorkloadData>> {
         let jobs: Vec<_> = names
             .iter()
             .map(|&name| {

@@ -38,7 +38,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
 
         let window = (data.trace.accesses() / 20).max(1);
         let mut online = OnlineHybrid::new(dmc, 512, 7, window);
-        data.trace.replay(&mut online);
+        data.trace.replay_into(&mut online);
         let combined = online.combined_stats();
         let online_cut = combined.miss_reduction_vs(&base);
 

@@ -38,7 +38,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         let values = FrequentValueSet::from_ranking(&data.counter.ranking(), 7)
             .expect("profiled ranking is nonempty");
         let mut compressed = CompressedCache::new(small, values);
-        data.trace.replay(&mut compressed);
+        data.trace.replay_into(&mut compressed);
         let doubling_gain = base_small.miss_rate() - base_big.miss_rate();
         let recovered = if doubling_gain > 0.0 {
             (base_small.miss_rate() - compressed.stats().miss_rate()) / doubling_gain * 100.0

@@ -62,7 +62,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
             _ => mk.fvc_associativity(2),
         };
         let mut sim = HybridCache::new(config);
-        data.trace.replay(&mut sim);
+        data.trace.replay_into(&mut sim);
         Completed::new(
             pct1(sim.stats().miss_reduction_vs(&bases[w])),
             data.trace.accesses(),

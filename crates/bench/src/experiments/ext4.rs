@@ -32,7 +32,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     // Per workload: the plain DMC and the hybrid — two trace passes.
     let cells = per_workload_stats(ctx, "ext4", "word traffic", &datas, 2, |data| {
         let mut base = CacheSim::new(dmc);
-        data.trace.replay(&mut base);
+        data.trace.replay_into(&mut base);
         let sim = hybrid(data, dmc, 512, 7);
         let base_traffic = base.traffic_words();
         let fvc_traffic = sim.traffic_words();

@@ -20,7 +20,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         // Paper fidelity: heap deallocations were not tracked in the
         // study, so the location census only shrinks on stack pops.
         data.trace
-            .replay_with_snapshots_opts(&mut recorder, data.sample_every, false);
+            .replay_with_snapshots_opts_into(&mut recorder, data.sample_every, false);
         recorder
     })
     .pop()

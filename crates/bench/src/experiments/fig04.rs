@@ -30,7 +30,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
                 data.top_occurring(10),
                 data.top_accessed(10),
             );
-            data.trace.replay(&mut study);
+            data.trace.replay_into(&mut study);
             study
         },
     )) {

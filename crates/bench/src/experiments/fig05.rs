@@ -21,7 +21,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         // Paper fidelity: heap frees untracked, so the referenced-memory
         // census matches the paper's (and yields many more blocks).
         data.trace
-            .replay_with_snapshots_opts(&mut analyzer, data.sample_every, false);
+            .replay_with_snapshots_opts_into(&mut analyzer, data.sample_every, false);
         analyzer.into_profile().expect("halfway snapshot exists")
     })
     .pop()

@@ -44,7 +44,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         }
         // Miss classification of the direct-mapped baseline.
         let mut classified = CacheSim::new(geom(16, 32, 1)).with_classifier();
-        data.trace.replay(&mut classified);
+        data.trace.replay_into(&mut classified);
         let c = classified.classifier().expect("enabled");
         let total = c.total().max(1) as f64;
         (

@@ -30,7 +30,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         let base = baseline(data, dmc);
         let run_vc = |entries: usize| {
             let mut sim = VictimHybrid::new(dmc, entries);
-            data.trace.replay(&mut sim);
+            data.trace.replay_into(&mut sim);
             let stats = *Simulator::stats(&sim);
             (reduction(&base, &stats), stats)
         };

@@ -28,6 +28,7 @@ use crate::table::Table;
 use fvl_cache::{CacheGeometry, CacheSim, CacheStats};
 use fvl_core::{FrequentValueSet, HybridCache, HybridConfig};
 use std::fmt;
+use std::sync::Arc;
 
 /// A rendered experiment: identification, result tables, and notes.
 #[derive(Debug)]
@@ -120,7 +121,7 @@ pub(crate) fn geom(kb: u64, line_bytes: u32, assoc: u32) -> CacheGeometry {
 /// Replays the captured trace through a conventional cache.
 pub(crate) fn baseline(data: &WorkloadData, geometry: CacheGeometry) -> CacheStats {
     let mut sim = CacheSim::new(geometry);
-    data.trace.replay(&mut sim);
+    data.trace.replay_into(&mut sim);
     *sim.stats()
 }
 
@@ -136,7 +137,7 @@ pub(crate) fn hybrid(
         .expect("profiled workloads have at least one value");
     let config = HybridConfig::new(geometry, fvc_entries, values);
     let mut sim = HybridCache::new(config);
-    data.trace.replay(&mut sim);
+    data.trace.replay_into(&mut sim);
     sim
 }
 
@@ -154,7 +155,7 @@ pub(crate) fn per_workload<R, F>(
     ctx: &ExperimentContext,
     experiment: &'static str,
     config: &'static str,
-    datas: &[WorkloadData],
+    datas: &[Arc<WorkloadData>],
     replays: u64,
     f: F,
 ) -> Vec<R>
@@ -173,7 +174,7 @@ pub(crate) fn per_workload_stats<R, F>(
     ctx: &ExperimentContext,
     experiment: &'static str,
     config: &'static str,
-    datas: &[WorkloadData],
+    datas: &[Arc<WorkloadData>],
     replays: u64,
     f: F,
 ) -> Vec<R>
@@ -182,7 +183,7 @@ where
     F: Fn(&WorkloadData) -> (R, Vec<ClassStats>) + Sync,
 {
     ctx.cells((0..datas.len()).collect(), |i| {
-        let data = &datas[i];
+        let data = datas[i].as_ref();
         let (output, classes) = f(data);
         let mut done = Completed::new(output, replays * data.trace.accesses()).at(CellId::new(
             experiment,

@@ -24,7 +24,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let reports = per_workload(ctx, "table3", "ranking stability", &datas, 1, |data| {
         let check_every = (data.trace.accesses() / 500).max(1);
         let mut analyzer = StabilityAnalyzer::new(check_every);
-        data.trace.replay(&mut analyzer);
+        data.trace.replay_into(&mut analyzer);
         analyzer.report()
     });
     for (data, r) in datas.iter().zip(reports) {

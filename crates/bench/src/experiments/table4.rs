@@ -16,7 +16,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
     let datas = ctx.capture_many("table4", &ctx.all_int());
     let cells = per_workload(ctx, "table4", "value constancy", &datas, 1, |data| {
         let mut analyzer = ConstancyAnalyzer::new();
-        data.trace.replay(&mut analyzer);
+        data.trace.replay_into(&mut analyzer);
         (analyzer.lifetimes(), analyzer.constant_percent())
     });
     for (data, (lifetimes, percent)) in datas.iter().zip(cells) {

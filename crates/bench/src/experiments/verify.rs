@@ -44,7 +44,7 @@ struct SixMetrics {
 
 fn constancy(data: &WorkloadData) -> f64 {
     let mut a = fvl_profile::ConstancyAnalyzer::new();
-    data.trace.replay(&mut a);
+    data.trace.replay_into(&mut a);
     a.constant_percent()
 }
 
@@ -82,7 +82,7 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         let base4 = baseline(data, dmc4);
         let fvc_cut = hybrid(data, dmc4, 512, 7).stats().miss_reduction_vs(&base4);
         let mut vc = VictimHybrid::new(dmc4, 4);
-        data.trace.replay(&mut vc);
+        data.trace.replay_into(&mut vc);
         let vc_cut = Simulator::stats(&vc).miss_reduction_vs(&base4);
         let classes = vec![
             ClassStats::from_stats("dmc", &base16),

@@ -30,11 +30,13 @@
 //!
 //! * **Determinism by default.** Everything above is a pure function of
 //!   the simulated work, so the file is byte-identical across
-//!   `--serial` and `--jobs N`. Wall-clock fields (`wall_ns` per
-//!   record; `jobs`, `elapsed_ns`, `cells_per_sec`, `refs_per_sec` in
-//!   the `engine` block; the `hotpath` instrument block) appear only
-//!   when timing is requested (`--metrics-timing`), because scheduling
-//!   is the one thing that legitimately differs between runs.
+//!   `--serial` and `--jobs N` — and across trace-cache on/off
+//!   (`--no-trace-cache`), which CI diffs. Fields that legitimately
+//!   differ between such runs (`wall_ns` per record; `jobs`,
+//!   `elapsed_ns`, `cells_per_sec`, `refs_per_sec` in the `engine`
+//!   block; the `hotpath` instrument block; the `trace_store` block
+//!   with per-key capture hit/miss counts) appear only when timing is
+//!   requested (`--metrics-timing`).
 //! * **Versioning.** Any field removal or meaning change bumps
 //!   [`SCHEMA_VERSION`]; additions keep it.
 //!
@@ -57,6 +59,7 @@
 //! ```
 
 use crate::engine::{CellRecord, Engine};
+use crate::store::TraceStore;
 use fvl_obs::{csv_row, Json};
 
 /// Version of the exported JSON schema. Bumped on any breaking change
@@ -91,6 +94,23 @@ impl RunInfo {
 /// contains only deterministic fields; with `timing == true` it adds
 /// wall-clock and scheduling data (see the module docs).
 pub fn json_report(engine: &Engine, run: &RunInfo, timing: bool) -> Json {
+    json_report_full(engine, run, None, timing)
+}
+
+/// Like [`json_report`], additionally describing the run's
+/// [`TraceStore`] when one is supplied.
+///
+/// The `trace_store` block (enabled flag, distinct keys, per-key
+/// capture hits/misses) is emitted only in timing mode: the plain
+/// `--metrics` export must stay byte-identical with the cache enabled
+/// and disabled, and hit/miss counts are exactly what differs between
+/// those runs.
+pub fn json_report_full(
+    engine: &Engine,
+    run: &RunInfo,
+    store: Option<&TraceStore>,
+    timing: bool,
+) -> Json {
     let records = engine.cell_records();
     let mut doc = vec![
         ("schema_version".to_string(), Json::U64(SCHEMA_VERSION)),
@@ -110,11 +130,42 @@ pub fn json_report(engine: &Engine, run: &RunInfo, timing: bool) -> Json {
         ("engine".to_string(), engine_block(engine, timing)),
     ];
     if timing {
+        if let Some(store) = store {
+            doc.push(("trace_store".to_string(), trace_store_block(store)));
+        }
         if let Some(hotpath) = hotpath_block() {
             doc.push(("hotpath".to_string(), hotpath));
         }
     }
     Json::Object(doc)
+}
+
+/// Capture-cache statistics: the enabled flag, distinct key count, and
+/// per-key hit/miss counters (keys sorted, so the block itself is
+/// deterministic for a fixed run configuration).
+fn trace_store_block(store: &TraceStore) -> Json {
+    let stats = store.stats();
+    Json::object([
+        ("enabled", Json::Bool(store.enabled())),
+        ("distinct_keys", Json::U64(stats.len() as u64)),
+        ("hits", Json::U64(stats.iter().map(|s| s.hits).sum())),
+        ("misses", Json::U64(stats.iter().map(|s| s.misses).sum())),
+        (
+            "keys",
+            Json::Array(
+                stats
+                    .iter()
+                    .map(|s| {
+                        Json::object([
+                            ("key", Json::Str(s.key.to_string())),
+                            ("hits", Json::U64(s.hits)),
+                            ("misses", Json::U64(s.misses)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Flattens the record log to CSV: one row per (cell, cache class),
@@ -306,6 +357,23 @@ mod tests {
         assert!(json.contains("wall_ns"));
         assert!(json.contains("\"jobs\":1"));
         assert!(json.contains("cells_per_sec"));
+    }
+
+    #[test]
+    fn trace_store_block_appears_only_in_timing_mode() {
+        let engine = engine_with_two_cells();
+        let run = RunInfo::new("test", 1, true);
+        let store = TraceStore::new();
+        let plain = json_report_full(&engine, &run, Some(&store), false).render();
+        assert!(
+            !plain.contains("trace_store"),
+            "deterministic export must not carry cache counters"
+        );
+        let timed = json_report_full(&engine, &run, Some(&store), true).render();
+        assert!(timed.contains("\"trace_store\":{\"enabled\":true,\"distinct_keys\":0"));
+        let disabled = TraceStore::disabled();
+        let timed = json_report_full(&engine, &run, Some(&disabled), true).render();
+        assert!(timed.contains("\"enabled\":false"));
     }
 
     #[test]

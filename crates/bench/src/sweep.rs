@@ -25,7 +25,7 @@ use std::sync::Mutex;
 /// let sizes = vec![1u64, 2, 4];
 /// let misses = parallel(&trace, sizes, |trace, kb| {
 ///     let mut sim = CacheSim::new(CacheGeometry::new(kb * 1024, 32, 1).unwrap());
-///     trace.replay(&mut sim);
+///     trace.replay_into(&mut sim);
 ///     sim.stats().misses()
 /// });
 /// assert_eq!(misses.len(), 3);
@@ -115,7 +115,7 @@ mod tests {
         let configs = vec![(1u64, 16u32), (1, 32), (2, 16), (4, 64)];
         let simulate = |t: &Trace, (kb, line): (u64, u32)| {
             let mut sim = CacheSim::new(CacheGeometry::new(kb * 1024, line, 1).unwrap());
-            t.replay(&mut sim);
+            t.replay_into(&mut sim);
             sim.stats().misses()
         };
         let par = parallel(&trace, configs.clone(), simulate);

@@ -1,7 +1,6 @@
 //! The set of frequent values and their compact encoding.
 
 use fvl_mem::Word;
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -61,7 +60,10 @@ impl Error for ValueSetError {}
 #[derive(Clone, Eq, PartialEq, Debug)]
 pub struct FrequentValueSet {
     values: Vec<Word>,
-    codes: HashMap<Word, u8>,
+    /// `(value, code)` sorted by value. With at most 127 entries a
+    /// branchless binary search over this array beats a hash lookup on
+    /// the per-access encode path (no hashing, one cache line or two).
+    sorted: Vec<(Word, u8)>,
     width_bits: u32,
 }
 
@@ -79,11 +81,14 @@ impl FrequentValueSet {
         if values.len() > 127 {
             return Err(ValueSetError::TooMany { got: values.len() });
         }
-        let mut codes = HashMap::with_capacity(values.len());
-        for (i, &v) in values.iter().enumerate() {
-            if codes.insert(v, i as u8).is_some() {
-                return Err(ValueSetError::Duplicate { value: v });
-            }
+        let mut sorted: Vec<(Word, u8)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u8))
+            .collect();
+        sorted.sort_unstable();
+        if let Some(w) = sorted.windows(2).find(|w| w[0].0 == w[1].0) {
+            return Err(ValueSetError::Duplicate { value: w[0].0 });
         }
         // Smallest width leaving one spare code for "infrequent".
         let mut width_bits = 1;
@@ -92,7 +97,7 @@ impl FrequentValueSet {
         }
         Ok(FrequentValueSet {
             values,
-            codes,
+            sorted,
             width_bits,
         })
     }
@@ -138,13 +143,29 @@ impl FrequentValueSet {
     /// Whether `value` is frequent.
     #[inline]
     pub fn contains(&self, value: Word) -> bool {
-        self.codes.contains_key(&value)
+        self.encode(value).is_some()
     }
 
     /// The code for `value`, or `None` when it is not frequent.
+    ///
+    /// This runs once per simulated word access, so it is a branchless
+    /// binary search over the sorted `(value, code)` array: the loop
+    /// trip count depends only on the set size (≤ 7 steps for 127
+    /// values), and the comparison inside compiles to a conditional
+    /// move rather than an unpredictable branch.
     #[inline]
     pub fn encode(&self, value: Word) -> Option<u8> {
-        self.codes.get(&value).copied()
+        let mut lo = 0usize;
+        let mut size = self.sorted.len();
+        while size > 1 {
+            let half = size / 2;
+            let mid = lo + half;
+            // Branchless select: always safe, `mid < sorted.len()`.
+            lo = if self.sorted[mid].0 <= value { mid } else { lo };
+            size -= half;
+        }
+        let (v, code) = self.sorted[lo];
+        (v == value).then_some(code)
     }
 
     /// The value for `code`, or `None` for the infrequent code or any

@@ -1,6 +1,7 @@
 //! Sparse paged backing store for the simulated 32-bit address space.
 
 use crate::layout::{Addr, Word, WORD_BYTES};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -16,6 +17,13 @@ type Page = [Word; PAGE_WORDS];
 /// like freshly mapped pages on a real OS. `SimMemory` itself performs no
 /// tracing — that is [`crate::TracedMemory`]'s job.
 ///
+/// Pages live in an append-only arena and are located through a page
+/// table plus a one-entry last-page cache (a software "TLB"): word
+/// accesses exhibit strong page locality, so the common case skips the
+/// page-table hash lookup entirely. Arena slots are never freed or
+/// reordered while the memory is alive, which is what makes the cached
+/// slot index safe to reuse.
+///
 /// # Example
 ///
 /// ```
@@ -28,7 +36,12 @@ type Page = [Word; PAGE_WORDS];
 /// ```
 #[derive(Clone, Default)]
 pub struct SimMemory {
-    pages: HashMap<u32, Box<Page>>,
+    /// Page number -> arena slot.
+    table: HashMap<u32, u32>,
+    /// Materialized pages, in first-touch order; never shrinks.
+    arena: Vec<Box<Page>>,
+    /// Last (page number, arena slot) translated, if any.
+    last: Cell<Option<(u32, u32)>>,
 }
 
 impl SimMemory {
@@ -46,6 +59,19 @@ impl SimMemory {
         )
     }
 
+    /// Arena slot for `page`, consulting the one-entry cache first.
+    #[inline]
+    fn lookup(&self, page: u32) -> Option<u32> {
+        if let Some((cached, slot)) = self.last.get() {
+            if cached == page {
+                return Some(slot);
+            }
+        }
+        let slot = *self.table.get(&page)?;
+        self.last.set(Some((page, slot)));
+        Some(slot)
+    }
+
     /// Reads the word at `addr`.
     ///
     /// # Panics
@@ -54,8 +80,8 @@ impl SimMemory {
     #[inline]
     pub fn read(&self, addr: Addr) -> Word {
         let (page, idx) = Self::split(addr);
-        match self.pages.get(&page) {
-            Some(p) => p[idx],
+        match self.lookup(page) {
+            Some(slot) => self.arena[slot as usize][idx],
             None => 0,
         }
     }
@@ -68,32 +94,36 @@ impl SimMemory {
     #[inline]
     pub fn write(&mut self, addr: Addr, value: Word) {
         let (page, idx) = Self::split(addr);
-        if value == 0 && !self.pages.contains_key(&page) {
+        if let Some(slot) = self.lookup(page) {
+            self.arena[slot as usize][idx] = value;
+            return;
+        }
+        if value == 0 {
             // Writing zero into an unmaterialized page is a no-op.
             return;
         }
-        let p = self
-            .pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0; PAGE_WORDS]));
-        p[idx] = value;
+        let slot = u32::try_from(self.arena.len()).expect("fewer than 2^32 pages");
+        self.arena.push(Box::new([0; PAGE_WORDS]));
+        self.table.insert(page, slot);
+        self.last.set(Some((page, slot)));
+        self.arena[slot as usize][idx] = value;
     }
 
     /// Number of materialized 4 KiB pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.arena.len()
     }
 
     /// Resident simulated bytes (materialized pages only).
     pub fn resident_bytes(&self) -> usize {
-        self.pages.len() * PAGE_WORDS * WORD_BYTES as usize
+        self.arena.len() * PAGE_WORDS * WORD_BYTES as usize
     }
 }
 
 impl fmt::Debug for SimMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SimMemory")
-            .field("resident_pages", &self.pages.len())
+            .field("resident_pages", &self.arena.len())
             .finish()
     }
 }
@@ -144,6 +174,29 @@ mod tests {
         assert_eq!(mem.read(0x0ffc), 7);
         assert_eq!(mem.read(0x1000), 8);
         assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn page_cache_survives_interleaving_and_clone() {
+        let mut mem = SimMemory::new();
+        // Alternate between two pages so the one-entry cache keeps
+        // being evicted and refilled.
+        for i in 0..PAGE_WORDS as u32 {
+            mem.write(i * 4, i);
+            mem.write(0x10_0000 + i * 4, !i);
+        }
+        for i in 0..PAGE_WORDS as u32 {
+            assert_eq!(mem.read(i * 4), i);
+            assert_eq!(mem.read(0x10_0000 + i * 4), !i);
+        }
+        assert_eq!(mem.resident_pages(), 2);
+        // A clone carries the same contents and an equally valid cache.
+        let copy = mem.clone();
+        assert_eq!(copy.read(4), 1);
+        assert_eq!(copy.read(0x10_0004), !1);
+        // Writes to the original do not leak into the clone.
+        mem.write(4, 999);
+        assert_eq!(copy.read(4), 1);
     }
 
     #[test]

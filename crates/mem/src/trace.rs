@@ -114,29 +114,52 @@ impl Trace {
         self.events.is_empty()
     }
 
+    /// Index of the first event *excluded* from a prefix of
+    /// `max_accesses` access events, plus the number of accesses kept.
+    fn prefix_cut(&self, max_accesses: u64) -> (usize, u64) {
+        let mut seen = 0u64;
+        for (i, event) in self.events.iter().enumerate() {
+            if matches!(event, TraceEvent::Access(_)) {
+                if seen == max_accesses {
+                    return (i, seen);
+                }
+                seen += 1;
+            }
+        }
+        (self.events.len(), seen)
+    }
+
     /// Returns the prefix of this trace holding at most `max_accesses`
     /// access events (allocation/free events up to the cut point are
     /// preserved). Smoke-mode experiment runs use this to scale every
-    /// workload down to a fixed reference budget.
+    /// workload down to a fixed reference budget. The copy is sized
+    /// exactly once; prefer [`Trace::into_prefix`] when the original
+    /// trace is no longer needed — it avoids copying entirely.
     pub fn prefix(&self, max_accesses: u64) -> Trace {
         if max_accesses >= self.accesses {
             return self.clone();
         }
-        let mut events = Vec::new();
-        let mut seen = 0u64;
-        for event in &self.events {
-            if matches!(event, TraceEvent::Access(_)) {
-                if seen == max_accesses {
-                    break;
-                }
-                seen += 1;
-            }
-            events.push(*event);
-        }
+        let (cut, seen) = self.prefix_cut(max_accesses);
+        let mut events = Vec::with_capacity(cut);
+        events.extend_from_slice(&self.events[..cut]);
         Trace {
             events,
             accesses: seen,
         }
+    }
+
+    /// Consuming variant of [`Trace::prefix`]: truncates the event log
+    /// in place, so no event is ever copied — neither when the limit
+    /// exceeds the trace (the trace is returned as-is) nor when it cuts
+    /// (the vector is truncated, not rebuilt).
+    pub fn into_prefix(mut self, max_accesses: u64) -> Trace {
+        if max_accesses >= self.accesses {
+            return self;
+        }
+        let (cut, seen) = self.prefix_cut(max_accesses);
+        self.events.truncate(cut);
+        self.accesses = seen;
+        self
     }
 
     /// Iterates over access events only.
@@ -149,9 +172,15 @@ impl Trace {
 
     /// Replays the trace into `sink` (accesses, allocs, frees, finish).
     ///
-    /// No snapshots are emitted; use [`Trace::replay_with_snapshots`] when
-    /// the sink performs occurrence sampling.
-    pub fn replay(&self, sink: &mut dyn AccessSink) {
+    /// Generic over the sink type, so per-event dispatch monomorphizes
+    /// and the sink's `on_access` can inline into the replay loop — the
+    /// hot path of every simulation. Also callable with a
+    /// `&mut dyn AccessSink` (trait objects implement their own trait),
+    /// which is exactly what [`Trace::replay`] does.
+    ///
+    /// No snapshots are emitted; use [`Trace::replay_with_snapshots_into`]
+    /// when the sink performs occurrence sampling.
+    pub fn replay_into<S: AccessSink + ?Sized>(&self, sink: &mut S) {
         for event in &self.events {
             match *event {
                 TraceEvent::Access(a) => sink.on_access(a),
@@ -160,6 +189,12 @@ impl Trace {
             }
         }
         sink.on_finish();
+    }
+
+    /// Dynamic-dispatch wrapper over [`Trace::replay_into`], for
+    /// heterogeneous sink collections and object-safe call sites.
+    pub fn replay(&self, sink: &mut dyn AccessSink) {
+        self.replay_into(sink);
     }
 
     /// Replays the trace while reconstructing memory contents and the
@@ -171,7 +206,21 @@ impl Trace {
     ///
     /// Panics if `sample_every` is zero.
     pub fn replay_with_snapshots(&self, sink: &mut dyn AccessSink, sample_every: u64) {
-        self.replay_with_snapshots_opts(sink, sample_every, true);
+        self.replay_with_snapshots_opts_into(sink, sample_every, true);
+    }
+
+    /// Monomorphized variant of [`Trace::replay_with_snapshots`]; see
+    /// [`Trace::replay_into`] for why the generic path is the fast one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every` is zero.
+    pub fn replay_with_snapshots_into<S: AccessSink + ?Sized>(
+        &self,
+        sink: &mut S,
+        sample_every: u64,
+    ) {
+        self.replay_with_snapshots_opts_into(sink, sample_every, true);
     }
 
     /// Like [`Trace::replay_with_snapshots`], but with control over
@@ -186,6 +235,22 @@ impl Trace {
     pub fn replay_with_snapshots_opts(
         &self,
         sink: &mut dyn AccessSink,
+        sample_every: u64,
+        track_heap_free: bool,
+    ) {
+        self.replay_with_snapshots_opts_into(sink, sample_every, track_heap_free);
+    }
+
+    /// Monomorphized variant of [`Trace::replay_with_snapshots_opts`];
+    /// see [`Trace::replay_into`] for why the generic path is the fast
+    /// one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every` is zero.
+    pub fn replay_with_snapshots_opts_into<S: AccessSink + ?Sized>(
+        &self,
+        sink: &mut S,
         sample_every: u64,
         track_heap_free: bool,
     ) {
@@ -331,6 +396,37 @@ mod tests {
         assert_eq!(whole.events(), trace.events());
         // Zero keeps no accesses.
         assert_eq!(trace.prefix(0).accesses(), 0);
+    }
+
+    #[test]
+    fn into_prefix_matches_prefix_without_copying_full_traces() {
+        let trace = record_simple();
+        for cut in [0u64, 5, 12, 1_000_000] {
+            let borrowed = trace.prefix(cut);
+            let consumed = trace.clone().into_prefix(cut);
+            assert_eq!(borrowed.events(), consumed.events(), "cut at {cut}");
+            assert_eq!(borrowed.accesses(), consumed.accesses());
+        }
+        // The borrowing path sizes its copy exactly.
+        let cut = trace.prefix(5);
+        assert_eq!(cut.events.len(), cut.events.capacity());
+    }
+
+    #[test]
+    fn generic_replay_matches_dyn_replay() {
+        let trace = record_simple();
+        let mut generic = CountingSink::new();
+        trace.replay_into(&mut generic);
+        let mut dynamic = CountingSink::new();
+        trace.replay(&mut dynamic);
+        assert_eq!(generic, dynamic);
+
+        let mut generic = CountingSink::new();
+        trace.replay_with_snapshots_into(&mut generic, 4);
+        let mut dynamic = CountingSink::new();
+        trace.replay_with_snapshots(&mut dynamic, 4);
+        assert_eq!(generic, dynamic);
+        assert_eq!(generic.snapshots(), 3);
     }
 
     #[test]

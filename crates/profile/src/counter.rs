@@ -51,16 +51,12 @@ impl ValueCounter {
     /// All observed values ranked by decreasing access count
     /// (deterministic: ties broken by value).
     pub fn ranking(&self) -> Vec<Word> {
-        let mut pairs: Vec<(Word, u64)> = self.counts.iter().map(|(&v, &c)| (v, c)).collect();
-        pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        pairs.into_iter().map(|(v, _)| v).collect()
+        crate::rank_by_count(self.counts.iter().map(|(&v, &c)| (v, c)))
     }
 
     /// The `k` most accessed values.
     pub fn top_k(&self, k: usize) -> Vec<Word> {
-        let mut r = self.ranking();
-        r.truncate(k);
-        r
+        crate::top_by_count(self.counts.iter().map(|(&v, &c)| (v, c)), k)
     }
 
     /// Fraction of all accesses involving one of the top `k` values

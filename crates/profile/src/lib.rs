@@ -40,6 +40,7 @@ mod attribution;
 mod constancy;
 mod counter;
 mod occurrence;
+mod ranking;
 mod sensitivity;
 mod spatial;
 mod stability;
@@ -49,6 +50,7 @@ pub use attribution::MissAttribution;
 pub use constancy::ConstancyAnalyzer;
 pub use counter::ValueCounter;
 pub use occurrence::OccurrenceSampler;
+pub use ranking::{rank_by_count, top_by_count};
 pub use sensitivity::{overlap_report, overlap_top, OverlapReport};
 pub use spatial::{SpatialAnalyzer, SpatialProfile};
 pub use stability::{StabilityAnalyzer, StabilityReport};

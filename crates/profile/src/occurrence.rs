@@ -48,16 +48,12 @@ impl OccurrenceSampler {
     /// Values ranked by decreasing average occupancy (ties towards the
     /// smaller value).
     pub fn ranking(&self) -> Vec<Word> {
-        let mut pairs: Vec<(Word, u64)> = self.sums.iter().map(|(&v, &c)| (v, c)).collect();
-        pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        pairs.into_iter().map(|(v, _)| v).collect()
+        crate::rank_by_count(self.sums.iter().map(|(&v, &c)| (v, c)))
     }
 
     /// The `k` most occurring values.
     pub fn top_k(&self, k: usize) -> Vec<Word> {
-        let mut r = self.ranking();
-        r.truncate(k);
-        r
+        crate::top_by_count(self.sums.iter().map(|(&v, &c)| (v, c)), k)
     }
 
     /// Average fraction of memory locations occupied by the top `k`

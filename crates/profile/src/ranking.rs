@@ -1,0 +1,60 @@
+//! Shared ranking helper for count-based profiles.
+//!
+//! Every profiler in this crate ranks values the same way: decreasing
+//! count, ties broken towards the numerically smaller value so results
+//! are deterministic regardless of `HashMap` iteration order. This
+//! module is the single implementation of that rule.
+
+use fvl_mem::Word;
+
+/// Ranks `(value, count)` pairs by decreasing count, breaking ties
+/// towards the smaller value, and returns the values in rank order.
+///
+/// # Example
+///
+/// ```
+/// use fvl_profile::rank_by_count;
+///
+/// let ranked = rank_by_count([(5u32, 3u64), (9, 10), (2, 3)]);
+/// assert_eq!(ranked, vec![9, 2, 5]);
+/// ```
+pub fn rank_by_count(counts: impl IntoIterator<Item = (Word, u64)>) -> Vec<Word> {
+    let mut pairs: Vec<(Word, u64)> = counts.into_iter().collect();
+    pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.into_iter().map(|(v, _)| v).collect()
+}
+
+/// Like [`rank_by_count`], truncated to the top `k` values.
+pub fn top_by_count(counts: impl IntoIterator<Item = (Word, u64)>, k: usize) -> Vec<Word> {
+    let mut ranked = rank_by_count(counts);
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_count_then_breaks_ties_towards_smaller_value() {
+        // 2 and 5 tie on count 3: 2 must come first, every time.
+        let ranked = rank_by_count([(5, 3), (9, 10), (2, 3), (7, 1)]);
+        assert_eq!(ranked, vec![9, 2, 5, 7]);
+        // Same data, different insertion order: identical ranking.
+        let ranked2 = rank_by_count([(2, 3), (7, 1), (9, 10), (5, 3)]);
+        assert_eq!(ranked, ranked2);
+    }
+
+    #[test]
+    fn all_ties_sort_purely_by_value() {
+        let ranked = rank_by_count([(30, 1), (10, 1), (20, 1)]);
+        assert_eq!(ranked, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn top_by_count_truncates() {
+        assert_eq!(top_by_count([(1, 5), (2, 9), (3, 7)], 2), vec![2, 3]);
+        assert_eq!(top_by_count([(1, 5)], 10), vec![1]);
+        assert!(top_by_count(std::iter::empty(), 3).is_empty());
+    }
+}

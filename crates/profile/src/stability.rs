@@ -64,10 +64,7 @@ impl StabilityAnalyzer {
     }
 
     fn current_top10(&self) -> Vec<Word> {
-        let mut pairs: Vec<(Word, u64)> = self.counts.iter().map(|(&v, &c)| (v, c)).collect();
-        pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        pairs.truncate(10);
-        pairs.into_iter().map(|(v, _)| v).collect()
+        crate::top_by_count(self.counts.iter().map(|(&v, &c)| (v, c)), 10)
     }
 
     /// Number of checkpoints recorded so far.
