@@ -1,12 +1,14 @@
-//! Criterion benches for the PR-3 hot-path work: dyn vs monomorphized
-//! replay, the frequent-value encode micro-kernel, `SimMemory` access,
-//! and capture-once vs capture-per-experiment.
+//! Criterion benches for the replay hot path: packed vs legacy trace
+//! layout, multi-sink broadcast vs independent passes, dyn vs
+//! monomorphized replay, the frequent-value encode micro-kernel,
+//! `SimMemory` access, capture-once vs capture-per-experiment, and
+//! chunked trace-file IO throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fvl_bench::{ExperimentContext, TraceKey, TraceStore};
 use fvl_cache::{CacheGeometry, CacheSim};
 use fvl_core::FrequentValueSet;
-use fvl_mem::{AccessSink, SimMemory, Word};
+use fvl_mem::{AccessSink, PackedTrace, SimMemory, Trace, Word};
 use fvl_profile::ValueCounter;
 use fvl_workloads::by_name;
 use std::collections::HashMap;
@@ -69,12 +71,8 @@ fn bench_encode(c: &mut Criterion) {
     // Probe with the values the replay loop actually sees.
     let probes: Vec<Word> = data
         .trace
-        .events()
-        .iter()
-        .filter_map(|e| match e {
-            fvl_mem::TraceEvent::Access(a) => Some(a.value),
-            _ => None,
-        })
+        .iter_accesses()
+        .map(|a| a.value)
         .take(65_536)
         .collect();
 
@@ -155,11 +153,185 @@ fn bench_capture(c: &mut Criterion) {
     group.finish();
 }
 
+/// Records the `li` test-input workload as a raw (legacy) event log,
+/// for benches that compare trace layouts directly.
+fn capture_trace() -> Trace {
+    let mut buf = fvl_mem::TraceBuffer::new();
+    let mut workload = by_name("li", fvl_workloads::InputSize::Test, 1).unwrap();
+    {
+        let mut mem = fvl_mem::TracedMemory::new(&mut buf);
+        workload.run(&mut mem);
+        mem.finish();
+    }
+    buf.into_trace()
+}
+
+/// A near-free sink that folds every event into one accumulator: the
+/// replay loop's own cost (decode + dispatch + memory traffic) is what
+/// gets measured, not the sink.
+#[derive(Default)]
+struct DigestSink {
+    acc: u64,
+}
+
+impl AccessSink for DigestSink {
+    #[inline]
+    fn on_access(&mut self, a: fvl_mem::Access) {
+        self.acc = self
+            .acc
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(u64::from(a.addr) ^ u64::from(a.value));
+    }
+}
+
+/// A large synthetic access-dominated trace (the shape of a real SPEC
+/// capture) whose packed form exceeds typical last-level caches, so
+/// replay streams from DRAM the way reference-input runs do.
+fn big_trace(accesses: usize) -> Trace {
+    let mut memory: HashMap<u32, u32> = HashMap::new();
+    let events: Vec<fvl_mem::TraceEvent> = (0..accesses)
+        .map(|i| {
+            let addr = ((i as u32).wrapping_mul(2654435761) >> 8) & !3;
+            fvl_mem::TraceEvent::Access(if i % 4 == 0 {
+                let value = if i % 3 == 0 { 0 } else { i as u32 % 17 };
+                memory.insert(addr, value);
+                fvl_mem::Access::store(addr, value)
+            } else {
+                fvl_mem::Access::load(addr, memory.get(&addr).copied().unwrap_or(0))
+            })
+        })
+        .collect();
+    Trace::from_events(events)
+}
+
+/// The tentpole comparison: replaying one sink from the legacy
+/// `Vec<TraceEvent>` log vs the columnar [`PackedTrace`]. The `walk`
+/// cases use a near-free sink so the trace representation itself is
+/// the workload — the packed walk touches half the bytes with no
+/// per-event tag branch and must hold a >= 1.5x lead. The `cache-sim`
+/// cases show the end-to-end effect with a real (simulation-bound)
+/// sink.
+fn bench_layout(c: &mut Criterion) {
+    let trace = big_trace(8 << 20);
+    let packed = PackedTrace::from_trace(&trace);
+    let geom = CacheGeometry::new(16 * 1024, 32, 1).unwrap();
+
+    let mut group = c.benchmark_group("layout");
+    group.throughput(Throughput::Elements(trace.accesses()));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("walk", "legacy"), |b| {
+        b.iter(|| {
+            let mut sink = DigestSink::default();
+            trace.replay_into(&mut sink);
+            sink.acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("walk", "packed"), |b| {
+        b.iter(|| {
+            let mut sink = DigestSink::default();
+            packed.replay_into(&mut sink);
+            sink.acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("cache-sim", "legacy"), |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(geom);
+            trace.replay_into(&mut sim);
+            sim.stats().misses()
+        })
+    });
+    group.bench_function(BenchmarkId::new("cache-sim", "packed"), |b| {
+        b.iter(|| {
+            let mut sim = CacheSim::new(geom);
+            packed.replay_into(&mut sim);
+            sim.stats().misses()
+        })
+    });
+    group.finish();
+}
+
+/// Broadcast replay: one pass over the packed trace feeding eight
+/// sinks at once vs eight independent replays. Broadcast streams the
+/// (DRAM-resident) trace once instead of eight times, so it must beat
+/// the independent passes.
+fn bench_broadcast(c: &mut Criterion) {
+    let trace = big_trace(8 << 20);
+    let packed = PackedTrace::from_trace(&trace);
+    const SINKS: usize = 8;
+
+    let mut group = c.benchmark_group("broadcast");
+    group.throughput(Throughput::Elements(trace.accesses() * SINKS as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("8-sinks", "independent"), |b| {
+        b.iter(|| {
+            (0..SINKS)
+                .map(|_| {
+                    let mut sink = DigestSink::default();
+                    packed.replay_into(&mut sink);
+                    sink.acc
+                })
+                .fold(0u64, u64::wrapping_add)
+        })
+    });
+    group.bench_function(BenchmarkId::new("8-sinks", "broadcast"), |b| {
+        b.iter(|| {
+            let mut sinks: Vec<DigestSink> = (0..SINKS).map(|_| DigestSink::default()).collect();
+            packed.broadcast_into(&mut sinks);
+            sinks.iter().fold(0u64, |a, s| a.wrapping_add(s.acc))
+        })
+    });
+    group.finish();
+}
+
+/// Chunked trace-file IO: encode and decode throughput for the v1
+/// per-event format and the v2 columnar format, both staged through
+/// 64 KiB blocks.
+fn bench_trace_io(c: &mut Criterion) {
+    let trace = capture_trace();
+    let packed = PackedTrace::from_trace(&trace);
+    let mut v1 = Vec::new();
+    trace.write_to(&mut v1).unwrap();
+    let mut v2 = Vec::new();
+    packed.write_to(&mut v2).unwrap();
+
+    let mut group = c.benchmark_group("trace-io");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("encode", "v1"), |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(v1.len());
+            trace.write_to(&mut out).unwrap();
+            out.len()
+        })
+    });
+    group.bench_function(BenchmarkId::new("encode", "v2"), |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(v2.len());
+            packed.write_to(&mut out).unwrap();
+            out.len()
+        })
+    });
+    group.bench_function(BenchmarkId::new("decode", "v1"), |b| {
+        b.iter(|| Trace::read_from(black_box(&v1[..])).unwrap().accesses())
+    });
+    group.bench_function(BenchmarkId::new("decode", "v2"), |b| {
+        b.iter(|| {
+            PackedTrace::read_from(black_box(&v2[..]))
+                .unwrap()
+                .accesses()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
+    bench_layout,
+    bench_broadcast,
     bench_dyn_vs_generic,
     bench_encode,
     bench_sim_memory,
-    bench_capture
+    bench_capture,
+    bench_trace_io
 );
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments <name>... [--quick|--train|--smoke] [--seed N] [--jobs N|--serial]
-//!             [--no-trace-cache]
+//!             [--no-trace-cache] [--legacy-trace]
 //!             [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]
 //! experiments all [--smoke]
 //! experiments list
@@ -10,14 +10,17 @@
 //!
 //! Reports go to stdout; timing, engine-throughput and trace-store
 //! lines go to stderr, so stdout is bit-identical for any `--jobs`
-//! count and for the trace cache on or off. The `--metrics` export is
-//! deterministic too, unless `--metrics-timing` opts into wall-clock
-//! and cache hit/miss fields (see `fvl_bench::metrics`).
+//! count, for the trace cache on or off, and for either trace
+//! representation (`--legacy-trace` / `FVL_TRACE_REPR`). The
+//! `--metrics` export is deterministic too, unless `--metrics-timing`
+//! opts into wall-clock and cache hit/miss fields (see
+//! `fvl_bench::metrics`).
 
 use fvl_bench::engine::Engine;
 use fvl_bench::experiments;
 use fvl_bench::metrics::{self, RunInfo};
 use fvl_bench::ExperimentContext;
+use fvl_mem::TraceReprKind;
 use fvl_workloads::InputSize;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -26,13 +29,15 @@ use std::time::Instant;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <name>... [--quick|--train|--smoke] [--seed N] [--jobs N|--serial]\n\
-         \x20                        [--no-trace-cache]\n\
+         \x20                        [--no-trace-cache] [--legacy-trace]\n\
          \x20                        [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]\n\
          names: {} | all | list\n\
          --quick uses test inputs (seconds); default is reference inputs (minutes)\n\
          --smoke truncates every test-input trace to ~1000 references (CI)\n\
          --jobs N shards simulation cells over N workers (default: all cores); --serial = --jobs 1\n\
          --no-trace-cache re-captures each workload per experiment instead of sharing one capture\n\
+         --legacy-trace stores traces as Vec<TraceEvent> instead of the packed columnar layout\n\
+         \x20             (FVL_TRACE_REPR=packed|legacy sets the same toggle from the environment)\n\
          --metrics FILE writes a versioned JSON metrics export (deterministic across --jobs)\n\
          --metrics-csv FILE writes the per-cell log as CSV\n\
          --metrics-timing adds wall-clock/throughput/cache-counter fields to the JSON export",
@@ -58,6 +63,12 @@ fn main() -> ExitCode {
     let mut metrics_csv: Option<String> = None;
     let mut metrics_timing = false;
     let mut trace_cache = true;
+    // The environment sets the default representation (CI A/B runs);
+    // the --legacy-trace flag overrides it.
+    let mut repr = std::env::var("FVL_TRACE_REPR")
+        .ok()
+        .and_then(|s| TraceReprKind::parse(&s))
+        .unwrap_or_default();
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -87,6 +98,7 @@ fn main() -> ExitCode {
             },
             "--metrics-timing" => metrics_timing = true,
             "--no-trace-cache" => trace_cache = false,
+            "--legacy-trace" => repr = TraceReprKind::Legacy,
             "list" => {
                 for (name, _) in experiments::all() {
                     println!("{name}");
@@ -126,7 +138,8 @@ fn main() -> ExitCode {
         .with_seed(seed)
         .with_max_refs(smoke.then_some(fvl_bench::data::SMOKE_REFS))
         .with_engine(Arc::clone(&engine))
-        .with_trace_cache(trace_cache);
+        .with_trace_cache(trace_cache)
+        .with_trace_repr(repr);
     println!(
         "# FVC reproduction experiments ({} inputs{}, seed {seed})\n",
         match input {
@@ -160,6 +173,18 @@ fn main() -> ExitCode {
         if store.distinct_keys() == 1 { "" } else { "s" },
         store.total_misses(),
         store.total_hits(),
+    );
+    let resident_events = store.resident_events();
+    eprintln!(
+        "trace repr: {} — {} events resident in {} KiB ({:.2} bytes/event)",
+        repr.label(),
+        resident_events,
+        store.resident_trace_bytes() / 1024,
+        if resident_events == 0 {
+            0.0
+        } else {
+            store.resident_trace_bytes() as f64 / resident_events as f64
+        },
     );
     if let Some(path) = metrics_json {
         let run = RunInfo::new(

@@ -2,7 +2,7 @@
 
 use crate::engine::{CellId, Completed, Engine, FnJob};
 use crate::store::{TraceKey, TraceStore};
-use fvl_mem::{Trace, TraceBuffer, TracedMemory, Word};
+use fvl_mem::{TraceBuffer, TraceRepr, TraceReprKind, TracedMemory, Word};
 use fvl_profile::{OccurrenceSampler, ValueCounter};
 use fvl_workloads::{by_name, InputSize, Workload};
 use std::fmt;
@@ -22,8 +22,9 @@ pub const SMOKE_REFS: u64 = 1000;
 pub struct WorkloadData {
     /// Short workload name (e.g. `"m88ksim"`).
     pub name: String,
-    /// The recorded event log.
-    pub trace: Trace,
+    /// The recorded event log, in the representation the capture was
+    /// asked for (columnar packed by default; see [`TraceReprKind`]).
+    pub trace: TraceRepr,
     /// Frequently *accessed* value profile.
     pub counter: ValueCounter,
     /// Frequently *occurring* value profile (snapshot census).
@@ -41,17 +42,33 @@ impl WorkloadData {
     /// Like [`WorkloadData::capture`], but keeps only the first
     /// `max_refs` recorded references when a limit is given (smoke
     /// mode); the profiles are built from the truncated trace.
-    pub fn capture_limited(mut workload: Box<dyn Workload>, max_refs: Option<u64>) -> Self {
-        let mut buf = TraceBuffer::new();
+    pub fn capture_limited(workload: Box<dyn Workload>, max_refs: Option<u64>) -> Self {
+        Self::capture_limited_as(workload, max_refs, TraceReprKind::default())
+    }
+
+    /// [`WorkloadData::capture_limited`] with an explicit trace storage
+    /// layout. With a reference budget the recording buffer is
+    /// pre-sized from the hint and capped *during* recording (no
+    /// post-hoc truncation copy); the result is identical to recording
+    /// everything and taking [`fvl_mem::Trace::into_prefix`].
+    pub fn capture_limited_as(
+        mut workload: Box<dyn Workload>,
+        max_refs: Option<u64>,
+        repr: TraceReprKind,
+    ) -> Self {
+        let mut buf = match max_refs {
+            // Room for the capped accesses plus the (rare) region
+            // events interleaved with them.
+            Some(limit) => TraceBuffer::with_capacity(limit as usize + limit as usize / 8 + 32)
+                .with_access_limit(limit),
+            None => TraceBuffer::new(),
+        };
         {
             let mut mem = TracedMemory::new(&mut buf);
             workload.run(&mut mem);
             mem.finish();
         }
-        let mut trace = buf.into_trace();
-        if let Some(limit) = max_refs {
-            trace = trace.into_prefix(limit);
-        }
+        let trace = TraceRepr::from_trace(buf.into_trace(), repr);
         let mut counter = ValueCounter::new();
         trace.replay_into(&mut counter);
         let sample_every = (trace.accesses() / SNAPSHOTS_PER_RUN).max(1);
@@ -100,6 +117,9 @@ pub struct ExperimentContext {
     /// When set, every captured trace is truncated to this many
     /// references (the `--smoke` mode).
     pub max_refs: Option<u64>,
+    /// Storage layout captures are kept in (packed by default; the
+    /// `--legacy-trace` flag flips it for A/B runs).
+    pub repr: TraceReprKind,
     /// The cell scheduler shared by all experiments of the batch.
     engine: Arc<Engine>,
     /// Capture-once memoization shared by all experiments of the batch.
@@ -112,6 +132,7 @@ impl Default for ExperimentContext {
             input: InputSize::Ref,
             seed: 1,
             max_refs: None,
+            repr: TraceReprKind::default(),
             engine: Arc::new(Engine::serial()),
             store: Arc::new(TraceStore::new()),
         }
@@ -159,6 +180,15 @@ impl ExperimentContext {
     /// Caps every captured trace at `max_refs` references.
     pub fn with_max_refs(mut self, max_refs: Option<u64>) -> Self {
         self.max_refs = max_refs;
+        self
+    }
+
+    /// Selects the trace storage layout for every capture of this
+    /// batch. All experiment results are representation-independent;
+    /// packed (the default) halves the store's resident bytes and
+    /// replays faster.
+    pub fn with_trace_repr(mut self, repr: TraceReprKind) -> Self {
+        self.repr = repr;
         self
     }
 
@@ -218,7 +248,7 @@ impl ExperimentContext {
         let key = TraceKey::new(name, input, seed, self.max_refs);
         self.store.get_or_capture(key, || {
             let w = by_name(name, input, seed).unwrap_or_else(|| panic!("unknown workload {name}"));
-            WorkloadData::capture_limited(w, self.max_refs)
+            WorkloadData::capture_limited_as(w, self.max_refs, self.repr)
         })
     }
 

@@ -1,10 +1,11 @@
 //! Figure 13: a small FVC vs doubling the DMC.
 
-use super::{baseline, geom, hybrid, Report};
+use super::{geom, hybrid_sim, Report};
 use crate::data::ExperimentContext;
 use crate::engine::{CellId, Completed};
 use crate::table::{pct, Table};
-use fvl_cache::Simulator;
+use fvl_cache::{CacheSim, Simulator};
+use fvl_mem::AccessSink;
 
 /// The paper's comparison cells: (line bytes, small DMC KB, doubled DMC
 /// KB). The FVC is always 512 entries; its size in KB follows from the
@@ -46,10 +47,15 @@ pub fn run(ctx: &ExperimentContext) -> Report {
         let data = &datas[w];
         let small = geom(small_kb, line, 1);
         let big = geom(big_kb, line, 1);
-        let sim = hybrid(data, small, 512, k);
+        // One broadcast pass feeds both contenders (heterogeneous
+        // sinks, hence the dyn variant).
+        let mut sim = hybrid_sim(data, small, 512, k);
+        let mut doubled_sim = CacheSim::new(big);
+        data.trace
+            .broadcast_dyn(&mut [&mut sim as &mut dyn AccessSink, &mut doubled_sim]);
         let with_fvc = sim.stats().miss_percent();
         let fvc_kb = sim.fvc_data_bytes() / 1024.0;
-        let doubled_stats = baseline(data, big);
+        let doubled_stats = *doubled_sim.stats();
         let doubled = doubled_stats.miss_percent();
         Completed::new((with_fvc, fvc_kb, doubled), 2 * data.trace.accesses())
             .at(CellId::new(

@@ -125,6 +125,20 @@ pub(crate) fn baseline(data: &WorkloadData, geometry: CacheGeometry) -> CacheSta
     *sim.stats()
 }
 
+/// Builds (without replaying) a DMC+FVC hybrid simulator using the
+/// workload's top-`k` frequently accessed values, for call sites that
+/// feed several sinks in one broadcast pass.
+pub(crate) fn hybrid_sim(
+    data: &WorkloadData,
+    geometry: CacheGeometry,
+    fvc_entries: u32,
+    top_k: usize,
+) -> HybridCache {
+    let values = FrequentValueSet::from_ranking(&data.counter.ranking(), top_k)
+        .expect("profiled workloads have at least one value");
+    HybridCache::new(HybridConfig::new(geometry, fvc_entries, values))
+}
+
 /// Replays the captured trace through a DMC+FVC hybrid using the
 /// workload's top-`k` frequently accessed values.
 pub(crate) fn hybrid(
@@ -133,12 +147,28 @@ pub(crate) fn hybrid(
     fvc_entries: u32,
     top_k: usize,
 ) -> HybridCache {
-    let values = FrequentValueSet::from_ranking(&data.counter.ranking(), top_k)
-        .expect("profiled workloads have at least one value");
-    let config = HybridConfig::new(geometry, fvc_entries, values);
-    let mut sim = HybridCache::new(config);
+    let mut sim = hybrid_sim(data, geometry, fvc_entries, top_k);
     data.trace.replay_into(&mut sim);
     sim
+}
+
+/// Replays the captured trace **once** through a batch of DMC+FVC
+/// hybrids (one per `top_ks` entry) via broadcast replay, instead of
+/// walking the trace once per configuration. Results are identical to
+/// calling [`hybrid`] per entry — each simulator is independent — but
+/// the trace's memory traffic is paid a single time.
+pub(crate) fn hybrid_sweep(
+    data: &WorkloadData,
+    geometry: CacheGeometry,
+    fvc_entries: u32,
+    top_ks: &[usize],
+) -> Vec<HybridCache> {
+    let mut sims: Vec<HybridCache> = top_ks
+        .iter()
+        .map(|&k| hybrid_sim(data, geometry, fvc_entries, k))
+        .collect();
+    data.trace.broadcast_into(&mut sims);
+    sims
 }
 
 /// Percentage reduction of `new` vs `base` miss rates.

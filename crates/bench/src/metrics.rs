@@ -140,16 +140,31 @@ pub fn json_report_full(
     Json::Object(doc)
 }
 
-/// Capture-cache statistics: the enabled flag, distinct key count, and
+/// Capture-cache statistics: the enabled flag, distinct key count,
 /// per-key hit/miss counters (keys sorted, so the block itself is
-/// deterministic for a fixed run configuration).
+/// deterministic for a fixed run configuration), and the resident
+/// footprint of the cached traces — events, bytes, bytes/event, and
+/// the storage representation they are held in.
 fn trace_store_block(store: &TraceStore) -> Json {
     let stats = store.stats();
+    let events = store.resident_events();
+    let bytes = store.resident_trace_bytes();
     Json::object([
         ("enabled", Json::Bool(store.enabled())),
         ("distinct_keys", Json::U64(stats.len() as u64)),
         ("hits", Json::U64(stats.iter().map(|s| s.hits).sum())),
         ("misses", Json::U64(stats.iter().map(|s| s.misses).sum())),
+        ("repr", Json::from(store.repr_label().unwrap_or("none"))),
+        ("resident_events", Json::U64(events)),
+        ("resident_bytes", Json::U64(bytes)),
+        (
+            "bytes_per_event",
+            Json::F64(if events == 0 {
+                0.0
+            } else {
+                bytes as f64 / events as f64
+            }),
+        ),
         (
             "keys",
             Json::Array(

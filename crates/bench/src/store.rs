@@ -189,6 +189,49 @@ impl TraceStore {
         self.slots.lock().expect("trace store poisoned").len()
     }
 
+    /// Heap bytes resident across every cached capture's trace — the
+    /// footprint the capture-once discipline pays to keep ~26 traces
+    /// alive for a full `all` sweep. The columnar packed layout (the
+    /// default) roughly halves this against the legacy event-log form.
+    pub fn resident_trace_bytes(&self) -> u64 {
+        self.fold_cached(|data| data.trace.approx_bytes() as u64)
+    }
+
+    /// Total trace events (accesses plus region events) held by cached
+    /// captures.
+    pub fn resident_events(&self) -> u64 {
+        self.fold_cached(|data| data.trace.len() as u64)
+    }
+
+    /// The storage-representation label shared by every cached capture
+    /// (`"packed"` / `"legacy"`), `Some("mixed")` when captures
+    /// disagree, or `None` while nothing is cached yet.
+    pub fn repr_label(&self) -> Option<&'static str> {
+        let slots = self.slots.lock().expect("trace store poisoned");
+        let mut labels: Vec<&'static str> = slots
+            .values()
+            .filter_map(|slot| slot.latch.get())
+            .map(|data| data.trace.kind().label())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        match labels.len() {
+            0 => None,
+            1 => Some(labels[0]),
+            _ => Some("mixed"),
+        }
+    }
+
+    /// Sums `f` over every capture currently latched in the store.
+    fn fold_cached(&self, f: impl Fn(&WorkloadData) -> u64) -> u64 {
+        let slots = self.slots.lock().expect("trace store poisoned");
+        slots
+            .values()
+            .filter_map(|slot| slot.latch.get())
+            .map(|data| f(data))
+            .sum()
+    }
+
     /// Per-key hit/miss counts, sorted by key for deterministic output.
     pub fn stats(&self) -> Vec<KeyStats> {
         let slots = self.slots.lock().expect("trace store poisoned");

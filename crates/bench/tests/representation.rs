@@ -1,0 +1,77 @@
+//! Experiment-level guarantees for the columnar trace representation:
+//! every report and metrics export must be byte-identical whether
+//! traces are stored packed or as the legacy event log, and a
+//! broadcast pass must produce exactly the statistics of independent
+//! replays.
+
+use fvl_bench::engine::Engine;
+use fvl_bench::metrics::{self, RunInfo};
+use fvl_bench::{experiments, ExperimentContext};
+use fvl_cache::{CacheGeometry, CacheSim};
+use fvl_mem::TraceReprKind;
+use std::sync::Arc;
+
+/// Renders a few representative experiments plus the deterministic
+/// metrics export under the given trace representation.
+fn run_registry(repr: TraceReprKind) -> (String, String) {
+    let engine = Arc::new(Engine::new(2));
+    let ctx = ExperimentContext::quick()
+        .with_engine(Arc::clone(&engine))
+        .with_trace_repr(repr);
+    let mut stdout = String::new();
+    for name in ["fig12", "fig13", "table4"] {
+        let runner = experiments::all()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("registered experiment")
+            .1;
+        stdout.push_str(&runner(&ctx).to_string());
+        stdout.push('\n');
+    }
+    let run = RunInfo::new("test", 1, false);
+    let json = metrics::json_report_full(&engine, &run, Some(ctx.store()), false).render_pretty();
+    (stdout, json)
+}
+
+#[test]
+fn reports_are_byte_identical_across_representations() {
+    let (packed_out, packed_json) = run_registry(TraceReprKind::Packed);
+    let (legacy_out, legacy_json) = run_registry(TraceReprKind::Legacy);
+    assert_eq!(
+        packed_out, legacy_out,
+        "reports must not depend on the trace layout"
+    );
+    assert_eq!(
+        packed_json, legacy_json,
+        "the deterministic metrics export must not depend on the trace layout"
+    );
+}
+
+#[test]
+fn broadcast_matches_independent_replays_on_a_real_workload() {
+    let ctx = ExperimentContext::quick();
+    let data = ctx.capture("li");
+    let geoms: Vec<CacheGeometry> = [1u64, 2, 4, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|&kb| CacheGeometry::new(kb * 1024, 32, 1).unwrap())
+        .collect();
+
+    // N independent passes.
+    let expected: Vec<_> = geoms
+        .iter()
+        .map(|&g| {
+            let mut sim = CacheSim::new(g);
+            data.trace.replay_into(&mut sim);
+            *sim.stats()
+        })
+        .collect();
+
+    // One broadcast pass feeding all N sinks.
+    let mut sims: Vec<CacheSim> = geoms.iter().map(|&g| CacheSim::new(g)).collect();
+    data.trace.broadcast_into(&mut sims);
+
+    for (sim, want) in sims.iter().zip(&expected) {
+        assert_eq!(sim.stats().hits(), want.hits());
+        assert_eq!(sim.stats().misses(), want.misses());
+    }
+}

@@ -114,6 +114,32 @@ pub trait AccessSink {
     fn on_finish(&mut self) {}
 }
 
+/// Mutable references forward to the referenced sink, so broadcast
+/// replay can drive a mixed batch as `&mut [&mut dyn AccessSink]`
+/// without wrapping each element.
+impl<S: AccessSink + ?Sized> AccessSink for &mut S {
+    #[inline]
+    fn on_access(&mut self, access: Access) {
+        (**self).on_access(access);
+    }
+
+    fn on_alloc(&mut self, region: Region) {
+        (**self).on_alloc(region);
+    }
+
+    fn on_free(&mut self, region: Region) {
+        (**self).on_free(region);
+    }
+
+    fn on_snapshot(&mut self, snapshot: &MemorySnapshot<'_>) {
+        (**self).on_snapshot(snapshot);
+    }
+
+    fn on_finish(&mut self) {
+        (**self).on_finish();
+    }
+}
+
 /// A sink that discards everything; useful to run a workload purely for
 /// its side effects (e.g. when measuring workload generation speed).
 #[derive(Copy, Clone, Default, Debug)]

@@ -19,6 +19,10 @@
 //! * [`Trace`] / [`TraceBuffer`] — an in-memory event log that can be
 //!   replayed into sinks, so one workload execution can drive arbitrarily
 //!   many cache configurations.
+//! * [`PackedTrace`] — the same log in columnar (SoA) form: ~8 bytes per
+//!   access instead of 16, branchless replay, and broadcast replay that
+//!   feeds N sinks in one pass. [`TraceRepr`] selects between the two
+//!   layouts at runtime behind one API.
 //! * [`MemorySnapshot`] — a periodic view of live memory contents used by
 //!   the paper's "frequently *occurring* value" sampling (every 10M
 //!   instructions in the paper; every N accesses here).
@@ -47,6 +51,8 @@ mod alloc;
 mod bus;
 mod layout;
 mod live;
+mod packed;
+mod repr;
 mod sim_memory;
 mod snapshot;
 mod trace;
@@ -58,7 +64,12 @@ pub use alloc::{HeapAllocator, StackAllocator};
 pub use bus::{Bus, BusExt};
 pub use layout::{Addr, Region, RegionKind, Word, GLOBAL_BASE, HEAP_BASE, STACK_BASE, WORD_BYTES};
 pub use live::LiveSet;
+pub use packed::{
+    BroadcastReplay, PackedTrace, RegionEvent, BROADCAST_BLOCK, BROADCAST_INLINE_MAX, STORE_BIT,
+};
+pub use repr::{TraceRepr, TraceReprKind};
 pub use sim_memory::SimMemory;
 pub use snapshot::MemorySnapshot;
 pub use trace::{Trace, TraceBuffer, TraceEvent};
+pub use trace_io::CHUNK_BYTES;
 pub use traced::TracedMemory;

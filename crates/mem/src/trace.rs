@@ -44,12 +44,58 @@ pub enum TraceEvent {
 pub struct TraceBuffer {
     events: Vec<TraceEvent>,
     accesses: u64,
+    /// Stop recording once this many accesses have been kept (see
+    /// [`TraceBuffer::with_access_limit`]); `u64::MAX` means unlimited.
+    limit: u64,
+    /// Set when the first access beyond `limit` arrives; every later
+    /// event is dropped.
+    saturated: bool,
 }
 
 impl TraceBuffer {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Self::default()
+        TraceBuffer {
+            events: Vec::new(),
+            accesses: 0,
+            limit: u64::MAX,
+            saturated: false,
+        }
+    }
+
+    /// Creates an empty buffer with room for `events` trace events, so
+    /// recording a workload of known size never reallocates the log.
+    pub fn with_capacity(events: usize) -> Self {
+        let mut buf = Self::new();
+        buf.events = Vec::with_capacity(events);
+        buf
+    }
+
+    /// Caps recording at `max_accesses` access events. The result of
+    /// [`TraceBuffer::into_trace`] equals
+    /// [`Trace::into_prefix`]`(max_accesses)` of the unlimited
+    /// recording: allocation/free events are kept until the first
+    /// access beyond the cap arrives, after which everything is
+    /// dropped — but without ever materializing the events past the
+    /// cut.
+    pub fn with_access_limit(mut self, max_accesses: u64) -> Self {
+        self.limit = max_accesses;
+        self
+    }
+
+    /// Reserves capacity for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.events.reserve(additional);
+    }
+
+    /// Number of events buffered so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
     }
 
     /// Finalizes the buffer into an immutable [`Trace`].
@@ -64,16 +110,24 @@ impl TraceBuffer {
 impl AccessSink for TraceBuffer {
     #[inline]
     fn on_access(&mut self, access: Access) {
+        if self.accesses >= self.limit {
+            self.saturated = true;
+            return;
+        }
         self.accesses += 1;
         self.events.push(TraceEvent::Access(access));
     }
 
     fn on_alloc(&mut self, region: Region) {
-        self.events.push(TraceEvent::Alloc(region));
+        if !self.saturated {
+            self.events.push(TraceEvent::Alloc(region));
+        }
     }
 
     fn on_free(&mut self, region: Region) {
-        self.events.push(TraceEvent::Free(region));
+        if !self.saturated {
+            self.events.push(TraceEvent::Free(region));
+        }
     }
 }
 
@@ -427,6 +481,42 @@ mod tests {
         trace.replay_with_snapshots(&mut dynamic, 4);
         assert_eq!(generic, dynamic);
         assert_eq!(generic.snapshots(), 3);
+    }
+
+    #[test]
+    fn limited_buffer_matches_into_prefix() {
+        let run = |buf: &mut TraceBuffer| {
+            let mut m = TracedMemory::new(buf);
+            let a = m.alloc(4);
+            for i in 0..4 {
+                m.store_idx(a, i, 7);
+            }
+            let f = m.push_frame(2);
+            m.store(f, 9);
+            m.pop_frame();
+            m.free(a);
+        };
+        let mut full = TraceBuffer::new();
+        run(&mut full);
+        let full = full.into_trace();
+        for cut in [0u64, 1, 5, 7, full.accesses(), 1_000_000] {
+            let mut limited = TraceBuffer::with_capacity(4).with_access_limit(cut);
+            run(&mut limited);
+            let limited = limited.into_trace();
+            let expect = full.clone().into_prefix(cut);
+            assert_eq!(limited.events(), expect.events(), "cut at {cut}");
+            assert_eq!(limited.accesses(), expect.accesses());
+        }
+    }
+
+    #[test]
+    fn buffer_capacity_and_reserve() {
+        let mut buf = TraceBuffer::with_capacity(8);
+        assert!(buf.is_empty());
+        buf.on_access(Access::load(0, 0));
+        buf.reserve(16);
+        assert_eq!(buf.len(), 1);
+        assert!(buf.events.capacity() >= 17);
     }
 
     #[test]

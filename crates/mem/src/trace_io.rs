@@ -2,21 +2,49 @@
 //!
 //! Recorded traces can be written to disk and replayed later, so an
 //! expensive workload execution (or an externally collected trace) can
-//! drive many simulation campaigns. The format is a simple
-//! little-endian record stream with a magic header — deliberately
-//! dependency-free.
+//! drive many simulation campaigns. Two little-endian formats exist,
+//! both dependency-free and distinguished by their magic header:
+//!
+//! * `FVLTRC1` — the original per-event record stream (tag byte plus
+//!   fields per event). Still written by [`Trace::write_to`] so
+//!   existing tooling and archived traces keep working.
+//! * `FVLTRC2` — the columnar format written by
+//!   [`PackedTrace::write_to`]: one header, the packed address column,
+//!   the value column, then the region-event side table. Roughly half
+//!   the bytes of v1 for access-dominated traces, and decoding is two
+//!   bulk column reads instead of per-event tag dispatch.
+//!
+//! Both [`Trace::read_from`] and [`PackedTrace::read_from`] sniff the
+//! magic and accept **either** format, converting as needed — old v1
+//! files load into packed pipelines and new v2 files load into legacy
+//! ones.
+//!
+//! All encoding goes through an explicit chunk buffer
+//! ([`CHUNK_BYTES`]-sized `write_all` calls instead of one syscall-ish
+//! write per field) and reads mirror that chunking.
 
 use crate::access::{Access, AccessKind};
 use crate::layout::{Region, RegionKind};
+use crate::packed::{PackedTrace, RegionEvent};
 use crate::trace::{Trace, TraceEvent};
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 8] = b"FVLTRC1\n";
+const MAGIC_V1: &[u8; 8] = b"FVLTRC1\n";
+const MAGIC_V2: &[u8; 8] = b"FVLTRC2\n";
+
+/// Size of the encode/decode staging buffer: every `write_all` to the
+/// underlying writer (and every `read` from the underlying reader)
+/// moves about this many bytes, not one field's worth.
+pub const CHUNK_BYTES: usize = 64 * 1024;
 
 const TAG_LOAD: u8 = 0;
 const TAG_STORE: u8 = 1;
 const TAG_ALLOC: u8 = 2;
 const TAG_FREE: u8 = 3;
+
+/// Bytes per v2 region-event record: u64 pos + u8 is_alloc + u8 kind +
+/// u32 base + u32 words.
+const REGION_RECORD_BYTES: usize = 18;
 
 fn kind_to_byte(kind: RegionKind) -> u8 {
     match kind {
@@ -38,16 +66,236 @@ fn byte_to_kind(b: u8) -> io::Result<RegionKind> {
     }
 }
 
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Accumulates encoded bytes and flushes them to the underlying writer
+/// one [`CHUNK_BYTES`] block at a time.
+struct ChunkedWriter<W: Write> {
+    writer: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    fn new(writer: W) -> Self {
+        ChunkedWriter {
+            writer,
+            buf: Vec::with_capacity(CHUNK_BYTES),
+        }
+    }
+
+    #[inline]
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        if self.buf.len() + bytes.len() > CHUNK_BYTES {
+            self.flush()?;
+            if bytes.len() >= CHUNK_BYTES {
+                // Oversized payloads go straight through.
+                return self.writer.write_all(bytes);
+            }
+        }
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    #[inline]
+    fn put_u32(&mut self, v: u32) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+
+    #[inline]
+    fn put_u64(&mut self, v: u64) -> io::Result<()> {
+        self.put(&v.to_le_bytes())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.writer.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> io::Result<()> {
+        self.flush()
+    }
+}
+
+/// Mirror of [`ChunkedWriter`] for decoding: refills a
+/// [`CHUNK_BYTES`] staging buffer from the underlying reader and hands
+/// out exact-sized slices from it.
+struct ChunkedReader<R: Read> {
+    reader: R,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+}
+
+impl<R: Read> ChunkedReader<R> {
+    fn new(reader: R) -> Self {
+        ChunkedReader {
+            reader,
+            buf: vec![0u8; CHUNK_BYTES],
+            pos: 0,
+            len: 0,
+        }
+    }
+
+    fn take(&mut self, out: &mut [u8]) -> io::Result<()> {
+        let mut filled = 0;
+        while filled < out.len() {
+            if self.pos == self.len {
+                self.len = self.reader.read(&mut self.buf)?;
+                self.pos = 0;
+                if self.len == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "trace stream truncated",
+                    ));
+                }
+            }
+            let n = (out.len() - filled).min(self.len - self.pos);
+            out[filled..filled + n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            filled += n;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn take_u32(&mut self) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.take(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    #[inline]
+    fn take_u64(&mut self) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.take(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    #[inline]
+    fn take_u8(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.take(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a whole `u32` column of `len` entries, chunk by chunk.
+    fn take_u32_column(&mut self, len: usize) -> io::Result<Vec<u32>> {
+        let mut column = Vec::with_capacity(len.min(1 << 24));
+        let mut chunk = [0u8; CHUNK_BYTES];
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = remaining.min(CHUNK_BYTES / 4);
+            self.take(&mut chunk[..n * 4])?;
+            column.extend(
+                chunk[..n * 4]
+                    .chunks_exact(4)
+                    .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+            );
+            remaining -= n;
+        }
+        Ok(column)
+    }
+}
+
+/// Reads one format-sniffed trace in whichever layout the file holds.
+fn read_any<R: Read>(reader: R) -> io::Result<ReadTrace> {
+    let mut chunked = ChunkedReader::new(reader);
+    let mut magic = [0u8; 8];
+    chunked.take(&mut magic)?;
+    match &magic {
+        m if m == MAGIC_V1 => read_v1(&mut chunked).map(ReadTrace::Legacy),
+        m if m == MAGIC_V2 => read_v2(&mut chunked).map(ReadTrace::Packed),
+        _ => Err(bad_data("not an FVLTRC1/FVLTRC2 trace")),
+    }
+}
+
+/// A decoded trace, still in the layout the file stored it in.
+enum ReadTrace {
+    Legacy(Trace),
+    Packed(PackedTrace),
+}
+
+fn read_v1<R: Read>(reader: &mut ChunkedReader<R>) -> io::Result<Trace> {
+    let len = reader.take_u64()?;
+    let mut events = Vec::with_capacity(len.min(1 << 24) as usize);
+    for _ in 0..len {
+        let tag = reader.take_u8()?;
+        let event = match tag {
+            TAG_LOAD | TAG_STORE => {
+                let addr = reader.take_u32()?;
+                let value = reader.take_u32()?;
+                let kind = if tag == TAG_LOAD {
+                    AccessKind::Load
+                } else {
+                    AccessKind::Store
+                };
+                TraceEvent::Access(Access { addr, value, kind })
+            }
+            TAG_ALLOC | TAG_FREE => {
+                let kind = byte_to_kind(reader.take_u8()?)?;
+                let base = reader.take_u32()?;
+                let words = reader.take_u32()?;
+                let region = Region::new(base, words, kind);
+                if tag == TAG_ALLOC {
+                    TraceEvent::Alloc(region)
+                } else {
+                    TraceEvent::Free(region)
+                }
+            }
+            other => return Err(bad_data(format!("bad event tag {other}"))),
+        };
+        events.push(event);
+    }
+    Ok(Trace::from_events(events))
+}
+
+fn read_v2<R: Read>(reader: &mut ChunkedReader<R>) -> io::Result<PackedTrace> {
+    let accesses = reader.take_u64()?;
+    let region_count = reader.take_u64()?;
+    if accesses > u64::from(u32::MAX) || region_count > 1 << 32 {
+        return Err(bad_data("v2 trace header counts out of range"));
+    }
+    let addrs = reader.take_u32_column(accesses as usize)?;
+    let values = reader.take_u32_column(accesses as usize)?;
+    let mut regions = Vec::with_capacity(region_count.min(1 << 20) as usize);
+    for _ in 0..region_count {
+        let pos = reader.take_u64()?;
+        let is_alloc = match reader.take_u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(bad_data(format!("bad region event flag {other}"))),
+        };
+        let kind = byte_to_kind(reader.take_u8()?)?;
+        let base = reader.take_u32()?;
+        let words = reader.take_u32()?;
+        regions.push(RegionEvent {
+            pos,
+            is_alloc,
+            region: Region::new(base, words, kind),
+        });
+    }
+    PackedTrace::from_columns(addrs, values, regions).map_err(bad_data)
+}
+
 impl Trace {
-    /// Writes the trace to `writer` in the `FVLTRC1` binary format.
+    /// Writes the trace to `writer` in the original `FVLTRC1` per-event
+    /// binary format (kept as the write default for compatibility with
+    /// existing tooling; use [`PackedTrace::write_to`] for the columnar
+    /// `FVLTRC2` format).
     ///
     /// # Errors
     ///
     /// Propagates any I/O error from the writer. A `&mut` reference can
     /// be passed for writers you need back afterwards.
-    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
-        writer.write_all(MAGIC)?;
-        writer.write_all(&(self.events().len() as u64).to_le_bytes())?;
+    pub fn write_to<W: Write>(&self, writer: W) -> io::Result<()> {
+        let mut out = ChunkedWriter::new(writer);
+        out.put(MAGIC_V1)?;
+        out.put_u64(self.events().len() as u64)?;
         for event in self.events() {
             match *event {
                 TraceEvent::Access(a) => {
@@ -55,9 +303,9 @@ impl Trace {
                         AccessKind::Load => TAG_LOAD,
                         AccessKind::Store => TAG_STORE,
                     };
-                    writer.write_all(&[tag])?;
-                    writer.write_all(&a.addr.to_le_bytes())?;
-                    writer.write_all(&a.value.to_le_bytes())?;
+                    out.put(&[tag])?;
+                    out.put_u32(a.addr)?;
+                    out.put_u32(a.value)?;
                 }
                 TraceEvent::Alloc(r) | TraceEvent::Free(r) => {
                     let tag = if matches!(event, TraceEvent::Alloc(_)) {
@@ -65,77 +313,82 @@ impl Trace {
                     } else {
                         TAG_FREE
                     };
-                    writer.write_all(&[tag, kind_to_byte(r.kind)])?;
-                    writer.write_all(&r.base.to_le_bytes())?;
-                    writer.write_all(&r.words.to_le_bytes())?;
+                    out.put(&[tag, kind_to_byte(r.kind)])?;
+                    out.put_u32(r.base)?;
+                    out.put_u32(r.words)?;
                 }
             }
         }
-        Ok(())
+        out.finish()
     }
 
-    /// Reads a trace previously written with [`Trace::write_to`].
+    /// Reads a trace written by either [`Trace::write_to`] (`FVLTRC1`)
+    /// or [`PackedTrace::write_to`] (`FVLTRC2`); columnar files are
+    /// expanded into the event-log layout.
     ///
     /// # Errors
     ///
     /// Fails with `InvalidData` on a bad magic header or corrupt record,
     /// and propagates underlying I/O errors. A `&mut` reference can be
     /// passed for readers you need back afterwards.
-    pub fn read_from<R: Read>(mut reader: R) -> io::Result<Trace> {
-        let mut magic = [0u8; 8];
-        reader.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not an FVLTRC1 trace",
-            ));
+    pub fn read_from<R: Read>(reader: R) -> io::Result<Trace> {
+        match read_any(reader)? {
+            ReadTrace::Legacy(trace) => Ok(trace),
+            ReadTrace::Packed(packed) => Ok(packed.to_trace()),
         }
-        let mut len8 = [0u8; 8];
-        reader.read_exact(&mut len8)?;
-        let len = u64::from_le_bytes(len8);
-        let mut events = Vec::with_capacity(len.min(1 << 24) as usize);
-        let mut u32_buf = [0u8; 4];
-        let mut read_u32 = |reader: &mut R| -> io::Result<u32> {
-            reader.read_exact(&mut u32_buf)?;
-            Ok(u32::from_le_bytes(u32_buf))
-        };
-        for _ in 0..len {
-            let mut tag = [0u8; 1];
-            reader.read_exact(&mut tag)?;
-            let event = match tag[0] {
-                TAG_LOAD | TAG_STORE => {
-                    let addr = read_u32(&mut reader)?;
-                    let value = read_u32(&mut reader)?;
-                    let kind = if tag[0] == TAG_LOAD {
-                        AccessKind::Load
-                    } else {
-                        AccessKind::Store
-                    };
-                    TraceEvent::Access(Access { addr, value, kind })
-                }
-                TAG_ALLOC | TAG_FREE => {
-                    let mut kind_byte = [0u8; 1];
-                    reader.read_exact(&mut kind_byte)?;
-                    let kind = byte_to_kind(kind_byte[0])?;
-                    let base = read_u32(&mut reader)?;
-                    let words = read_u32(&mut reader)?;
-                    let region = Region::new(base, words, kind);
-                    if tag[0] == TAG_ALLOC {
-                        TraceEvent::Alloc(region)
-                    } else {
-                        TraceEvent::Free(region)
-                    }
-                }
-                other => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("bad event tag {other}"),
-                    ))
-                }
-            };
-            events.push(event);
+    }
+}
+
+impl PackedTrace {
+    /// Writes the trace to `writer` in the columnar `FVLTRC2` format:
+    /// header (magic, access count, region-event count), the packed
+    /// address column, the value column, then the region side table —
+    /// each streamed through [`CHUNK_BYTES`]-sized `write_all` calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer. A `&mut` reference can
+    /// be passed for writers you need back afterwards.
+    pub fn write_to<W: Write>(&self, writer: W) -> io::Result<()> {
+        let mut out = ChunkedWriter::new(writer);
+        out.put(MAGIC_V2)?;
+        out.put_u64(self.accesses())?;
+        out.put_u64(self.region_events().len() as u64)?;
+        for &addr in self.addrs() {
+            out.put_u32(addr)?;
         }
-        Ok(Trace::from_events(events))
+        for &value in self.values() {
+            out.put_u32(value)?;
+        }
+        for event in self.region_events() {
+            out.put_u64(event.pos)?;
+            out.put(&[u8::from(event.is_alloc), kind_to_byte(event.region.kind)])?;
+            out.put_u32(event.region.base)?;
+            out.put_u32(event.region.words)?;
+        }
+        out.finish()
+    }
+
+    /// Reads a trace written by either [`PackedTrace::write_to`]
+    /// (`FVLTRC2`) or [`Trace::write_to`] (`FVLTRC1`); per-event files
+    /// are packed into the columnar layout.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `InvalidData` on a bad magic header or corrupt record,
+    /// and propagates underlying I/O errors. A `&mut` reference can be
+    /// passed for readers you need back afterwards.
+    pub fn read_from<R: Read>(reader: R) -> io::Result<PackedTrace> {
+        match read_any(reader)? {
+            ReadTrace::Legacy(trace) => Ok(PackedTrace::from_trace(&trace)),
+            ReadTrace::Packed(packed) => Ok(packed),
+        }
+    }
+
+    /// Encoded size of this trace in the `FVLTRC2` format, without
+    /// writing it: header + two `u32` columns + region records.
+    pub fn encoded_len(&self) -> u64 {
+        8 + 8 + 8 + 8 * self.accesses() + (self.region_events().len() * REGION_RECORD_BYTES) as u64
     }
 }
 
@@ -178,27 +431,77 @@ mod tests {
     }
 
     #[test]
+    fn v2_round_trip_preserves_columns() {
+        let packed = PackedTrace::from_trace(&sample_trace());
+        let mut bytes = Vec::new();
+        packed.write_to(&mut bytes).unwrap();
+        assert_eq!(bytes.len() as u64, packed.encoded_len());
+        assert_eq!(&bytes[..8], MAGIC_V2);
+        let loaded = PackedTrace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(loaded.addrs(), packed.addrs());
+        assert_eq!(loaded.values(), packed.values());
+        assert_eq!(loaded.region_events(), packed.region_events());
+    }
+
+    #[test]
+    fn formats_cross_load() {
+        let trace = sample_trace();
+        // v1 bytes load into a PackedTrace…
+        let mut v1 = Vec::new();
+        trace.write_to(&mut v1).unwrap();
+        let packed = PackedTrace::read_from(v1.as_slice()).unwrap();
+        assert_eq!(packed.accesses(), trace.accesses());
+        // …and v2 bytes load into a legacy Trace.
+        let mut v2 = Vec::new();
+        packed.write_to(&mut v2).unwrap();
+        let unpacked = Trace::read_from(v2.as_slice()).unwrap();
+        assert_eq!(unpacked.events(), trace.events());
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let err = Trace::read_from(&b"NOTATRACE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = PackedTrace::read_from(&b"NOTATRACE"[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
     fn truncated_stream_is_an_error() {
         let trace = sample_trace();
-        let mut bytes = Vec::new();
-        trace.write_to(&mut bytes).unwrap();
-        bytes.truncate(bytes.len() - 3);
-        assert!(Trace::read_from(bytes.as_slice()).is_err());
+        let mut v1 = Vec::new();
+        trace.write_to(&mut v1).unwrap();
+        v1.truncate(v1.len() - 3);
+        assert!(Trace::read_from(v1.as_slice()).is_err());
+
+        let mut v2 = Vec::new();
+        PackedTrace::from_trace(&trace).write_to(&mut v2).unwrap();
+        v2.truncate(v2.len() - 3);
+        assert!(PackedTrace::read_from(v2.as_slice()).is_err());
     }
 
     #[test]
     fn bad_tag_is_rejected() {
         let mut bytes = Vec::new();
-        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(MAGIC_V1);
         bytes.extend_from_slice(&1u64.to_le_bytes());
         bytes.push(99); // invalid tag
         let err = Trace::read_from(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_v2_region_flag_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V2);
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // no accesses
+        bytes.extend_from_slice(&1u64.to_le_bytes()); // one region event
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // pos
+        bytes.push(7); // invalid is_alloc flag
+        bytes.push(0);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        let err = PackedTrace::read_from(bytes.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
@@ -209,5 +512,42 @@ mod tests {
         trace.write_to(&mut bytes).unwrap();
         let loaded = Trace::read_from(bytes.as_slice()).unwrap();
         assert!(loaded.is_empty());
+
+        let packed = PackedTrace::from_trace(&trace);
+        let mut bytes = Vec::new();
+        packed.write_to(&mut bytes).unwrap();
+        assert!(PackedTrace::read_from(bytes.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn large_trace_crosses_chunk_boundaries() {
+        // > 64 KiB in both formats so the chunk buffer flushes mid-column.
+        let mut events = Vec::new();
+        for i in 0u32..20_000 {
+            events.push(TraceEvent::Access(Access::store((i % 4096) * 4, i)));
+        }
+        let trace = Trace::from_events(events);
+        let mut v1 = Vec::new();
+        trace.write_to(&mut v1).unwrap();
+        assert!(v1.len() > CHUNK_BYTES);
+        assert_eq!(
+            Trace::read_from(v1.as_slice()).unwrap().events(),
+            trace.events()
+        );
+
+        let packed = PackedTrace::from_trace(&trace);
+        let mut v2 = Vec::new();
+        packed.write_to(&mut v2).unwrap();
+        assert!(v2.len() > CHUNK_BYTES);
+        // Access-dominated traces shrink to ~8/9 of the v1 encoding.
+        assert!(
+            v2.len() < v1.len(),
+            "v2 ({}) >= v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+        let loaded = PackedTrace::read_from(v2.as_slice()).unwrap();
+        assert_eq!(loaded.addrs(), packed.addrs());
+        assert_eq!(loaded.values(), packed.values());
     }
 }

@@ -1,0 +1,49 @@
+//! Backward-compatibility pin: a `FVLTRC1` trace file written before
+//! the columnar format existed (checked in at `tests/data/`) must keep
+//! loading bit-exactly through both decoders. If an encoding change
+//! ever breaks old archives, this test fails before the change ships.
+
+use fvl_mem::{Access, PackedTrace, Region, RegionKind, Trace, TraceEvent};
+
+const GOLDEN_V1: &[u8] = include_bytes!("data/golden_v1.fvltrc");
+
+/// The event stream the golden file was generated from.
+fn expected_events() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::Alloc(Region::new(0x1000, 16, RegionKind::Global)),
+        TraceEvent::Access(Access::load(0x1000, 7)),
+        TraceEvent::Access(Access::store(0x1004, 0xDEAD_BEEF)),
+        TraceEvent::Alloc(Region::new(0x2000, 8, RegionKind::Heap)),
+        TraceEvent::Access(Access::store(0x2000, 0)),
+        TraceEvent::Access(Access::load(0x2000, 0)),
+        TraceEvent::Access(Access::store(0x2004, 0xFFFF_FFFF)),
+        TraceEvent::Alloc(Region::new(0x3FFC, 1, RegionKind::Stack)),
+        TraceEvent::Access(Access::load(0x3FFC, 42)),
+        TraceEvent::Free(Region::new(0x3FFC, 1, RegionKind::Stack)),
+        TraceEvent::Access(Access::store(0x1008, 1)),
+        TraceEvent::Free(Region::new(0x2000, 8, RegionKind::Heap)),
+        TraceEvent::Access(Access::load(0x100C, 0x8000_0000)),
+    ]
+}
+
+#[test]
+fn golden_v1_file_loads_as_legacy_trace() {
+    let trace = Trace::read_from(GOLDEN_V1).expect("archived v1 trace must load");
+    assert_eq!(trace.events(), expected_events().as_slice());
+}
+
+#[test]
+fn golden_v1_file_loads_as_packed_trace() {
+    let packed = PackedTrace::read_from(GOLDEN_V1).expect("archived v1 trace must pack");
+    assert_eq!(packed.to_trace().events(), expected_events().as_slice());
+    assert_eq!(packed.accesses(), 8);
+    assert_eq!(packed.region_events().len(), 5);
+}
+
+#[test]
+fn golden_v1_file_round_trips_byte_identically() {
+    let trace = Trace::read_from(GOLDEN_V1).unwrap();
+    let mut rewritten = Vec::new();
+    trace.write_to(&mut rewritten).unwrap();
+    assert_eq!(rewritten.as_slice(), GOLDEN_V1, "v1 encoder drifted");
+}
