@@ -1,0 +1,116 @@
+//! Golden-file test pinning the metrics export schema (version 1).
+//!
+//! The deterministic export (`--metrics`, no timing) is a pure function
+//! of the simulated work, so its byte-exact shape — field order, value
+//! formatting, grouping — is part of the crate's contract: downstream
+//! dashboards diff these files across runs. Any intentional schema
+//! change must update the golden files *and* bump
+//! [`fvl_bench::metrics::SCHEMA_VERSION`] if it removes or re-means a
+//! field.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p fvl-bench --test metrics_schema_golden
+//! ```
+
+use fvl_bench::engine::{CellId, Completed, Engine};
+use fvl_bench::metrics::{csv_report, json_report, RunInfo, SCHEMA_VERSION};
+use std::path::PathBuf;
+
+/// A fixed two-experiment record log: two classed cells in `fig10` and
+/// one classless capture cell in `fig1`, covering grouping, class rows,
+/// and the classless CSV row shape.
+fn golden_engine() -> Engine {
+    let engine = Engine::serial();
+    engine.cells(vec![0u32, 1], |i| {
+        Completed::new((), 500)
+            .at(CellId::new("fig10", format!("w{i}"), "512 entries"))
+            .class("dmc", 400, 100)
+            .class("dmc+fvc", 450, 50)
+    });
+    engine.cells(vec![()], |_| {
+        Completed::new((), 10).at(CellId::new("fig1", "go", "capture"))
+    });
+    engine
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+/// Compares `actual` to the checked-in golden file, or rewrites the
+/// golden when `UPDATE_GOLDEN` is set in the environment.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with UPDATE_GOLDEN=1", name));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the golden file; if intentional, regenerate \
+         with UPDATE_GOLDEN=1 and review the schema-version policy"
+    );
+}
+
+#[test]
+fn json_export_matches_golden_v1() {
+    let engine = golden_engine();
+    let run = RunInfo::new("test", 1, true);
+    let rendered = json_report(&engine, &run, false).render_pretty();
+    assert_matches_golden("metrics_v1.json", &rendered);
+}
+
+#[test]
+fn csv_export_matches_golden_v1() {
+    let engine = golden_engine();
+    assert_matches_golden("metrics_v1.csv", &csv_report(&engine));
+}
+
+#[test]
+fn golden_files_agree_with_the_declared_schema_version() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // goldens are being rewritten by the sibling tests
+    }
+    assert_eq!(SCHEMA_VERSION, 1, "goldens are named metrics_v1.*");
+    let json = std::fs::read_to_string(golden_path("metrics_v1.json")).unwrap();
+    assert!(
+        json.contains("\"schema_version\": 1"),
+        "golden JSON must carry the version it pins"
+    );
+}
+
+#[test]
+fn deterministic_export_carries_no_timing_fields() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // goldens are being rewritten by the sibling tests
+    }
+    let json = std::fs::read_to_string(golden_path("metrics_v1.json")).unwrap();
+    for forbidden in [
+        "wall_ns",
+        "elapsed_ns",
+        "jobs",
+        "cells_per_sec",
+        "refs_per_sec",
+    ] {
+        assert!(
+            !json.contains(forbidden),
+            "timing field {forbidden} leaked into the deterministic golden"
+        );
+    }
+}
+
+#[test]
+fn csv_golden_header_is_the_documented_field_order() {
+    let csv = std::fs::read_to_string(golden_path("metrics_v1.csv")).unwrap();
+    assert_eq!(
+        csv.lines().next().unwrap(),
+        "experiment,workload,config,class,hits,misses,miss_rate,references"
+    );
+}

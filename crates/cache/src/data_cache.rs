@@ -140,7 +140,13 @@ impl DataCache {
         let line = &mut self.lines[slot];
         debug_assert!(line.valid && line.line_addr == self.geom.line_addr(addr));
         line.data[off] = value;
-        line.dirty = true;
+        // `seeded-bugs` is a TEST-ONLY mutation used by the `fvl-check`
+        // conformance harness: the dirty bit is dropped, so modified
+        // lines are silently discarded instead of written back.
+        #[cfg(not(feature = "seeded-bugs"))]
+        {
+            line.dirty = true;
+        }
     }
 
     /// Installs a line, evicting the set's LRU victim if the set is full.

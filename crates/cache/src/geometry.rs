@@ -190,7 +190,17 @@ impl CacheGeometry {
     /// Set index for `addr`.
     #[inline]
     pub fn set_index(&self, addr: Addr) -> u32 {
-        (addr >> self.line_shift) & self.set_mask
+        // `seeded-bugs` is a TEST-ONLY mutation used by the `fvl-check`
+        // conformance harness: the mask loses its top bit, silently
+        // folding the upper half of the sets onto the lower half.
+        #[cfg(feature = "seeded-bugs")]
+        {
+            (addr >> self.line_shift) & (self.set_mask >> 1)
+        }
+        #[cfg(not(feature = "seeded-bugs"))]
+        {
+            (addr >> self.line_shift) & self.set_mask
+        }
     }
 
     /// Tag for `addr` (the line address bits above the index).

@@ -1,0 +1,109 @@
+//! Integration tests for the fully-associative victim cache: strict
+//! LRU eviction order, swap-on-hit recency, and dirty-line handling
+//! through the public API only.
+
+use fvl_cache::{EvictedLine, VictimCache};
+
+fn line(addr: u32, fill: u32, dirty: bool) -> EvictedLine {
+    EvictedLine {
+        line_addr: addr,
+        dirty,
+        data: vec![fill; 8],
+    }
+}
+
+#[test]
+fn displacement_follows_insertion_order_when_untouched() {
+    let mut vc = VictimCache::new(3, 8);
+    for i in 0..3u32 {
+        assert!(vc.insert(line(0x100 * (i + 1), i, false)).is_none());
+    }
+    assert_eq!(vc.len(), vc.capacity());
+    // Untouched entries leave oldest-first: 0x100, then 0x200, then 0x300.
+    let d1 = vc.insert(line(0x400, 4, false)).expect("full");
+    assert_eq!(d1.line_addr, 0x100);
+    let d2 = vc.insert(line(0x500, 5, false)).expect("full");
+    assert_eq!(d2.line_addr, 0x200);
+    let d3 = vc.insert(line(0x600, 6, false)).expect("full");
+    assert_eq!(d3.line_addr, 0x300);
+}
+
+#[test]
+fn swap_on_hit_take_and_reinsert_protects_a_hot_line() {
+    let mut vc = VictimCache::new(2, 8);
+    vc.insert(line(0x100, 1, false));
+    vc.insert(line(0x200, 2, false));
+    // The controller's swap pattern: take the hit line, reinsert the
+    // line displaced from the main cache — here the same line, which
+    // refreshes its recency.
+    for _ in 0..3 {
+        let slot = vc.probe(0x100).expect("resident");
+        let hot = vc.take(slot);
+        assert_eq!(hot.data, vec![1; 8]);
+        vc.insert(hot);
+    }
+    // 0x200 has become LRU despite being inserted last.
+    let displaced = vc.insert(line(0x300, 3, false)).expect("full");
+    assert_eq!(displaced.line_addr, 0x200);
+    assert!(vc.probe(0x100).is_some());
+}
+
+#[test]
+fn probe_matches_every_word_of_a_line_and_nothing_else() {
+    let mut vc = VictimCache::new(2, 8); // 32-byte lines
+    vc.insert(line(0x40, 9, false));
+    for off in (0..32).step_by(4) {
+        assert!(vc.probe(0x40 + off).is_some(), "offset {off}");
+    }
+    assert!(vc.probe(0x3c).is_none());
+    assert!(vc.probe(0x60).is_none());
+}
+
+#[test]
+fn dirty_flag_survives_insert_take_and_drain() {
+    let mut vc = VictimCache::new(4, 8);
+    vc.insert(line(0x100, 1, true));
+    vc.insert(line(0x200, 2, false));
+
+    let taken = vc.take(vc.probe(0x100).unwrap());
+    assert!(taken.dirty, "dirty bit preserved through take");
+    vc.insert(taken);
+
+    let drained = vc.drain();
+    assert_eq!(drained.len(), 2);
+    for l in &drained {
+        let expect_dirty = l.line_addr == 0x100;
+        assert_eq!(l.dirty, expect_dirty, "line {:#x}", l.line_addr);
+    }
+    assert!(vc.is_empty());
+    assert_eq!(vc.len(), 0);
+}
+
+#[test]
+fn displaced_dirty_line_is_returned_for_writeback() {
+    let mut vc = VictimCache::new(1, 8);
+    vc.insert(line(0x100, 7, true));
+    let displaced = vc.insert(line(0x200, 8, false)).expect("full");
+    assert_eq!(displaced.line_addr, 0x100);
+    assert!(displaced.dirty, "controller must write this back");
+    assert_eq!(displaced.data, vec![7; 8]);
+}
+
+#[test]
+fn accessors_report_the_configuration() {
+    let vc = VictimCache::new(4, 8);
+    assert_eq!(vc.capacity(), 4);
+    assert_eq!(vc.words_per_line(), 8);
+    assert!(vc.is_empty());
+}
+
+#[test]
+#[should_panic(expected = "wrong line length")]
+fn wrong_line_length_panics() {
+    let mut vc = VictimCache::new(2, 8);
+    vc.insert(EvictedLine {
+        line_addr: 0x100,
+        dirty: false,
+        data: vec![0; 4], // 8 expected
+    });
+}

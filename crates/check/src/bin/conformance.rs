@@ -1,0 +1,62 @@
+//! The conformance gate binary.
+//!
+//! Runs the fixed-seed differential corpus (64 traces by default,
+//! rotating through every adversarial pattern) and exits non-zero on
+//! the first divergence between an optimized path and its reference
+//! oracle. Each failing trace is greedily shrunk and written to
+//! `target/conformance/repro-<index>.fvltrc` so CI can upload it as an
+//! artifact and a developer can replay it locally.
+//!
+//! Usage: `conformance [cases] [accesses-per-trace]`
+
+use fvl_check::{run_corpus, DEFAULT_CASES, DEFAULT_TRACE_ACCESSES};
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cases: usize = args
+        .next()
+        .map(|a| a.parse().expect("cases must be a number"))
+        .unwrap_or(DEFAULT_CASES);
+    let accesses: u64 = args
+        .next()
+        .map(|a| a.parse().expect("accesses must be a number"))
+        .unwrap_or(DEFAULT_TRACE_ACCESSES);
+
+    println!("conformance: {cases} corpus traces x {accesses} accesses");
+    let report = run_corpus(cases, accesses);
+    if report.is_green() {
+        println!("conformance: all {} cases green", report.cases);
+        return ExitCode::SUCCESS;
+    }
+
+    let out_dir = Path::new("target/conformance");
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("conformance: cannot create {}: {e}", out_dir.display());
+    }
+    eprintln!(
+        "conformance: {} of {} cases FAILED",
+        report.failures.len(),
+        report.cases
+    );
+    for failure in &report.failures {
+        eprintln!(
+            "case {} (seed {:#x}, pattern {:?}): shrunk to {} events",
+            failure.index,
+            failure.seed,
+            failure.pattern,
+            failure.shrunk.len()
+        );
+        for message in &failure.failures {
+            eprintln!("  {message}");
+        }
+        let path = out_dir.join(format!("repro-{}.fvltrc", failure.index));
+        match fs::File::create(&path).and_then(|f| failure.shrunk.write_to(f)) {
+            Ok(()) => eprintln!("  repro written to {}", path.display()),
+            Err(e) => eprintln!("  could not write repro: {e}"),
+        }
+    }
+    ExitCode::FAILURE
+}

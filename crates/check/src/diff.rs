@@ -1,0 +1,443 @@
+//! Differential runners: oracle vs optimized, stat for stat.
+//!
+//! Each `diff_*` function replays one trace through a naive reference
+//! implementation and its optimized counterpart(s) and returns `None`
+//! when every counter agrees, or `Some(description)` pinpointing the
+//! first divergence. [`check_trace`] runs all of them (each behind a
+//! panic guard, since a corrupted simulator may trip an internal
+//! assertion rather than miscount), and [`trace_fails`] collapses the
+//! result to the boolean the shrinker needs.
+
+use crate::oracle_cache::{OracleCache, OraclePolicy, OracleStats};
+use crate::oracle_encode::LinearScanEncoder;
+use crate::oracle_replay::{scalar_replay, DigestSink};
+use fvl_cache::{CacheGeometry, CacheSim, CacheStats, Simulator, WritePolicy};
+use fvl_core::{FrequentValueSet, HybridCache, HybridConfig, OnlineHybrid};
+use fvl_mem::{AccessSink, PackedTrace, Trace, Word};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The cache organizations every cache-level differential runs over:
+/// the smallest interesting direct-mapped and set-associative shapes
+/// (64 and 16 sets with 16-byte lines), small enough that generated
+/// traces actually cause evictions.
+pub const GEOMETRIES: [(u64, u32, u32); 2] = [(1024, 16, 1), (512, 16, 2)];
+
+fn policies() -> [(WritePolicy, OraclePolicy); 2] {
+    [
+        (WritePolicy::WriteBack, OraclePolicy::WriteBack),
+        (WritePolicy::WriteThrough, OraclePolicy::WriteThrough),
+    ]
+}
+
+/// Diffs every replay path against the one-event-at-a-time scalar
+/// reference: monomorphized `Trace` replay, `PackedTrace` replay, the
+/// packed round-trip, and broadcast delivery at single-sink, inline
+/// (≤ 4 sinks) and chunked (> 4 sinks) widths.
+pub fn diff_replay(trace: &Trace) -> Option<String> {
+    let mut reference = DigestSink::new();
+    scalar_replay(trace, &mut reference);
+
+    let mut direct = DigestSink::new();
+    trace.replay_into(&mut direct);
+    if direct != reference {
+        return Some(format!(
+            "Trace::replay_into diverged from scalar replay: {direct:?} vs {reference:?}"
+        ));
+    }
+
+    let packed = PackedTrace::from_trace(trace);
+    let mut via_packed = DigestSink::new();
+    packed.replay_into(&mut via_packed);
+    if via_packed != reference {
+        return Some(format!(
+            "PackedTrace::replay_into diverged from scalar replay: {via_packed:?} vs {reference:?}"
+        ));
+    }
+
+    let round_trip = packed.to_trace();
+    if round_trip.events() != trace.events() {
+        return Some("PackedTrace round-trip changed the event stream".to_string());
+    }
+
+    for sinks in [1usize, 3, 6] {
+        let mut batch: Vec<DigestSink> = vec![DigestSink::new(); sinks];
+        packed.broadcast_into(&mut batch);
+        if let Some(i) = batch.iter().position(|d| *d != reference) {
+            return Some(format!(
+                "broadcast_into with {sinks} sinks diverged at sink {i}: {:?} vs {reference:?}",
+                batch[i]
+            ));
+        }
+    }
+    None
+}
+
+fn oracle_stats(
+    trace: &Trace,
+    size: u64,
+    line: u32,
+    assoc: u32,
+    policy: OraclePolicy,
+) -> OracleStats {
+    let mut oracle = OracleCache::new(size, line, assoc, policy);
+    scalar_replay(trace, &mut oracle);
+    *oracle.stats()
+}
+
+/// Diffs the optimized [`CacheSim`] against the associative-lookup
+/// [`OracleCache`] over every geometry/policy combination.
+pub fn diff_cache(trace: &Trace) -> Option<String> {
+    for (size, line, assoc) in GEOMETRIES {
+        for (policy, oracle_policy) in policies() {
+            let geom = CacheGeometry::new(size, line, assoc).expect("valid geometry");
+            let mut sim = CacheSim::new(geom).with_write_policy(policy);
+            trace.replay_into(&mut sim);
+            let expected = oracle_stats(trace, size, line, assoc, oracle_policy);
+            if !expected.matches(sim.stats()) {
+                return Some(format!(
+                    "CacheSim {size}B/{line}B/{assoc}-way {policy:?} diverged: \
+                     optimized {:?} vs oracle {expected:?}",
+                    sim.stats()
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// The frequency ranking of the values a trace touches: count
+/// descending, value ascending, truncated to `k`.
+fn value_ranking(trace: &Trace, k: usize) -> Vec<Word> {
+    let mut counts: BTreeMap<Word, u64> = BTreeMap::new();
+    for access in trace.iter_accesses() {
+        *counts.entry(access.value).or_insert(0) += 1;
+    }
+    let mut pairs: Vec<(Word, u64)> = counts.into_iter().collect();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs.into_iter().map(|(v, _)| v).collect()
+}
+
+/// Diffs the branchless binary-search [`FrequentValueSet`] against the
+/// [`LinearScanEncoder`] over the trace's own top-7 value ranking:
+/// construction, width, every code round-trip, and the encoding of
+/// every value the trace mentions (frequent or not).
+pub fn diff_encode(trace: &Trace) -> Option<String> {
+    let ranking = value_ranking(trace, 7);
+    if ranking.is_empty() {
+        return None; // empty trace: nothing to encode
+    }
+    let optimized = match FrequentValueSet::new(ranking.clone()) {
+        Ok(set) => set,
+        Err(e) => return Some(format!("FrequentValueSet rejected the ranking: {e}")),
+    };
+    let oracle = LinearScanEncoder::new(&ranking).expect("oracle accepts what the set accepts");
+    if optimized.width_bits() != oracle.width_bits() {
+        return Some(format!(
+            "width mismatch: optimized {} vs oracle {} bits",
+            optimized.width_bits(),
+            oracle.width_bits()
+        ));
+    }
+    for code in 0..=u8::MAX {
+        if optimized.decode(code) != oracle.decode(code) {
+            return Some(format!("decode({code}) mismatch"));
+        }
+    }
+    let probes = trace
+        .iter_accesses()
+        .map(|a| a.value)
+        .chain(ranking.iter().copied())
+        .chain(ranking.iter().map(|v| v.wrapping_add(1)));
+    for value in probes {
+        if optimized.encode(value) != oracle.encode(value) {
+            return Some(format!(
+                "encode({value:#x}) mismatch: optimized {:?} vs oracle {:?}",
+                optimized.encode(value),
+                oracle.encode(value)
+            ));
+        }
+    }
+    None
+}
+
+/// A `Vec`-based Misra–Gries mirror of [`fvl_core::ValueSketch`]: same
+/// update rule, linear scans instead of a hash table.
+#[derive(Debug)]
+struct NaiveSketch {
+    counters: Vec<(Word, u64)>,
+    capacity: usize,
+}
+
+impl NaiveSketch {
+    fn new(capacity: usize) -> Self {
+        NaiveSketch {
+            counters: Vec::new(),
+            capacity,
+        }
+    }
+
+    fn observe(&mut self, value: Word) {
+        if let Some(entry) = self.counters.iter_mut().find(|(v, _)| *v == value) {
+            entry.1 += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.push((value, 1));
+            return;
+        }
+        for entry in &mut self.counters {
+            entry.1 -= 1;
+        }
+        self.counters.retain(|(_, c)| *c > 0);
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Word> {
+        let mut pairs = self.counters.clone();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs.into_iter().map(|(v, _)| v).collect()
+    }
+}
+
+/// Diffs [`OnlineHybrid`] against an offline mirror that profiles the
+/// first half of the trace with a naive sketch, latches the top-7 into
+/// a [`HybridCache`], and replays the remainder — the two must agree on
+/// the latched value set, the combined [`CacheStats`], and every field
+/// of the hybrid-phase [`fvl_core::HybridStats`].
+pub fn diff_hybrid(trace: &Trace) -> Option<String> {
+    const FVC_ENTRIES: u32 = 64;
+    const TOP_K: usize = 7;
+    let geom = CacheGeometry::new(1024, 16, 1).expect("valid geometry");
+    let window = (trace.accesses() / 2).max(1);
+
+    let mut online = OnlineHybrid::new(geom, FVC_ENTRIES, TOP_K, window);
+    trace.replay_into(&mut online);
+
+    // Offline mirror. The online controller latches *inside* the
+    // window-th on_access call, copying the profiling DMC's stats
+    // without flushing it; the mirror reproduces that exactly.
+    let mut sketch = NaiveSketch::new(TOP_K * 16);
+    let mut profiling = CacheSim::new(geom);
+    let mut profiling_stats = CacheStats::new();
+    let mut hybrid: Option<HybridCache> = None;
+    let mut seen = 0u64;
+    for access in trace.iter_accesses() {
+        seen += 1;
+        match &mut hybrid {
+            None => {
+                sketch.observe(access.value);
+                profiling.access(access);
+                if seen >= window {
+                    let values = sketch.top_k(TOP_K);
+                    let set = FrequentValueSet::new(values).expect("nonempty deduplicated");
+                    profiling_stats = *profiling.stats();
+                    hybrid = Some(HybridCache::new(
+                        HybridConfig::new(geom, FVC_ENTRIES, set).verify_values(false),
+                    ));
+                }
+            }
+            Some(h) => h.on_access(access),
+        }
+    }
+    let expected_combined = match &mut hybrid {
+        Some(h) => {
+            h.on_finish();
+            profiling_stats + *Simulator::stats(h)
+        }
+        None => {
+            profiling.on_finish();
+            *profiling.stats()
+        }
+    };
+
+    match (&hybrid, online.latched_values()) {
+        (Some(h), Some(latched)) => {
+            if h.values().values() != latched {
+                return Some(format!(
+                    "latched values diverged: online {latched:?} vs offline {:?}",
+                    h.values().values()
+                ));
+            }
+            let online_hybrid_stats = online.hybrid_stats().expect("latched");
+            if online_hybrid_stats != h.hybrid_stats() {
+                return Some(format!(
+                    "hybrid-phase stats diverged: online {online_hybrid_stats:?} vs offline {:?}",
+                    h.hybrid_stats()
+                ));
+            }
+        }
+        (None, None) => {}
+        (offline, online_latched) => {
+            return Some(format!(
+                "latch disagreement: offline latched = {}, online latched = {}",
+                offline.is_some(),
+                online_latched.is_some()
+            ));
+        }
+    }
+    let combined = online.combined_stats();
+    if combined != expected_combined {
+        return Some(format!(
+            "combined stats diverged: online {combined:?} vs offline {expected_combined:?}"
+        ));
+    }
+    None
+}
+
+/// Diffs the lock-free parallel sweeps against a serial oracle sweep:
+/// [`fvl_bench::sweep::parallel`] and batched
+/// [`fvl_bench::sweep::parallel_broadcast`] must both report, per
+/// configuration, exactly the stats the [`OracleCache`] computes
+/// serially.
+pub fn diff_sweep(trace: &Trace) -> Option<String> {
+    let configs: Vec<(u64, u32, u32, WritePolicy, OraclePolicy)> = GEOMETRIES
+        .iter()
+        .flat_map(|&(size, line, assoc)| {
+            policies()
+                .into_iter()
+                .map(move |(p, op)| (size, line, assoc, p, op))
+        })
+        .collect();
+
+    let serial: Vec<OracleStats> = configs
+        .iter()
+        .map(|&(size, line, assoc, _, op)| oracle_stats(trace, size, line, assoc, op))
+        .collect();
+
+    let make = |&(size, line, assoc, policy, _): &(u64, u32, u32, WritePolicy, OraclePolicy)| {
+        CacheSim::new(CacheGeometry::new(size, line, assoc).expect("valid geometry"))
+            .with_write_policy(policy)
+    };
+
+    let par: Vec<CacheStats> = fvl_bench::sweep::parallel(trace, configs.clone(), |t, config| {
+        let mut sim = make(config);
+        t.replay_into(&mut sim);
+        *sim.stats()
+    });
+    for (i, (got, want)) in par.iter().zip(&serial).enumerate() {
+        if !want.matches(got) {
+            return Some(format!(
+                "parallel sweep config {i} ({:?}) diverged: {got:?} vs oracle {want:?}",
+                configs[i]
+            ));
+        }
+    }
+
+    let packed = PackedTrace::from_trace(trace);
+    let broadcast: Vec<CacheStats> =
+        fvl_bench::sweep::parallel_broadcast(&packed, configs.clone(), 2, make, |_, sim| {
+            *sim.stats()
+        });
+    for (i, (got, want)) in broadcast.iter().zip(&serial).enumerate() {
+        if !want.matches(got) {
+            return Some(format!(
+                "broadcast sweep config {i} ({:?}) diverged: {got:?} vs oracle {want:?}",
+                configs[i]
+            ));
+        }
+    }
+    None
+}
+
+/// Runs every differential runner over one trace and collects the
+/// divergences. Each runner is wrapped in a panic guard: a broken
+/// optimized path may trip an internal assertion (e.g. the load-value
+/// oracle) instead of miscounting, and that is just as much a caught
+/// divergence.
+pub fn check_trace(trace: &Trace) -> Vec<String> {
+    type Runner = fn(&Trace) -> Option<String>;
+    let runners: [(&str, Runner); 5] = [
+        ("replay", diff_replay),
+        ("cache", diff_cache),
+        ("encode", diff_encode),
+        ("hybrid", diff_hybrid),
+        ("sweep", diff_sweep),
+    ];
+    let mut failures = Vec::new();
+    for (name, runner) in runners {
+        match catch_unwind(AssertUnwindSafe(|| runner(trace))) {
+            Ok(None) => {}
+            Ok(Some(msg)) => failures.push(format!("[{name}] {msg}")),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic");
+                failures.push(format!("[{name}] panicked: {msg}"));
+            }
+        }
+    }
+    failures
+}
+
+/// Whether any differential runner fails (diverges or panics) on this
+/// trace — the predicate handed to the shrinker.
+pub fn trace_fails(trace: &Trace) -> bool {
+    !check_trace(trace).is_empty()
+}
+
+/// Replaces the default panic hook with a silent one, once per process.
+///
+/// The shrinker deliberately replays failing traces hundreds of times;
+/// under the `mutation` feature each replay may panic inside a guard,
+/// and the default hook would spam stderr with identical backtraces.
+pub fn silence_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        std::panic::set_hook(Box::new(|_| {}));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[cfg(not(feature = "mutation"))]
+    use crate::gen::{generate, Pattern};
+    use fvl_mem::{Access, TraceEvent};
+
+    #[test]
+    fn value_ranking_orders_by_count_then_value() {
+        let trace = Trace::from_events(vec![
+            TraceEvent::Access(Access::store(0x10, 5)),
+            TraceEvent::Access(Access::store(0x14, 5)),
+            TraceEvent::Access(Access::store(0x18, 3)),
+            TraceEvent::Access(Access::store(0x1c, 9)),
+        ]);
+        assert_eq!(value_ranking(&trace, 7), vec![5, 3, 9]);
+        assert_eq!(value_ranking(&trace, 1), vec![5]);
+    }
+
+    #[test]
+    fn naive_sketch_matches_real_sketch() {
+        let mut naive = NaiveSketch::new(8);
+        let mut real = fvl_core::ValueSketch::new(8);
+        let mut rng = crate::rng::SplitMix64::new(11);
+        for _ in 0..5000 {
+            let v = rng.below(12);
+            naive.observe(v);
+            real.observe(v);
+        }
+        assert_eq!(naive.top_k(7), real.top_k(7));
+    }
+
+    #[cfg(not(feature = "mutation"))]
+    #[test]
+    fn clean_build_passes_every_runner() {
+        for pattern in Pattern::ALL {
+            let trace = generate(1, pattern, 300);
+            let failures = check_trace(&trace);
+            assert!(failures.is_empty(), "{pattern:?}: {failures:?}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_trivially_conformant() {
+        let trace = Trace::from_events(Vec::new());
+        assert!(check_trace(&trace).is_empty());
+        assert!(!trace_fails(&trace));
+    }
+}

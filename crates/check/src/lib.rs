@@ -1,0 +1,62 @@
+//! Differential conformance harness for the FVL simulation stack.
+//!
+//! Four PRs of aggressive optimization (devirtualized replay, packed
+//! SoA traces, branchless encode, lock-free sweeps) left the repo with
+//! one blind spot: every CI check diffs our *own* fast paths against
+//! each other, so a bug shared by both representations passes silently.
+//! This crate closes the loop with independent machinery:
+//!
+//! * **Reference oracles** ([`OracleCache`], [`LinearScanEncoder`],
+//!   [`scalar_replay`]) — deliberately naive, obviously-correct
+//!   reimplementations of the cache simulator, the frequent-value
+//!   encoder, and the trace replayer. Written for readability, not
+//!   speed, and sharing no code with the optimized paths.
+//! * A **deterministic trace generator** ([`generate`], [`corpus`]) —
+//!   seeded, wall-clock-free, producing adversarial access patterns:
+//!   DMC index aliasing, values at the frequent/non-frequent boundary,
+//!   alloc/free storms that stress `RegionEvent` hoisting, and traces
+//!   sized exactly at `with_access_limit` budgets.
+//! * A **greedy shrinker** ([`shrink`]) that minimizes any failing
+//!   trace before it is reported, keeping load values consistent while
+//!   deleting events.
+//! * **Differential runners** ([`diff`]) replaying every generated
+//!   trace through oracle-vs-optimized pairs — `Trace` vs `PackedTrace`
+//!   broadcast, array vs linear-scan encode, `OnlineHybrid` vs an
+//!   offline-profiled hybrid, parallel `sweep` vs a serial oracle
+//!   sweep — asserting stat-for-stat equality.
+//!
+//! The `conformance` binary runs the fixed-seed corpus and writes a
+//! shrunk repro trace to `target/conformance/repro.fvltrc` on failure;
+//! `tests/mutation_smoke.rs` (behind the `mutation` feature) proves the
+//! net has teeth by catching three deliberately seeded simulator bugs.
+//!
+//! # Example
+//!
+//! ```
+//! use fvl_check::{corpus, diff, Pattern};
+//!
+//! let trace = fvl_check::generate(7, Pattern::DmcAliasing, 200);
+//! # #[cfg(not(feature = "mutation"))] // under `mutation` the optimized paths are seeded with bugs
+//! assert!(diff::check_trace(&trace).is_empty(), "optimized == oracle");
+//! assert_eq!(corpus(4, 100).len(), 4);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod diff;
+mod gen;
+mod oracle_cache;
+mod oracle_encode;
+mod oracle_replay;
+mod rng;
+mod runner;
+mod shrink;
+
+pub use gen::{corpus, generate, Pattern};
+pub use oracle_cache::{OracleCache, OraclePolicy, OracleStats};
+pub use oracle_encode::LinearScanEncoder;
+pub use oracle_replay::{scalar_replay, DigestSink};
+pub use rng::SplitMix64;
+pub use runner::{run_corpus, CaseFailure, CorpusReport, DEFAULT_CASES, DEFAULT_TRACE_ACCESSES};
+pub use shrink::{normalize_events, shrink};

@@ -1,0 +1,319 @@
+//! A deliberately naive reference cache simulator.
+//!
+//! This is the associative-lookup oracle the optimized
+//! [`fvl_cache::CacheSim`] is diffed against. Everything here is the
+//! obvious textbook formulation: sets are `Vec`s kept in LRU order
+//! (front = least recent), the set index is computed with division and
+//! modulo, memory is a `BTreeMap` from word address to value, and a
+//! lookup is a linear scan. No bit tricks, no stamps, no code shared
+//! with `fvl-cache`.
+
+use fvl_mem::{Access, AccessKind, AccessSink, Addr, Word};
+use std::collections::BTreeMap;
+
+/// Write policy of the [`OracleCache`], mirroring
+/// [`fvl_cache::WritePolicy`] without depending on it.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum OraclePolicy {
+    /// Write-back with write-allocate.
+    WriteBack,
+    /// Write-through with no write-allocate.
+    WriteThrough,
+}
+
+/// Hit/miss/traffic counters of the oracle, field-for-field comparable
+/// with [`fvl_cache::CacheStats`].
+#[derive(Copy, Clone, Default, Eq, PartialEq, Debug)]
+pub struct OracleStats {
+    /// Loads served by a resident line.
+    pub read_hits: u64,
+    /// Loads that had to fetch the line.
+    pub read_misses: u64,
+    /// Stores that found the line resident.
+    pub write_hits: u64,
+    /// Stores that missed.
+    pub write_misses: u64,
+    /// Dirty lines written back to memory (evictions plus flush).
+    pub writebacks: u64,
+    /// Lines fetched from memory.
+    pub fetches: u64,
+}
+
+impl OracleStats {
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Whether these counters equal an optimized-path [`fvl_cache::CacheStats`].
+    pub fn matches(&self, stats: &fvl_cache::CacheStats) -> bool {
+        self.read_hits == stats.read_hits
+            && self.read_misses == stats.read_misses
+            && self.write_hits == stats.write_hits
+            && self.write_misses == stats.write_misses
+            && self.writebacks == stats.writebacks
+            && self.fetches == stats.fetches
+    }
+}
+
+/// One resident line: its first byte address, dirty flag, and words.
+#[derive(Clone, Debug)]
+struct OracleLine {
+    line_addr: Addr,
+    dirty: bool,
+    data: Vec<Word>,
+}
+
+/// The reference write-back/write-through cache.
+///
+/// # Example
+///
+/// ```
+/// use fvl_check::{OracleCache, OraclePolicy};
+/// use fvl_mem::{Access, AccessSink};
+///
+/// let mut oracle = OracleCache::new(1024, 16, 1, OraclePolicy::WriteBack);
+/// oracle.on_access(Access::store(0x100, 7));
+/// oracle.on_access(Access::load(0x100, 7));
+/// assert_eq!(oracle.stats().write_misses, 1);
+/// assert_eq!(oracle.stats().read_hits, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OracleCache {
+    line_bytes: u32,
+    sets: u64,
+    associativity: usize,
+    policy: OraclePolicy,
+    /// One `Vec` per set in LRU order: index 0 is the least recently
+    /// used line, the back is the most recently used.
+    lines: Vec<Vec<OracleLine>>,
+    /// Word address -> value; absent words are zero.
+    memory: BTreeMap<Addr, Word>,
+    stats: OracleStats,
+    finished: bool,
+}
+
+impl OracleCache {
+    /// Creates an empty oracle of the given organization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not divide into at least one set of
+    /// at least one whole line of whole words (the oracle does not
+    /// require powers of two; the optimized geometry does).
+    pub fn new(size_bytes: u64, line_bytes: u32, associativity: u32, policy: OraclePolicy) -> Self {
+        assert!(
+            line_bytes >= 4 && line_bytes.is_multiple_of(4),
+            "bad line size"
+        );
+        let set_bytes = u64::from(line_bytes) * u64::from(associativity);
+        assert!(
+            set_bytes > 0 && size_bytes.is_multiple_of(set_bytes) && size_bytes / set_bytes > 0,
+            "indivisible organization"
+        );
+        let sets = size_bytes / set_bytes;
+        OracleCache {
+            line_bytes,
+            sets,
+            associativity: associativity as usize,
+            policy,
+            lines: vec![Vec::new(); sets as usize],
+            memory: BTreeMap::new(),
+            stats: OracleStats::default(),
+            finished: false,
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &OracleStats {
+        &self.stats
+    }
+
+    fn line_addr(&self, addr: Addr) -> Addr {
+        addr - addr % self.line_bytes
+    }
+
+    fn set_of(&self, addr: Addr) -> usize {
+        ((u64::from(addr) / u64::from(self.line_bytes)) % self.sets) as usize
+    }
+
+    fn word_index(&self, addr: Addr) -> usize {
+        ((addr % self.line_bytes) / 4) as usize
+    }
+
+    fn read_memory_line(&self, line_addr: Addr) -> Vec<Word> {
+        (0..self.line_bytes / 4)
+            .map(|w| *self.memory.get(&(line_addr + w * 4)).unwrap_or(&0))
+            .collect()
+    }
+
+    fn write_memory_line(&mut self, line_addr: Addr, data: &[Word]) {
+        for (w, &value) in data.iter().enumerate() {
+            self.memory.insert(line_addr + 4 * w as u32, value);
+        }
+    }
+
+    /// Simulates one access.
+    pub fn access(&mut self, access: Access) {
+        let line_addr = self.line_addr(access.addr);
+        let set = self.set_of(access.addr);
+        let word = self.word_index(access.addr);
+        let position = self.lines[set]
+            .iter()
+            .position(|l| l.line_addr == line_addr);
+
+        if let Some(position) = position {
+            // Hit: move the line to the most-recently-used end.
+            let mut line = self.lines[set].remove(position);
+            match access.kind {
+                AccessKind::Load => self.stats.read_hits += 1,
+                AccessKind::Store => {
+                    self.stats.write_hits += 1;
+                    line.data[word] = access.value;
+                    match self.policy {
+                        OraclePolicy::WriteBack => line.dirty = true,
+                        OraclePolicy::WriteThrough => {
+                            line.dirty = false;
+                            self.memory.insert(access.addr, access.value);
+                        }
+                    }
+                }
+            }
+            self.lines[set].push(line);
+            return;
+        }
+
+        if access.kind == AccessKind::Store && self.policy == OraclePolicy::WriteThrough {
+            // No write-allocate: the store bypasses the cache entirely.
+            self.stats.write_misses += 1;
+            self.memory.insert(access.addr, access.value);
+            return;
+        }
+
+        // Miss: fetch the whole line, install it, evict the LRU line of
+        // a full set, then serve the access from the fresh line.
+        match access.kind {
+            AccessKind::Load => self.stats.read_misses += 1,
+            AccessKind::Store => self.stats.write_misses += 1,
+        }
+        let mut data = self.read_memory_line(line_addr);
+        self.stats.fetches += 1;
+        let mut dirty = false;
+        if access.kind == AccessKind::Store {
+            data[word] = access.value;
+            dirty = true;
+        }
+        if self.lines[set].len() == self.associativity {
+            let victim = self.lines[set].remove(0);
+            if victim.dirty {
+                self.write_memory_line(victim.line_addr, &victim.data);
+                self.stats.writebacks += 1;
+            }
+        }
+        self.lines[set].push(OracleLine {
+            line_addr,
+            dirty,
+            data,
+        });
+    }
+
+    /// Writes every dirty line back and empties the cache.
+    pub fn flush(&mut self) {
+        for set in 0..self.lines.len() {
+            for line in std::mem::take(&mut self.lines[set]) {
+                if line.dirty {
+                    self.write_memory_line(line.line_addr, &line.data);
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+    }
+
+    /// The value currently stored at `addr` in the oracle's memory
+    /// (post-flush ground truth for data comparisons).
+    pub fn peek_memory(&self, addr: Addr) -> Word {
+        *self.memory.get(&addr).unwrap_or(&0)
+    }
+}
+
+impl AccessSink for OracleCache {
+    fn on_access(&mut self, access: Access) {
+        self.access(access);
+    }
+
+    fn on_finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wb() -> OracleCache {
+        OracleCache::new(1024, 16, 1, OraclePolicy::WriteBack)
+    }
+
+    #[test]
+    fn cold_miss_then_hits_within_line() {
+        let mut o = wb();
+        o.access(Access::load(0x100, 0));
+        o.access(Access::load(0x104, 0));
+        assert_eq!(o.stats().read_misses, 1);
+        assert_eq!(o.stats().read_hits, 1);
+        assert_eq!(o.stats().fetches, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut o = wb();
+        o.access(Access::store(0x000, 42));
+        o.access(Access::load(0x400, 0)); // conflicts in a 1KB DM cache
+        assert_eq!(o.stats().writebacks, 1);
+        assert_eq!(o.peek_memory(0x000), 42);
+    }
+
+    #[test]
+    fn flush_is_idempotent_through_sink() {
+        let mut o = wb();
+        o.access(Access::store(0x20, 9));
+        o.on_finish();
+        o.on_finish();
+        assert_eq!(o.stats().writebacks, 1);
+        assert_eq!(o.peek_memory(0x20), 9);
+    }
+
+    #[test]
+    fn write_through_bypasses_on_store_miss() {
+        let mut o = OracleCache::new(1024, 16, 1, OraclePolicy::WriteThrough);
+        o.access(Access::store(0x100, 5));
+        assert_eq!(o.stats().fetches, 0);
+        assert_eq!(o.peek_memory(0x100), 5);
+        o.access(Access::load(0x100, 5));
+        o.access(Access::store(0x104, 6));
+        o.on_finish();
+        assert_eq!(o.stats().writebacks, 0, "write-through lines stay clean");
+        assert_eq!(o.peek_memory(0x104), 6);
+    }
+
+    #[test]
+    fn lru_is_least_recent_not_first_installed() {
+        // 2-way 1-set cache: 32 bytes, 16-byte lines.
+        let mut o = OracleCache::new(32, 16, 2, OraclePolicy::WriteBack);
+        o.access(Access::load(0x00, 0));
+        o.access(Access::load(0x10, 0));
+        o.access(Access::load(0x00, 0)); // refresh 0x00; 0x10 is now LRU
+        o.access(Access::load(0x20, 0)); // evicts 0x10
+        o.access(Access::load(0x00, 0));
+        assert_eq!(o.stats().read_hits, 2);
+        assert_eq!(o.stats().read_misses, 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Corpus execution: generate, check, shrink, report.
+
+use crate::diff::{check_trace, trace_fails};
+use crate::gen::{case_params, generate, Pattern};
+use crate::shrink::shrink;
+use fvl_mem::Trace;
+
+/// Number of corpus cases the conformance gate runs by default.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Access events per generated corpus trace by default.
+pub const DEFAULT_TRACE_ACCESSES: u64 = 600;
+
+/// One failing corpus case, with its already-shrunk reproduction trace.
+#[derive(Clone, Debug)]
+pub struct CaseFailure {
+    /// Corpus index of the case.
+    pub index: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Generator pattern.
+    pub pattern: Pattern,
+    /// Divergence descriptions from [`check_trace`] on the full trace.
+    pub failures: Vec<String>,
+    /// The greedily minimized trace that still fails.
+    pub shrunk: Trace,
+}
+
+/// Outcome of a corpus run.
+#[derive(Clone, Debug)]
+pub struct CorpusReport {
+    /// Number of cases executed.
+    pub cases: usize,
+    /// The failing cases (empty on a green run).
+    pub failures: Vec<CaseFailure>,
+}
+
+impl CorpusReport {
+    /// Whether every case passed.
+    pub fn is_green(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs `cases` fixed-seed corpus traces of `accesses` access events
+/// through every differential runner, shrinking each failing trace
+/// before reporting it.
+pub fn run_corpus(cases: usize, accesses: u64) -> CorpusReport {
+    let mut failures = Vec::new();
+    for index in 0..cases {
+        let (seed, pattern) = case_params(index);
+        let trace = generate(seed, pattern, accesses);
+        let messages = check_trace(&trace);
+        if !messages.is_empty() {
+            let shrunk = shrink(&trace, &mut trace_fails);
+            failures.push(CaseFailure {
+                index,
+                seed,
+                pattern,
+                failures: messages,
+                shrunk,
+            });
+        }
+    }
+    CorpusReport { cases, failures }
+}
+
+#[cfg(all(test, not(feature = "mutation")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_corpus_is_green() {
+        let report = run_corpus(8, 200);
+        assert_eq!(report.cases, 8);
+        assert!(report.is_green(), "{:?}", report.failures);
+    }
+}

@@ -1,0 +1,137 @@
+//! Greedy minimization of failing traces.
+//!
+//! When a differential runner finds a divergence, the raw trace is
+//! hundreds of events long. [`shrink`] ddmin-style deletes chunks of
+//! events while the failure persists, and [`normalize_events`] repairs
+//! load values after each deletion so the candidate stays memory
+//! consistent (deleting a store must not leave a later load expecting
+//! the deleted value — the simulators' built-in load oracle would turn
+//! every such candidate into a spurious "failure").
+
+use fvl_mem::{AccessKind, Addr, Trace, TraceEvent, Word};
+use std::collections::BTreeMap;
+
+/// Rewrites every load's value to the value the most recent preceding
+/// store left at its address (zero if none), making any event
+/// subsequence memory consistent again.
+pub fn normalize_events(events: &mut [TraceEvent]) {
+    let mut shadow: BTreeMap<Addr, Word> = BTreeMap::new();
+    for event in events.iter_mut() {
+        if let TraceEvent::Access(access) = event {
+            match access.kind {
+                AccessKind::Store => {
+                    shadow.insert(access.addr, access.value);
+                }
+                AccessKind::Load => {
+                    access.value = *shadow.get(&access.addr).unwrap_or(&0);
+                }
+            }
+        }
+    }
+}
+
+/// Greedily minimizes a failing trace.
+///
+/// `fails` must return `true` for the input trace; the result is a
+/// trace for which `fails` still returns `true` and from which no
+/// single remaining event can be deleted without losing the failure
+/// (1-minimality). Deletion candidates are renormalized with
+/// [`normalize_events`] before being tested.
+///
+/// If `fails(trace)` is `false` the input is returned unchanged — there
+/// is nothing to minimize.
+pub fn shrink(trace: &Trace, fails: &mut dyn FnMut(&Trace) -> bool) -> Trace {
+    if !fails(trace) {
+        return trace.clone();
+    }
+    let mut events = trace.events().to_vec();
+    let mut chunk = (events.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < events.len() {
+            let end = (start + chunk).min(events.len());
+            let mut candidate: Vec<TraceEvent> = Vec::with_capacity(events.len() - (end - start));
+            candidate.extend_from_slice(&events[..start]);
+            candidate.extend_from_slice(&events[end..]);
+            normalize_events(&mut candidate);
+            if fails(&Trace::from_events(candidate.clone())) {
+                events = candidate;
+                // Keep `start` where it is: the events now at `start`
+                // are new deletion candidates.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    normalize_events(&mut events);
+    Trace::from_events(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fvl_mem::Access;
+
+    fn trace_with_marker(n: u32, marker_at: u32) -> Trace {
+        let events = (0..n)
+            .map(|i| {
+                let value = if i == marker_at { 0xdead } else { i };
+                TraceEvent::Access(Access::store(0x100 + i * 4, value))
+            })
+            .collect();
+        Trace::from_events(events)
+    }
+
+    #[test]
+    fn shrinks_to_the_single_triggering_event() {
+        let trace = trace_with_marker(200, 137);
+        let mut fails = |t: &Trace| t.iter_accesses().any(|a| a.value == 0xdead);
+        let small = shrink(&trace, &mut fails);
+        assert_eq!(small.len(), 1, "exactly the marker event survives");
+        assert_eq!(small.iter_accesses().next().unwrap().value, 0xdead);
+    }
+
+    #[test]
+    fn non_failing_trace_is_untouched() {
+        let trace = trace_with_marker(10, 100); // no marker in range
+        let mut fails = |t: &Trace| t.iter_accesses().any(|a| a.value == 0xdead);
+        let same = shrink(&trace, &mut fails);
+        assert_eq!(same.events(), trace.events());
+    }
+
+    #[test]
+    fn normalization_keeps_candidates_consistent() {
+        // store 1, store 2, load(2): deleting the second store must turn
+        // the load into load(1), not leave a stale expectation.
+        let mut events = vec![
+            TraceEvent::Access(Access::store(0x10, 1)),
+            TraceEvent::Access(Access::load(0x10, 2)),
+        ];
+        normalize_events(&mut events);
+        match events[1] {
+            TraceEvent::Access(a) => assert_eq!(a.value, 1),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn shrunk_result_still_fails_and_is_one_minimal() {
+        // Failure requires *two* specific stores to both be present.
+        let trace = Trace::from_events(
+            (0..64)
+                .map(|i| TraceEvent::Access(Access::store(0x100 + i * 4, i)))
+                .collect(),
+        );
+        let mut fails = |t: &Trace| {
+            let values: Vec<u32> = t.iter_accesses().map(|a| a.value).collect();
+            values.contains(&7) && values.contains(&42)
+        };
+        let small = shrink(&trace, &mut fails);
+        assert_eq!(small.len(), 2);
+        assert!(fails(&small));
+    }
+}

@@ -1,0 +1,134 @@
+//! The conformance gate as a `cargo test` entry: the full fixed-seed
+//! corpus must pass every differential runner on a clean build.
+//!
+//! Compiled out under the `mutation` feature — there the optimized
+//! paths are deliberately broken and `tests/mutation_smoke.rs` takes
+//! over.
+
+#![cfg(not(feature = "mutation"))]
+
+use fvl_check::{
+    corpus, diff, generate, normalize_events, run_corpus, shrink, Pattern, DEFAULT_CASES,
+    DEFAULT_TRACE_ACCESSES,
+};
+use fvl_mem::{Access, AccessKind, Trace, TraceEvent};
+
+#[test]
+fn full_fixed_seed_corpus_is_green() {
+    let report = run_corpus(DEFAULT_CASES, DEFAULT_TRACE_ACCESSES);
+    assert_eq!(report.cases, DEFAULT_CASES);
+    assert!(
+        report.is_green(),
+        "conformance corpus failed: {:#?}",
+        report.failures
+    );
+}
+
+#[test]
+fn corpus_covers_every_pattern() {
+    let traces = corpus(DEFAULT_CASES, 100);
+    assert_eq!(traces.len(), DEFAULT_CASES);
+    // Rotation over 4 patterns with 64 cases touches each 16 times; the
+    // patterns are distinguishable by their footprints.
+    let region_traces = traces
+        .iter()
+        .filter(|t| {
+            t.events()
+                .iter()
+                .any(|e| !matches!(e, TraceEvent::Access(_)))
+        })
+        .count();
+    assert!(
+        region_traces >= DEFAULT_CASES / 4,
+        "region patterns present"
+    );
+}
+
+#[test]
+fn generation_is_reproducible_across_calls() {
+    for pattern in Pattern::ALL {
+        let a = generate(0xC0FFEE, pattern, 400);
+        let b = generate(0xC0FFEE, pattern, 400);
+        assert_eq!(a.events(), b.events(), "{pattern:?}");
+    }
+}
+
+#[test]
+fn budget_pattern_sits_exactly_on_the_access_limit() {
+    for accesses in [1u64, 63, 64, 100] {
+        let trace = generate(5, Pattern::BudgetExact, accesses);
+        assert_eq!(trace.accesses(), accesses, "budget {accesses}");
+    }
+}
+
+#[test]
+fn shrinker_minimizes_a_differential_failure() {
+    // A synthetic "bug": the predicate flags traces containing a store
+    // of the poison value — the same interface a real divergence uses.
+    let mut events: Vec<TraceEvent> = (0..300u32)
+        .map(|i| TraceEvent::Access(Access::store(0x1000 + (i % 64) * 4, i % 8)))
+        .collect();
+    events[217] = TraceEvent::Access(Access::store(0x2000, 0xBAD_F00D));
+    let trace = Trace::from_events(events);
+    let mut fails = |t: &Trace| t.iter_accesses().any(|a| a.value == 0xBAD_F00D);
+    let small = shrink(&trace, &mut fails);
+    assert!(fails(&small));
+    assert_eq!(small.len(), 1, "shrunk to the single poison store");
+}
+
+#[test]
+fn shrinker_output_is_memory_consistent() {
+    // Delete-heavy shrinking on a trace whose loads depend on stores:
+    // whatever survives must still be replayable without tripping the
+    // simulators' load-value oracle.
+    let trace = generate(21, Pattern::RegionStorm, 300);
+    let mut fails = |t: &Trace| t.accesses() >= 40; // arbitrary size predicate
+    let small = shrink(&trace, &mut fails);
+    assert!(small.accesses() >= 40);
+    let mut events = small.events().to_vec();
+    let before = events.clone();
+    normalize_events(&mut events);
+    assert_eq!(events, before, "shrunk trace was already consistent");
+    assert!(
+        diff::check_trace(&small).is_empty(),
+        "shrunk trace replays cleanly"
+    );
+}
+
+#[test]
+fn every_runner_individually_passes_an_adversarial_trace() {
+    let trace = generate(77, Pattern::DmcAliasing, 500);
+    assert_eq!(diff::diff_replay(&trace), None);
+    assert_eq!(diff::diff_cache(&trace), None);
+    assert_eq!(diff::diff_encode(&trace), None);
+    assert_eq!(diff::diff_hybrid(&trace), None);
+    assert_eq!(diff::diff_sweep(&trace), None);
+}
+
+#[test]
+fn hybrid_diff_covers_the_never_latched_path() {
+    // A 1-access trace: window = max(1, 0) = 1 latches immediately;
+    // an empty trace never latches. Both must agree with the mirror.
+    let empty = Trace::from_events(Vec::new());
+    assert_eq!(diff::diff_hybrid(&empty), None);
+    let one = Trace::from_events(vec![TraceEvent::Access(Access::store(0x40, 0))]);
+    assert_eq!(diff::diff_hybrid(&one), None);
+}
+
+#[test]
+fn normalize_repairs_loads_after_store_deletion() {
+    let mut events = vec![
+        TraceEvent::Access(Access::store(0x100, 7)),
+        TraceEvent::Access(Access::load(0x100, 7)),
+        TraceEvent::Access(Access::load(0x104, 9)), // stale: no store wrote 9
+    ];
+    normalize_events(&mut events);
+    let values: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Access(a) if a.kind == AccessKind::Load => Some(a.value),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(values, vec![7, 0]);
+}

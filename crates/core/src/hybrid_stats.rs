@@ -9,7 +9,7 @@ use std::fmt;
 /// (the paper's combined miss rate). The breakdown fields expose where
 /// hits came from and how lines moved, and the occupancy accumulator
 /// reproduces Figure 11.
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Default, Debug, PartialEq)]
 pub struct HybridStats {
     /// Combined hit/miss/traffic counters (the paper's metric).
     pub overall: CacheStats,

@@ -505,10 +505,17 @@ fn deliver_region<S: AccessSink>(sinks: &mut [S], event: RegionEvent) {
 /// Unpacks one column pair into an [`Access`].
 #[inline]
 fn decode(addr: u32, value: u32) -> Access {
+    // `seeded-bugs` is a TEST-ONLY mutation used by the `fvl-check`
+    // conformance harness: the load/store bit is decoded inverted, so
+    // every packed load replays as a store and vice versa.
+    #[cfg(feature = "seeded-bugs")]
+    let is_store = addr & STORE_BIT == 0;
+    #[cfg(not(feature = "seeded-bugs"))]
+    let is_store = addr & STORE_BIT != 0;
     Access {
         addr: addr & !STORE_BIT,
         value,
-        kind: if addr & STORE_BIT != 0 {
+        kind: if is_store {
             AccessKind::Store
         } else {
             AccessKind::Load

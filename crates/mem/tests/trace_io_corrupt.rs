@@ -1,0 +1,226 @@
+//! Corrupt-input matrix for the trace codecs: truncated v1/v2 streams,
+//! bad magic headers, hostile length fields, and malformed record
+//! bodies. Every case must come back as an `Err` — never a panic, and
+//! never an attempt to allocate a buffer sized by attacker-controlled
+//! header counts.
+
+use fvl_mem::{Access, PackedTrace, Region, RegionKind, Trace, TraceEvent};
+use std::io::ErrorKind;
+
+/// A small trace exercising every event tag: loads, stores, and
+/// alloc/free region events in both formats.
+fn sample_trace() -> Trace {
+    Trace::from_events(vec![
+        TraceEvent::Alloc(Region::new(0x1000, 8, RegionKind::Heap)),
+        TraceEvent::Access(Access::store(0x1000, 7)),
+        TraceEvent::Access(Access::load(0x1000, 7)),
+        TraceEvent::Access(Access::load(0x1004, 0)),
+        TraceEvent::Free(Region::new(0x1000, 8, RegionKind::Heap)),
+        TraceEvent::Alloc(Region::new(0x8000_0000, 2, RegionKind::Stack)),
+        TraceEvent::Access(Access::store(0x8000_0000, 3)),
+    ])
+}
+
+fn v1_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    sample_trace().write_to(&mut bytes).unwrap();
+    bytes
+}
+
+fn v2_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    PackedTrace::from_trace(&sample_trace())
+        .write_to(&mut bytes)
+        .unwrap();
+    bytes
+}
+
+/// Both decoders must reject `bytes` with a decode-shaped error.
+fn assert_rejected(bytes: &[u8], what: &str) {
+    for (reader, err) in [
+        ("Trace", Trace::read_from(bytes).err()),
+        ("PackedTrace", PackedTrace::read_from(bytes).err()),
+    ] {
+        let err = err.unwrap_or_else(|| panic!("{reader} accepted {what}"));
+        assert!(
+            matches!(
+                err.kind(),
+                ErrorKind::InvalidData | ErrorKind::UnexpectedEof
+            ),
+            "{reader} on {what}: unexpected error kind {:?}",
+            err.kind()
+        );
+    }
+}
+
+#[test]
+fn every_strict_prefix_of_a_v1_stream_is_rejected() {
+    let bytes = v1_bytes();
+    for len in 0..bytes.len() {
+        assert_rejected(&bytes[..len], &format!("v1 prefix of {len} bytes"));
+    }
+    assert!(Trace::read_from(bytes.as_slice()).is_ok(), "full stream ok");
+}
+
+#[test]
+fn every_strict_prefix_of_a_v2_stream_is_rejected() {
+    let bytes = v2_bytes();
+    for len in 0..bytes.len() {
+        assert_rejected(&bytes[..len], &format!("v2 prefix of {len} bytes"));
+    }
+    assert!(
+        PackedTrace::read_from(bytes.as_slice()).is_ok(),
+        "full stream ok"
+    );
+}
+
+#[test]
+fn bad_magic_variants_are_invalid_data() {
+    let variants: [&[u8]; 6] = [
+        b"NOTATRACEATALL",
+        b"FVLTRC3\n\0\0\0\0\0\0\0\0",   // future version
+        b"FVLTRC1 \0\0\0\0\0\0\0\0",    // missing the newline terminator
+        b"fvltrc1\n\0\0\0\0\0\0\0\0",   // wrong case
+        b"\nFVLTRC1\0\0\0\0\0\0\0\0",   // shifted by one
+        b"\x7fELF\x02\x01\x01\0\0\0\0", // a different file family entirely
+    ];
+    for bytes in variants {
+        for err in [
+            Trace::read_from(bytes).unwrap_err(),
+            PackedTrace::read_from(bytes).unwrap_err(),
+        ] {
+            assert_eq!(err.kind(), ErrorKind::InvalidData, "input {bytes:?}");
+        }
+    }
+}
+
+#[test]
+fn hostile_v1_event_count_fails_without_allocating() {
+    // len = u64::MAX: the decoder must not size a buffer from the header
+    // (that would be a ~2^64-entry allocation) — it reads events until
+    // the stream runs dry and reports truncation.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC1\n");
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+    assert_rejected(&bytes, "v1 with len=u64::MAX");
+
+    // Same with one valid event present: count still unsatisfiable.
+    bytes.push(0); // TAG_LOAD
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    assert_rejected(&bytes, "v1 with len=u64::MAX and one event");
+}
+
+#[test]
+fn oversized_v2_header_counts_are_rejected() {
+    // accesses > u32::MAX is structurally impossible for packed columns.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC2\n");
+    bytes.extend_from_slice(&(u64::from(u32::MAX) + 1).to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    assert_rejected(&bytes, "v2 with accesses=u32::MAX+1");
+
+    // region_count far beyond the guard.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC2\n");
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+    assert_rejected(&bytes, "v2 with region_count=u64::MAX");
+
+    // region_count exactly at the 2^32 boundary with an empty body must
+    // error on truncation, not allocate 2^32 records up front.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC2\n");
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    bytes.extend_from_slice(&(1u64 << 32).to_le_bytes());
+    assert_rejected(&bytes, "v2 with region_count=2^32 and no body");
+}
+
+#[test]
+fn v2_header_larger_than_the_body_is_truncation() {
+    // Claim 1000 accesses but supply only 4 words of column data.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC2\n");
+    bytes.extend_from_slice(&1000u64.to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    for w in 0u32..4 {
+        bytes.extend_from_slice(&(w * 4).to_le_bytes());
+    }
+    assert_rejected(&bytes, "v2 with a short address column");
+}
+
+#[test]
+fn truncated_v2_region_table_is_rejected() {
+    // Valid columns, two region events declared, only one present.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC2\n");
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    bytes.extend_from_slice(&2u64.to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // pos
+    bytes.push(1); // is_alloc
+    bytes.push(1); // heap
+    bytes.extend_from_slice(&0x1000u32.to_le_bytes());
+    bytes.extend_from_slice(&8u32.to_le_bytes());
+    assert_rejected(&bytes, "v2 with a truncated region table");
+}
+
+#[test]
+fn corrupt_v1_record_bodies_are_invalid_data() {
+    // Bad event tag.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC1\n");
+    bytes.extend_from_slice(&1u64.to_le_bytes());
+    bytes.push(250);
+    assert_rejected(&bytes, "v1 with tag 250");
+
+    // Valid alloc tag, bad region kind byte.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC1\n");
+    bytes.extend_from_slice(&1u64.to_le_bytes());
+    bytes.push(2); // TAG_ALLOC
+    bytes.push(9); // no such RegionKind
+    bytes.extend_from_slice(&0x1000u32.to_le_bytes());
+    bytes.extend_from_slice(&8u32.to_le_bytes());
+    assert_rejected(&bytes, "v1 with region kind 9");
+}
+
+#[test]
+fn corrupt_v2_record_bodies_are_invalid_data() {
+    // A misaligned packed address (bit 1 set survives the store-bit
+    // mask) must be rejected by column validation.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC2\n");
+    bytes.extend_from_slice(&1u64.to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    bytes.extend_from_slice(&0x1002u32.to_le_bytes()); // addr column
+    bytes.extend_from_slice(&7u32.to_le_bytes()); // value column
+    assert_rejected(&bytes, "v2 with a misaligned packed address");
+
+    // A region event positioned past the access count.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC2\n");
+    bytes.extend_from_slice(&1u64.to_le_bytes());
+    bytes.extend_from_slice(&1u64.to_le_bytes());
+    bytes.extend_from_slice(&0x1000u32.to_le_bytes());
+    bytes.extend_from_slice(&7u32.to_le_bytes());
+    bytes.extend_from_slice(&99u64.to_le_bytes()); // pos > accesses
+    bytes.push(1);
+    bytes.push(1);
+    bytes.extend_from_slice(&0x1000u32.to_le_bytes());
+    bytes.extend_from_slice(&8u32.to_le_bytes());
+    assert_rejected(&bytes, "v2 with a region event past the end");
+}
+
+#[test]
+fn trailing_garbage_after_a_complete_trace_is_ignored() {
+    // The formats are length-prefixed: a decoder consumes exactly the
+    // declared records and must not choke on what follows (e.g. a trace
+    // embedded in a larger container).
+    for (mut bytes, accesses) in [(v1_bytes(), 4u64), (v2_bytes(), 4u64)] {
+        bytes.extend_from_slice(b"GARBAGE AFTER THE TRACE \xff\xfe\xfd");
+        let trace = Trace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(trace.accesses(), accesses);
+        let packed = PackedTrace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(packed.accesses(), accesses);
+    }
+}

@@ -1,0 +1,139 @@
+//! RFC 4180 edge cases for the CSV export path: embedded commas,
+//! embedded quotes, CR/LF line breaks inside fields, and a mini
+//! RFC 4180 parser that round-trips every quoted record back to the
+//! original fields.
+
+use fvl_obs::{csv_field, csv_row};
+
+/// Minimal RFC 4180 record parser: splits one record into fields,
+/// honoring quoted fields with doubled quotes and embedded separators.
+/// Panics on malformed input — in these tests the input is always the
+/// output of `csv_row`, so a panic is a test failure.
+fn parse_record(record: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut chars = record.chars().peekable();
+    loop {
+        let mut field = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next(); // opening quote
+            loop {
+                match chars.next() {
+                    Some('"') => {
+                        if chars.peek() == Some(&'"') {
+                            chars.next(); // doubled quote -> literal quote
+                            field.push('"');
+                        } else {
+                            break; // closing quote
+                        }
+                    }
+                    Some(c) => field.push(c),
+                    None => panic!("unterminated quoted field in {record:?}"),
+                }
+            }
+        } else {
+            while let Some(&c) = chars.peek() {
+                if c == ',' {
+                    break;
+                }
+                assert_ne!(c, '"', "bare quote inside unquoted field: {record:?}");
+                field.push(c);
+                chars.next();
+            }
+        }
+        fields.push(field);
+        match chars.next() {
+            Some(',') => continue,
+            None => return fields,
+            Some(c) => panic!("unexpected {c:?} after field in {record:?}"),
+        }
+    }
+}
+
+#[test]
+fn plain_fields_are_not_quoted() {
+    for plain in ["", "x", "miss rate", "0.015", "512 entries", "a;b", "a\tb"] {
+        assert_eq!(csv_field(plain), plain, "no special chars, no quoting");
+    }
+}
+
+#[test]
+fn embedded_comma_forces_quoting() {
+    assert_eq!(csv_field("a,b"), "\"a,b\"");
+    assert_eq!(csv_field(","), "\",\"");
+    assert_eq!(csv_field("trailing,"), "\"trailing,\"");
+}
+
+#[test]
+fn embedded_quotes_are_doubled() {
+    assert_eq!(csv_field("\""), "\"\"\"\"");
+    assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    // A field that is nothing but quotes: n quotes -> 2n+2 chars.
+    assert_eq!(csv_field("\"\"\""), "\"\"\"\"\"\"\"\"");
+}
+
+#[test]
+fn cr_lf_and_crlf_force_quoting() {
+    assert_eq!(csv_field("a\nb"), "\"a\nb\"");
+    assert_eq!(csv_field("a\rb"), "\"a\rb\"");
+    assert_eq!(csv_field("a\r\nb"), "\"a\r\nb\"");
+    // A lone CR is enough — Excel-style readers treat it as a break.
+    assert_eq!(csv_field("\r"), "\"\r\"");
+}
+
+#[test]
+fn row_round_trips_through_an_rfc4180_parser() {
+    let cases: Vec<Vec<&str>> = vec![
+        vec!["plain", "fields", "only"],
+        vec!["a,b", "c", "d,e,f"],
+        vec!["he said \"no\"", "\"", "plain"],
+        vec!["multi\nline", "cr\ronly", "crlf\r\nboth"],
+        vec!["", "", ""],
+        vec![",", "\",\"", "\r\n,\""],
+        vec!["workload", "512 entries, 4-way", "miss \"rate\"\n(percent)"],
+    ];
+    for fields in cases {
+        let record = csv_row(&fields);
+        let parsed = parse_record(&record);
+        assert_eq!(parsed, fields, "round trip failed for {record:?}");
+    }
+}
+
+#[test]
+fn quoted_fields_never_leak_separators_unescaped() {
+    // Whatever bytes go in, the rendered record must contain exactly
+    // (fields - 1) unquoted commas and no unquoted line breaks.
+    let fields = ["a,b\r\n", "\"start", "end\"", "x\ny,z"];
+    let record = csv_row(&fields);
+    let mut in_quotes = false;
+    let mut separators = 0;
+    let mut chars = record.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                if in_quotes && chars.peek() == Some(&'"') {
+                    chars.next(); // escaped quote, stay inside
+                } else {
+                    in_quotes = !in_quotes;
+                }
+            }
+            ',' if !in_quotes => separators += 1,
+            '\n' | '\r' if !in_quotes => panic!("unquoted line break in {record:?}"),
+            _ => {}
+        }
+    }
+    assert!(!in_quotes, "unbalanced quotes in {record:?}");
+    assert_eq!(separators, fields.len() - 1);
+}
+
+#[test]
+fn empty_fields_and_rows_are_representable() {
+    assert_eq!(csv_row(&[""]), "");
+    assert_eq!(csv_row(&["", ""]), ",");
+    assert_eq!(parse_record(","), vec!["", ""]);
+    // The metrics exporter's classless row shape survives the parser.
+    let row = "fig1,go,capture,,,,10";
+    assert_eq!(
+        parse_record(row),
+        vec!["fig1", "go", "capture", "", "", "", "10"]
+    );
+}
