@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments <name>... [--quick|--train|--smoke] [--seed N] [--jobs N|--serial]
-//!             [--no-trace-cache] [--legacy-trace]
+//!             [--no-trace-cache] [--legacy-trace] [--simd LEVEL]
 //!             [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]
 //! experiments all [--smoke]
 //! experiments list
@@ -10,8 +10,9 @@
 //!
 //! Reports go to stdout; timing, engine-throughput and trace-store
 //! lines go to stderr, so stdout is bit-identical for any `--jobs`
-//! count, for the trace cache on or off, and for either trace
-//! representation (`--legacy-trace` / `FVL_TRACE_REPR`). The
+//! count, for the trace cache on or off, for either trace
+//! representation (`--legacy-trace` / `FVL_TRACE_REPR`), and for any
+//! replay kernel (`--simd` / `FVL_SIMD`). The
 //! `--metrics` export is deterministic too, unless `--metrics-timing`
 //! opts into wall-clock and cache hit/miss fields (see
 //! `fvl_bench::metrics`).
@@ -20,7 +21,7 @@ use fvl_bench::engine::Engine;
 use fvl_bench::experiments;
 use fvl_bench::metrics::{self, RunInfo};
 use fvl_bench::ExperimentContext;
-use fvl_mem::TraceReprKind;
+use fvl_mem::{SimdLevel, SimdPolicy, TraceReprKind};
 use fvl_workloads::InputSize;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -38,6 +39,8 @@ fn usage() -> ExitCode {
          --no-trace-cache re-captures each workload per experiment instead of sharing one capture\n\
          --legacy-trace stores traces as Vec<TraceEvent> instead of the packed columnar layout\n\
          \x20             (FVL_TRACE_REPR=packed|legacy sets the same toggle from the environment)\n\
+         --simd LEVEL picks the packed-replay kernel: auto|scalar|wide|unrolled|sse2|avx2\n\
+         \x20             (FVL_SIMD sets the same toggle; unavailable levels fall back to unrolled)\n\
          --metrics FILE writes a versioned JSON metrics export (deterministic across --jobs)\n\
          --metrics-csv FILE writes the per-cell log as CSV\n\
          --metrics-timing adds wall-clock/throughput/cache-counter fields to the JSON export",
@@ -69,6 +72,8 @@ fn main() -> ExitCode {
         .ok()
         .and_then(|s| TraceReprKind::parse(&s))
         .unwrap_or_default();
+    // Likewise FVL_SIMD picks the replay kernel; --simd overrides it.
+    let mut simd_policy = SimdPolicy::from_env();
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -99,6 +104,10 @@ fn main() -> ExitCode {
             "--metrics-timing" => metrics_timing = true,
             "--no-trace-cache" => trace_cache = false,
             "--legacy-trace" => repr = TraceReprKind::Legacy,
+            "--simd" => match iter.next().and_then(|s| SimdPolicy::parse(&s)) {
+                Some(policy) => simd_policy = policy,
+                None => return usage(),
+            },
             "list" => {
                 for (name, _) in experiments::all() {
                     println!("{name}");
@@ -128,6 +137,10 @@ fn main() -> ExitCode {
         }
         picked
     };
+
+    // Pin the replay kernel before the first replay; the selection is
+    // process-wide and first-wins.
+    let simd_level = fvl_mem::simd::set_policy(simd_policy);
 
     let engine = Arc::new(match jobs {
         Some(n) => Engine::new(n),
@@ -185,6 +198,14 @@ fn main() -> ExitCode {
         } else {
             store.resident_trace_bytes() as f64 / resident_events as f64
         },
+    );
+    eprintln!(
+        "simd: {} policy — {} kernel, {} lane{} per step (best detected: {})",
+        simd_policy.label(),
+        simd_level.label(),
+        simd_level.lanes(),
+        if simd_level.lanes() == 1 { "" } else { "s" },
+        SimdLevel::detect_best().label(),
     );
     if let Some(path) = metrics_json {
         let run = RunInfo::new(

@@ -155,6 +155,7 @@ fn trace_store_block(store: &TraceStore) -> Json {
         ("hits", Json::U64(stats.iter().map(|s| s.hits).sum())),
         ("misses", Json::U64(stats.iter().map(|s| s.misses).sum())),
         ("repr", Json::from(store.repr_label().unwrap_or("none"))),
+        ("simd", Json::from(fvl_mem::simd::active_level().label())),
         ("resident_events", Json::U64(events)),
         ("resident_bytes", Json::U64(bytes)),
         (

@@ -101,12 +101,26 @@ impl DataCache {
     /// when the probe corresponds to a real access.
     #[inline]
     pub fn probe(&self, addr: Addr) -> Option<usize> {
-        let line_addr = self.geom.line_addr(addr);
-        let range = self.set_range(addr);
-        self.lines[range.clone()]
+        self.probe_at(self.geom.set_index(addr), self.geom.line_addr(addr))
+    }
+
+    /// [`DataCache::probe`] with the address already split: `set` and
+    /// `line_addr` as produced by
+    /// [`CacheGeometry::split_block`](crate::CacheGeometry::split_block),
+    /// so the wide replay path pays the index extraction once per block
+    /// instead of once per probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range for the geometry.
+    #[inline]
+    pub fn probe_at(&self, set: u32, line_addr: Addr) -> Option<usize> {
+        let assoc = self.geom.associativity() as usize;
+        let start = set as usize * assoc;
+        self.lines[start..start + assoc]
             .iter()
             .position(|l| l.valid && l.line_addr == line_addr)
-            .map(|way| range.start + way)
+            .map(|way| start + way)
     }
 
     /// Marks the line in `slot` most-recently-used.
@@ -290,6 +304,21 @@ mod tests {
         let slot = c.probe(0x108).unwrap();
         assert_eq!(c.read_word(slot, 0x108), 3);
         assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn probe_at_matches_probe() {
+        let mut c = DataCache::new(CacheGeometry::new(512, 16, 2).unwrap());
+        c.install(0x100, &[1; 4], false);
+        c.install(0x300, &[2; 4], true);
+        let g = *c.geometry();
+        for addr in (0u32..0x500).step_by(4) {
+            assert_eq!(
+                c.probe(addr),
+                c.probe_at(g.set_index(addr), g.line_addr(addr)),
+                "{addr:#x}"
+            );
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //!
 //! Usage: `conformance [cases] [accesses-per-trace]`
 
-use fvl_check::{run_corpus, DEFAULT_CASES, DEFAULT_TRACE_ACCESSES};
+use fvl_check::{
+    run_boundary_corpus, run_corpus, CorpusReport, DEFAULT_CASES, DEFAULT_TRACE_ACCESSES,
+};
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
@@ -26,7 +28,24 @@ fn main() -> ExitCode {
         .unwrap_or(DEFAULT_TRACE_ACCESSES);
 
     println!("conformance: {cases} corpus traces x {accesses} accesses");
-    let report = run_corpus(cases, accesses);
+    let mut report = run_corpus(cases, accesses);
+    let boundary = run_boundary_corpus();
+    println!(
+        "conformance: {} boundary-length traces (block/chunk seams)",
+        boundary.cases
+    );
+    report = CorpusReport {
+        cases: report.cases + boundary.cases,
+        failures: report
+            .failures
+            .into_iter()
+            .chain(boundary.failures.into_iter().map(|mut f| {
+                // Keep repro file names disjoint from the main corpus.
+                f.index += cases;
+                f
+            }))
+            .collect(),
+    };
     if report.is_green() {
         println!("conformance: all {} cases green", report.cases);
         return ExitCode::SUCCESS;

@@ -13,7 +13,7 @@ use crate::oracle_encode::LinearScanEncoder;
 use crate::oracle_replay::{scalar_replay, DigestSink};
 use fvl_cache::{CacheGeometry, CacheSim, CacheStats, Simulator, WritePolicy};
 use fvl_core::{FrequentValueSet, HybridCache, HybridConfig, OnlineHybrid};
-use fvl_mem::{AccessSink, PackedTrace, Trace, Word};
+use fvl_mem::{AccessSink, PackedTrace, SimdLevel, SimdPolicy, Trace, Word};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -69,6 +69,123 @@ pub fn diff_replay(trace: &Trace) -> Option<String> {
                 batch[i]
             ));
         }
+    }
+    None
+}
+
+/// Diffs every wide (SIMD / unrolled) replay kernel against the scalar
+/// baseline, order-sensitive digest for digest: per-level replay and
+/// broadcast delivery, `ForceScalar`/`ForceWide` policy resolution, the
+/// `CacheSim` batched-index block path over every differential
+/// geometry, the `FrequentValueSet` compare-and-mask encode, and the
+/// chunked v2 binary round-trip (the corpus includes lengths straddling
+/// the lane widths and the 64 KiB chunk boundary).
+pub fn diff_simd(trace: &Trace) -> Option<String> {
+    let packed = PackedTrace::from_trace(trace);
+    let mut reference = DigestSink::new();
+    packed.replay_into_with(SimdLevel::Scalar, &mut reference);
+
+    for level in SimdLevel::available() {
+        let mut sink = DigestSink::new();
+        packed.replay_into_with(level, &mut sink);
+        if sink != reference {
+            return Some(format!(
+                "replay_into_with({level:?}) diverged from scalar: {sink:?} vs {reference:?}"
+            ));
+        }
+        for sinks in [2usize, 6] {
+            let mut batch: Vec<DigestSink> = vec![DigestSink::new(); sinks];
+            packed.broadcast_into_with(level, &mut batch);
+            if let Some(i) = batch.iter().position(|d| *d != reference) {
+                return Some(format!(
+                    "broadcast_into_with({level:?}) with {sinks} sinks diverged at sink {i}: \
+                     {:?} vs {reference:?}",
+                    batch[i]
+                ));
+            }
+        }
+    }
+
+    // Policy resolution end to end: ForceScalar must be the scalar
+    // loop, ForceWide the widest detected kernel, with equal digests.
+    let mut forced_wide = DigestSink::new();
+    packed.replay_into_with(SimdPolicy::ForceWide.resolve(), &mut forced_wide);
+    let mut forced_scalar = DigestSink::new();
+    packed.replay_into_with(SimdPolicy::ForceScalar.resolve(), &mut forced_scalar);
+    if forced_wide != forced_scalar {
+        return Some(format!(
+            "ForceWide ({:?}) digest diverged from ForceScalar: {forced_wide:?} vs {forced_scalar:?}",
+            SimdPolicy::ForceWide.resolve()
+        ));
+    }
+
+    // The CacheSim block override (batched set-index extraction) must
+    // produce identical stats and traffic on every geometry.
+    let best = SimdLevel::detect_best();
+    for (size, line, assoc) in GEOMETRIES {
+        for (policy, _) in policies() {
+            let geom = CacheGeometry::new(size, line, assoc).expect("valid geometry");
+            let mut scalar_sim = CacheSim::new(geom).with_write_policy(policy);
+            packed.replay_into_with(SimdLevel::Scalar, &mut scalar_sim);
+            let mut wide_sim = CacheSim::new(geom).with_write_policy(policy);
+            packed.replay_into_with(best, &mut wide_sim);
+            if scalar_sim.stats() != wide_sim.stats()
+                || scalar_sim.traffic_words() != wide_sim.traffic_words()
+            {
+                return Some(format!(
+                    "CacheSim {size}B/{line}B/{assoc}-way {policy:?} block path ({best:?}) \
+                     diverged: {:?} vs scalar {:?}",
+                    wide_sim.stats(),
+                    scalar_sim.stats()
+                ));
+            }
+        }
+    }
+
+    // The SIMD compare-and-mask encode must be bit-identical to the
+    // binary search for every value the trace mentions (and misses
+    // just off the ranking).
+    let ranking = value_ranking(trace, 7);
+    if !ranking.is_empty() {
+        let set = match FrequentValueSet::new(ranking.clone()) {
+            Ok(set) => set,
+            Err(e) => return Some(format!("FrequentValueSet rejected the ranking: {e}")),
+        };
+        let probes = trace
+            .iter_accesses()
+            .map(|a| a.value)
+            .chain(ranking.iter().copied())
+            .chain(ranking.iter().map(|v| v.wrapping_add(1)));
+        for value in probes {
+            for level in SimdLevel::available() {
+                if set.encode_with(level, value) != set.encode_scalar(value) {
+                    return Some(format!(
+                        "encode_with({level:?}, {value:#x}) = {:?} diverged from scalar {:?}",
+                        set.encode_with(level, value),
+                        set.encode_scalar(value)
+                    ));
+                }
+            }
+        }
+    }
+
+    // Chunked v2 binary round-trip: the corpus's chunk-boundary lengths
+    // (64 KiB ± 1 access) exercise the chunking edge here.
+    let mut encoded = Vec::new();
+    packed
+        .write_to(&mut encoded)
+        .expect("in-memory write cannot fail");
+    match PackedTrace::read_from(encoded.as_slice()) {
+        Ok(decoded) => {
+            let mut from_io = DigestSink::new();
+            decoded.replay_into_with(best, &mut from_io);
+            if from_io != reference {
+                return Some(format!(
+                    "wide replay after v2 round-trip diverged: {from_io:?} vs {reference:?}"
+                ));
+            }
+        }
+        Err(e) => return Some(format!("v2 round-trip failed to decode: {e}")),
     }
     None
 }
@@ -348,8 +465,9 @@ pub fn diff_sweep(trace: &Trace) -> Option<String> {
 /// divergence.
 pub fn check_trace(trace: &Trace) -> Vec<String> {
     type Runner = fn(&Trace) -> Option<String>;
-    let runners: [(&str, Runner); 5] = [
+    let runners: [(&str, Runner); 6] = [
         ("replay", diff_replay),
+        ("simd", diff_simd),
         ("cache", diff_cache),
         ("encode", diff_encode),
         ("hybrid", diff_hybrid),

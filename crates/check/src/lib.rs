@@ -58,5 +58,8 @@ pub use oracle_cache::{OracleCache, OraclePolicy, OracleStats};
 pub use oracle_encode::LinearScanEncoder;
 pub use oracle_replay::{scalar_replay, DigestSink};
 pub use rng::SplitMix64;
-pub use runner::{run_corpus, CaseFailure, CorpusReport, DEFAULT_CASES, DEFAULT_TRACE_ACCESSES};
+pub use runner::{
+    run_boundary_corpus, run_corpus, CaseFailure, CorpusReport, BOUNDARY_ACCESS_COUNTS,
+    DEFAULT_CASES, DEFAULT_TRACE_ACCESSES,
+};
 pub use shrink::{normalize_events, shrink};

@@ -11,6 +11,13 @@ pub const DEFAULT_CASES: usize = 64;
 /// Access events per generated corpus trace by default.
 pub const DEFAULT_TRACE_ACCESSES: u64 = 600;
 
+/// Trace lengths that sit exactly on the replay paths' internal seams:
+/// empty and single-event traces, the 64-access wide-replay block
+/// boundary (`ACCESS_BLOCK`) minus/at/plus one, and the 64 KiB trace
+/// store chunk boundary (8192 packed accesses at 8 bytes each)
+/// minus/at/plus one.
+pub const BOUNDARY_ACCESS_COUNTS: [u64; 8] = [0, 1, 63, 64, 65, 8191, 8192, 8193];
+
 /// One failing corpus case, with its already-shrunk reproduction trace.
 #[derive(Clone, Debug)]
 pub struct CaseFailure {
@@ -60,6 +67,36 @@ pub fn run_corpus(cases: usize, accesses: u64) -> CorpusReport {
                 failures: messages,
                 shrunk,
             });
+        }
+    }
+    CorpusReport { cases, failures }
+}
+
+/// Runs every [`BOUNDARY_ACCESS_COUNTS`] trace length through every
+/// pattern and differential runner. These lengths straddle the wide
+/// replay's 64-access block seam and the trace store's 64 KiB chunk
+/// seam, where a lane- or chunk-boundary bug would hide from the
+/// uniformly sized default corpus.
+pub fn run_boundary_corpus() -> CorpusReport {
+    let mut failures = Vec::new();
+    let mut cases = 0;
+    for (slot, &accesses) in BOUNDARY_ACCESS_COUNTS.iter().enumerate() {
+        for (which, &pattern) in Pattern::ALL.iter().enumerate() {
+            let index = slot * Pattern::ALL.len() + which;
+            let seed = 0xB0_0000 + index as u64;
+            let trace = generate(seed, pattern, accesses);
+            let messages = check_trace(&trace);
+            cases += 1;
+            if !messages.is_empty() {
+                let shrunk = shrink(&trace, &mut trace_fails);
+                failures.push(CaseFailure {
+                    index,
+                    seed,
+                    pattern,
+                    failures: messages,
+                    shrunk,
+                });
+            }
         }
     }
     CorpusReport { cases, failures }

@@ -8,8 +8,8 @@
 #![cfg(not(feature = "mutation"))]
 
 use fvl_check::{
-    corpus, diff, generate, normalize_events, run_corpus, shrink, Pattern, DEFAULT_CASES,
-    DEFAULT_TRACE_ACCESSES,
+    corpus, diff, generate, normalize_events, run_boundary_corpus, run_corpus, shrink, Pattern,
+    BOUNDARY_ACCESS_COUNTS, DEFAULT_CASES, DEFAULT_TRACE_ACCESSES,
 };
 use fvl_mem::{Access, AccessKind, Trace, TraceEvent};
 
@@ -20,6 +20,22 @@ fn full_fixed_seed_corpus_is_green() {
     assert!(
         report.is_green(),
         "conformance corpus failed: {:#?}",
+        report.failures
+    );
+}
+
+#[test]
+fn boundary_length_corpus_is_green() {
+    // Lengths straddling the wide replay's 64-access block seam and
+    // the trace store's 64 KiB chunk seam, across every pattern.
+    let report = run_boundary_corpus();
+    assert_eq!(
+        report.cases,
+        BOUNDARY_ACCESS_COUNTS.len() * Pattern::ALL.len()
+    );
+    assert!(
+        report.is_green(),
+        "boundary corpus failed: {:#?}",
         report.failures
     );
 }
@@ -99,6 +115,7 @@ fn shrinker_output_is_memory_consistent() {
 fn every_runner_individually_passes_an_adversarial_trace() {
     let trace = generate(77, Pattern::DmcAliasing, 500);
     assert_eq!(diff::diff_replay(&trace), None);
+    assert_eq!(diff::diff_simd(&trace), None);
     assert_eq!(diff::diff_cache(&trace), None);
     assert_eq!(diff::diff_encode(&trace), None);
     assert_eq!(diff::diff_hybrid(&trace), None);

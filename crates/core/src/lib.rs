@@ -57,5 +57,5 @@ pub use fvc::{Fvc, FvcLine};
 pub use hybrid::HybridCache;
 pub use hybrid_stats::HybridStats;
 pub use online::{OnlineHybrid, ValueSketch};
-pub use value_set::{FrequentValueSet, ValueSetError};
+pub use value_set::{FrequentValueSet, ValueSetError, SIMD_MAX_VALUES};
 pub use victim_hybrid::VictimHybrid;

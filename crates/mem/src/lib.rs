@@ -54,12 +54,15 @@ mod live;
 mod packed;
 mod repr;
 mod sim_memory;
+pub mod simd;
 mod snapshot;
 mod trace;
 mod trace_io;
 mod traced;
 
-pub use access::{Access, AccessKind, AccessSink, CountingSink, Fanout, NullSink};
+pub use access::{
+    Access, AccessBlock, AccessKind, AccessSink, CountingSink, Fanout, NullSink, ACCESS_BLOCK,
+};
 pub use alloc::{HeapAllocator, StackAllocator};
 pub use bus::{Bus, BusExt};
 pub use layout::{Addr, Region, RegionKind, Word, GLOBAL_BASE, HEAP_BASE, STACK_BASE, WORD_BYTES};
@@ -69,6 +72,7 @@ pub use packed::{
 };
 pub use repr::{TraceRepr, TraceReprKind};
 pub use sim_memory::SimMemory;
+pub use simd::{SimdLevel, SimdPolicy};
 pub use snapshot::MemorySnapshot;
 pub use trace::{Trace, TraceBuffer, TraceEvent};
 pub use trace_io::CHUNK_BYTES;
