@@ -4,6 +4,7 @@ pub mod ext1;
 pub mod ext2;
 pub mod ext3;
 pub mod ext4;
+pub mod ext5;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;
@@ -25,7 +26,7 @@ pub mod verify;
 use crate::data::{ExperimentContext, WorkloadData};
 use crate::engine::{CellId, ClassStats, Completed};
 use crate::table::Table;
-use fvl_cache::{CacheGeometry, CacheSim, CacheStats};
+use fvl_cache::{CacheGeometry, CacheSim, CacheStats, ReplacementKind};
 use fvl_core::{FrequentValueSet, HybridCache, HybridConfig};
 use std::fmt;
 use std::sync::Arc;
@@ -107,6 +108,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("ext2", ext2::run),
         ("ext3", ext3::run),
         ("ext4", ext4::run),
+        ("ext5", ext5::run),
         ("verify", verify::run),
     ]
 }
@@ -134,9 +136,23 @@ pub(crate) fn hybrid_sim(
     fvc_entries: u32,
     top_k: usize,
 ) -> HybridCache {
+    hybrid_sim_with(data, geometry, fvc_entries, top_k, ReplacementKind::Lru)
+}
+
+/// Like [`hybrid_sim`], with an explicit replacement policy for the
+/// hybrid's DMC side (the FVC side is untouched).
+pub(crate) fn hybrid_sim_with(
+    data: &WorkloadData,
+    geometry: CacheGeometry,
+    fvc_entries: u32,
+    top_k: usize,
+    dmc_replacement: ReplacementKind,
+) -> HybridCache {
     let values = FrequentValueSet::from_ranking(&data.counter.ranking(), top_k)
         .expect("profiled workloads have at least one value");
-    HybridCache::new(HybridConfig::new(geometry, fvc_entries, values))
+    HybridCache::new(
+        HybridConfig::new(geometry, fvc_entries, values).dmc_replacement(dmc_replacement),
+    )
 }
 
 /// Replays the captured trace through a DMC+FVC hybrid using the

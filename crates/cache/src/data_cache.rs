@@ -1,6 +1,7 @@
-//! Set-associative write-back data cache with true LRU replacement.
+//! Set-associative write-back data cache with pluggable replacement.
 
 use crate::geometry::CacheGeometry;
+use crate::replacement::{Replacement, ReplacementKind, ReplacementPolicy};
 use fvl_mem::{Addr, Word};
 use std::fmt;
 
@@ -12,7 +13,6 @@ struct Line {
     valid: bool,
     dirty: bool,
     data: Box<[Word]>,
-    stamp: u64,
 }
 
 /// A line evicted from a cache, carrying everything needed to write it
@@ -38,7 +38,9 @@ pub struct LineRef<'a> {
     pub data: &'a [Word],
 }
 
-/// A set-associative, true-LRU cache holding real line data.
+/// A set-associative cache holding real line data, with victim
+/// selection delegated to a [`ReplacementKind`] policy (true LRU by
+/// default — see [`crate::replacement`] for the zoo).
 ///
 /// `DataCache` is a passive structure: it never talks to memory itself.
 /// Controllers ([`crate::CacheSim`], the hybrid controllers in
@@ -61,12 +63,20 @@ pub struct LineRef<'a> {
 pub struct DataCache {
     geom: CacheGeometry,
     lines: Vec<Line>,
-    clock: u64,
+    kind: ReplacementKind,
+    policy: Replacement,
 }
 
 impl DataCache {
-    /// Creates an empty (all-invalid) cache of the given geometry.
+    /// Creates an empty (all-invalid) cache of the given geometry with
+    /// the default true-LRU replacement policy.
     pub fn new(geom: CacheGeometry) -> Self {
+        Self::with_replacement(geom, ReplacementKind::Lru)
+    }
+
+    /// Creates an empty cache of the given geometry using the given
+    /// replacement policy.
+    pub fn with_replacement(geom: CacheGeometry, kind: ReplacementKind) -> Self {
         let wpl = geom.words_per_line() as usize;
         let lines = (0..geom.lines())
             .map(|_| Line {
@@ -74,19 +84,32 @@ impl DataCache {
                 valid: false,
                 dirty: false,
                 data: vec![0; wpl].into_boxed_slice(),
-                stamp: 0,
             })
             .collect();
         DataCache {
             geom,
             lines,
-            clock: 0,
+            kind,
+            policy: kind.build(&geom),
         }
     }
 
     /// The cache's organization.
     pub fn geometry(&self) -> &CacheGeometry {
         &self.geom
+    }
+
+    /// The configured replacement policy.
+    pub fn replacement(&self) -> ReplacementKind {
+        self.kind
+    }
+
+    /// Splits a global slot index back into the (set, way) coordinates
+    /// the replacement policy speaks.
+    #[inline]
+    fn set_way(&self, slot: usize) -> (u32, u32) {
+        let assoc = self.geom.associativity() as usize;
+        ((slot / assoc) as u32, (slot % assoc) as u32)
     }
 
     #[inline]
@@ -123,11 +146,12 @@ impl DataCache {
             .map(|way| start + way)
     }
 
-    /// Marks the line in `slot` most-recently-used.
+    /// Reports the hit in `slot` to the replacement policy (most-
+    /// recently-used promotion under LRU-family policies).
     #[inline]
     pub fn touch(&mut self, slot: usize) {
-        self.clock += 1;
-        self.lines[slot].stamp = self.clock;
+        let (set, way) = self.set_way(slot);
+        self.policy.touch(set, way);
     }
 
     /// Reads the word at `addr` from the resident line in `slot`.
@@ -161,10 +185,18 @@ impl DataCache {
         {
             line.dirty = true;
         }
+        let (set, way) = self.set_way(slot);
+        let line = &self.lines[slot];
+        self.policy.write(set, way, &line.data);
     }
 
-    /// Installs a line, evicting the set's LRU victim if the set is full.
-    /// Returns the evicted line (valid victims only).
+    /// Installs a line, evicting the policy's chosen victim if the set
+    /// is full. Returns the evicted line (valid victims only).
+    ///
+    /// Invalid ways are always filled first, lowest index first; the
+    /// replacement policy only picks among full sets. This rule is part
+    /// of the [`crate::replacement`] contract the conformance oracle
+    /// mirrors.
     ///
     /// # Panics
     ///
@@ -187,18 +219,20 @@ impl DataCache {
             "line {line_addr:#x} already resident"
         );
         let range = self.set_range(line_addr);
-        // Choose an invalid way first, else the LRU way.
+        let set = (range.start / self.geom.associativity() as usize) as u32;
+        // Fill the lowest-index invalid way first, else ask the policy.
         let slot = self.lines[range.clone()]
             .iter()
             .position(|l| !l.valid)
             .map(|w| range.start + w)
             .unwrap_or_else(|| {
-                self.lines[range.clone()]
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.stamp)
-                    .map(|(w, _)| range.start + w)
-                    .expect("associativity is at least 1")
+                let way = self.policy.victim(set);
+                assert!(
+                    way < self.geom.associativity(),
+                    "policy picked way {way} of {}",
+                    self.geom.associativity()
+                );
+                range.start + way as usize
             });
         let evicted = if self.lines[slot].valid {
             Some(EvictedLine {
@@ -209,13 +243,13 @@ impl DataCache {
         } else {
             None
         };
-        self.clock += 1;
         let line = &mut self.lines[slot];
         line.line_addr = line_addr;
         line.valid = true;
         line.dirty = dirty;
         line.data.copy_from_slice(data);
-        line.stamp = self.clock;
+        let way = (slot - range.start) as u32;
+        self.policy.fill(set, way, line_addr, data);
         evicted
     }
 
@@ -240,11 +274,14 @@ impl DataCache {
         let line = &mut self.lines[slot];
         assert!(line.valid, "take on invalid line");
         line.valid = false;
-        EvictedLine {
+        let taken = EvictedLine {
             line_addr: line.line_addr,
             dirty: line.dirty,
             data: line.data.to_vec(),
-        }
+        };
+        let (set, way) = self.set_way(slot);
+        self.policy.invalidate(set, way);
+        taken
     }
 
     /// Number of currently valid lines.
@@ -265,7 +302,8 @@ impl DataCache {
     /// left empty.
     pub fn drain(&mut self) -> Vec<EvictedLine> {
         let mut out = Vec::new();
-        for line in &mut self.lines {
+        for slot in 0..self.lines.len() {
+            let line = &mut self.lines[slot];
             if line.valid {
                 line.valid = false;
                 out.push(EvictedLine {
@@ -273,6 +311,8 @@ impl DataCache {
                     dirty: line.dirty,
                     data: line.data.to_vec(),
                 });
+                let (set, way) = self.set_way(slot);
+                self.policy.invalidate(set, way);
             }
         }
         out
@@ -283,6 +323,7 @@ impl fmt::Debug for DataCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DataCache")
             .field("geometry", &self.geom)
+            .field("replacement", &self.kind)
             .field("valid_lines", &self.valid_lines())
             .finish()
     }

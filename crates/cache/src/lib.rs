@@ -4,8 +4,10 @@
 //! ASPLOS 2000 FVC paper ran its evaluation on:
 //!
 //! * [`CacheGeometry`] — size / line size / associativity arithmetic.
-//! * [`DataCache`] — a set-associative, true-LRU cache that stores real
-//!   line *data* (the frequent value cache needs values, not just tags).
+//! * [`DataCache`] — a set-associative cache that stores real line
+//!   *data* (the frequent value cache needs values, not just tags).
+//! * [`replacement`] — the replacement-policy zoo ([`ReplacementKind`]:
+//!   true LRU, seeded random, SHiP-lite RRIP, value-pinned LRU).
 //! * [`MainMemory`] — backing store with word-level traffic accounting.
 //! * [`VictimCache`] — Jouppi's fully-associative swap-on-hit buffer
 //!   (the Figure 15 baseline).
@@ -39,6 +41,7 @@ mod data_cache;
 mod geometry;
 #[cfg(feature = "metrics")]
 pub mod metrics;
+pub mod replacement;
 mod sim;
 mod simulator;
 mod stats;
@@ -48,6 +51,7 @@ pub use backing::MainMemory;
 pub use classify::{MissClass, MissClassifier};
 pub use data_cache::{DataCache, EvictedLine, LineRef};
 pub use geometry::{CacheGeometry, GeometryError};
+pub use replacement::{Replacement, ReplacementKind, ReplacementPolicy};
 pub use sim::{CacheSim, WritePolicy};
 pub use simulator::Simulator;
 pub use stats::CacheStats;

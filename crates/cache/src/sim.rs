@@ -4,6 +4,7 @@ use crate::backing::MainMemory;
 use crate::classify::MissClassifier;
 use crate::data_cache::DataCache;
 use crate::geometry::CacheGeometry;
+use crate::replacement::ReplacementKind;
 use crate::stats::CacheStats;
 use fvl_mem::{Access, AccessBlock, AccessKind, AccessSink, Addr, Word, ACCESS_BLOCK};
 use std::fmt;
@@ -76,6 +77,24 @@ impl CacheSim {
     pub fn with_write_policy(mut self, policy: WritePolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Selects the replacement policy (builder style; default true
+    /// LRU). Must be called before any access: the cache is rebuilt
+    /// empty with fresh policy state.
+    pub fn with_replacement(mut self, kind: ReplacementKind) -> Self {
+        assert_eq!(
+            self.stats.accesses(),
+            0,
+            "with_replacement must precede the first access"
+        );
+        self.cache = DataCache::with_replacement(*self.cache.geometry(), kind);
+        self
+    }
+
+    /// The configured replacement policy.
+    pub fn replacement(&self) -> ReplacementKind {
+        self.cache.replacement()
     }
 
     /// The configured write policy.

@@ -7,34 +7,68 @@
 //! `target/conformance/repro-<index>.fvltrc` so CI can upload it as an
 //! artifact and a developer can replay it locally.
 //!
-//! Usage: `conformance [cases] [accesses-per-trace]`
+//! Usage: `conformance [--policy <lru|random|rrip|pinned>] [cases] [accesses-per-trace]`
+//!
+//! With `--policy`, only the cache differential runs, scoped to that
+//! replacement kind over the per-policy geometry pair — the shape the
+//! CI policy matrix uses so each job's verdict names one policy.
 
+use fvl_cache::ReplacementKind;
 use fvl_check::{
-    run_boundary_corpus, run_corpus, CorpusReport, DEFAULT_CASES, DEFAULT_TRACE_ACCESSES,
+    run_boundary_corpus, run_corpus, run_policy_corpus, CorpusReport, DEFAULT_CASES,
+    DEFAULT_TRACE_ACCESSES,
 };
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut positional = Vec::new();
+    let mut policy: Option<ReplacementKind> = None;
     let mut args = std::env::args().skip(1);
-    let cases: usize = args
+    while let Some(arg) = args.next() {
+        if arg == "--policy" {
+            let name = args.next().expect("--policy needs a policy name");
+            policy = Some(ReplacementKind::parse(&name).unwrap_or_else(|e| panic!("{e}")));
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let cases: usize = positional
         .next()
         .map(|a| a.parse().expect("cases must be a number"))
         .unwrap_or(DEFAULT_CASES);
-    let accesses: u64 = args
+    let accesses: u64 = positional
         .next()
         .map(|a| a.parse().expect("accesses must be a number"))
         .unwrap_or(DEFAULT_TRACE_ACCESSES);
 
+    let report = match policy {
+        Some(kind) => {
+            println!("conformance: {cases} corpus traces x {accesses} accesses, policy {kind}");
+            run_policy_corpus(kind, cases, accesses)
+        }
+        None => full_report(cases, accesses),
+    };
+    if report.is_green() {
+        println!("conformance: all {} cases green", report.cases);
+        return ExitCode::SUCCESS;
+    }
+    report_failures(&report)
+}
+
+/// The default gate: the full corpus through every differential runner,
+/// plus the boundary-length traces.
+fn full_report(cases: usize, accesses: u64) -> CorpusReport {
     println!("conformance: {cases} corpus traces x {accesses} accesses");
-    let mut report = run_corpus(cases, accesses);
+    let report = run_corpus(cases, accesses);
     let boundary = run_boundary_corpus();
     println!(
         "conformance: {} boundary-length traces (block/chunk seams)",
         boundary.cases
     );
-    report = CorpusReport {
+    CorpusReport {
         cases: report.cases + boundary.cases,
         failures: report
             .failures
@@ -45,12 +79,10 @@ fn main() -> ExitCode {
                 f
             }))
             .collect(),
-    };
-    if report.is_green() {
-        println!("conformance: all {} cases green", report.cases);
-        return ExitCode::SUCCESS;
     }
+}
 
+fn report_failures(report: &CorpusReport) -> ExitCode {
     let out_dir = Path::new("target/conformance");
     if let Err(e) = fs::create_dir_all(out_dir) {
         eprintln!("conformance: cannot create {}: {e}", out_dir.display());

@@ -8,10 +8,10 @@
 //! assertion rather than miscount), and [`trace_fails`] collapses the
 //! result to the boolean the shrinker needs.
 
-use crate::oracle_cache::{OracleCache, OraclePolicy, OracleStats};
+use crate::oracle_cache::{OracleCache, OraclePolicy, OracleReplacement, OracleStats};
 use crate::oracle_encode::LinearScanEncoder;
 use crate::oracle_replay::{scalar_replay, DigestSink};
-use fvl_cache::{CacheGeometry, CacheSim, CacheStats, Simulator, WritePolicy};
+use fvl_cache::{CacheGeometry, CacheSim, CacheStats, ReplacementKind, Simulator, WritePolicy};
 use fvl_core::{FrequentValueSet, HybridCache, HybridConfig, OnlineHybrid};
 use fvl_mem::{AccessSink, PackedTrace, SimdLevel, SimdPolicy, Trace, Word};
 use std::collections::BTreeMap;
@@ -23,11 +23,30 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// traces actually cause evictions.
 pub const GEOMETRIES: [(u64, u32, u32); 2] = [(1024, 16, 1), (512, 16, 2)];
 
+/// The cache organizations the replacement-policy zoo differentials run
+/// over: one shape per associativity in {1, 2, 4, 8}, all with 16-byte
+/// lines and few enough sets (64 down to 4) that generated traces fill
+/// sets and force every policy's victim logic to fire.
+pub const ZOO_GEOMETRIES: [(u64, u32, u32); 4] =
+    [(1024, 16, 1), (512, 16, 2), (512, 16, 4), (512, 16, 8)];
+
 fn policies() -> [(WritePolicy, OraclePolicy); 2] {
     [
         (WritePolicy::WriteBack, OraclePolicy::WriteBack),
         (WritePolicy::WriteThrough, OraclePolicy::WriteThrough),
     ]
+}
+
+/// The oracle-side mirror of an optimized replacement kind (same seed
+/// for [`ReplacementKind::Random`], so both draw the identical
+/// SplitMix64 stream).
+fn mirror(kind: ReplacementKind) -> OracleReplacement {
+    match kind {
+        ReplacementKind::Lru => OracleReplacement::Lru,
+        ReplacementKind::Random(seed) => OracleReplacement::Random(seed),
+        ReplacementKind::Rrip => OracleReplacement::Rrip,
+        ReplacementKind::PinnedLru => OracleReplacement::PinnedLru,
+    }
 }
 
 /// Diffs every replay path against the one-event-at-a-time scalar
@@ -76,8 +95,8 @@ pub fn diff_replay(trace: &Trace) -> Option<String> {
 /// Diffs every wide (SIMD / unrolled) replay kernel against the scalar
 /// baseline, order-sensitive digest for digest: per-level replay and
 /// broadcast delivery, `ForceScalar`/`ForceWide` policy resolution, the
-/// `CacheSim` batched-index block path over every differential
-/// geometry, the `FrequentValueSet` compare-and-mask encode, and the
+/// `CacheSim` batched-index block path over every zoo geometry and
+/// replacement kind, the `FrequentValueSet` compare-and-mask encode, and the
 /// chunked v2 binary round-trip (the corpus includes lengths straddling
 /// the lane widths and the 64 KiB chunk boundary).
 pub fn diff_simd(trace: &Trace) -> Option<String> {
@@ -120,24 +139,33 @@ pub fn diff_simd(trace: &Trace) -> Option<String> {
     }
 
     // The CacheSim block override (batched set-index extraction) must
-    // produce identical stats and traffic on every geometry.
+    // produce identical stats and traffic on every zoo geometry and
+    // replacement kind: the batched path funnels each block through the
+    // same per-access tag lookup, so no policy may observe a different
+    // access order under wide replay.
     let best = SimdLevel::detect_best();
-    for (size, line, assoc) in GEOMETRIES {
-        for (policy, _) in policies() {
-            let geom = CacheGeometry::new(size, line, assoc).expect("valid geometry");
-            let mut scalar_sim = CacheSim::new(geom).with_write_policy(policy);
-            packed.replay_into_with(SimdLevel::Scalar, &mut scalar_sim);
-            let mut wide_sim = CacheSim::new(geom).with_write_policy(policy);
-            packed.replay_into_with(best, &mut wide_sim);
-            if scalar_sim.stats() != wide_sim.stats()
-                || scalar_sim.traffic_words() != wide_sim.traffic_words()
-            {
-                return Some(format!(
-                    "CacheSim {size}B/{line}B/{assoc}-way {policy:?} block path ({best:?}) \
-                     diverged: {:?} vs scalar {:?}",
-                    wide_sim.stats(),
-                    scalar_sim.stats()
-                ));
+    for (size, line, assoc) in ZOO_GEOMETRIES {
+        for kind in ReplacementKind::ALL {
+            for (policy, _) in policies() {
+                let geom = CacheGeometry::new(size, line, assoc).expect("valid geometry");
+                let mut scalar_sim = CacheSim::new(geom)
+                    .with_write_policy(policy)
+                    .with_replacement(kind);
+                packed.replay_into_with(SimdLevel::Scalar, &mut scalar_sim);
+                let mut wide_sim = CacheSim::new(geom)
+                    .with_write_policy(policy)
+                    .with_replacement(kind);
+                packed.replay_into_with(best, &mut wide_sim);
+                if scalar_sim.stats() != wide_sim.stats()
+                    || scalar_sim.traffic_words() != wide_sim.traffic_words()
+                {
+                    return Some(format!(
+                        "CacheSim {size}B/{line}B/{assoc}-way {policy:?} {kind} block path \
+                         ({best:?}) diverged: {:?} vs scalar {:?}",
+                        wide_sim.stats(),
+                        scalar_sim.stats()
+                    ));
+                }
             }
         }
     }
@@ -196,28 +224,52 @@ fn oracle_stats(
     line: u32,
     assoc: u32,
     policy: OraclePolicy,
+    replacement: OracleReplacement,
 ) -> OracleStats {
-    let mut oracle = OracleCache::new(size, line, assoc, policy);
+    let mut oracle = OracleCache::with_replacement(size, line, assoc, policy, replacement);
     scalar_replay(trace, &mut oracle);
     *oracle.stats()
 }
 
-/// Diffs the optimized [`CacheSim`] against the associative-lookup
-/// [`OracleCache`] over every geometry/policy combination.
-pub fn diff_cache(trace: &Trace) -> Option<String> {
-    for (size, line, assoc) in GEOMETRIES {
+/// Diffs the optimized [`CacheSim`] against the [`OracleCache`] under
+/// one replacement kind over the given geometries and both write
+/// policies.
+///
+/// Exposed separately from [`diff_cache`] so mutation tests and the
+/// conformance binary's `--policy` scope can attribute a divergence to
+/// a single (geometry, replacement) cell.
+pub fn diff_cache_with(
+    trace: &Trace,
+    geometries: &[(u64, u32, u32)],
+    kind: ReplacementKind,
+) -> Option<String> {
+    for &(size, line, assoc) in geometries {
         for (policy, oracle_policy) in policies() {
             let geom = CacheGeometry::new(size, line, assoc).expect("valid geometry");
-            let mut sim = CacheSim::new(geom).with_write_policy(policy);
+            let mut sim = CacheSim::new(geom)
+                .with_write_policy(policy)
+                .with_replacement(kind);
             trace.replay_into(&mut sim);
-            let expected = oracle_stats(trace, size, line, assoc, oracle_policy);
+            let expected = oracle_stats(trace, size, line, assoc, oracle_policy, mirror(kind));
             if !expected.matches(sim.stats()) {
                 return Some(format!(
-                    "CacheSim {size}B/{line}B/{assoc}-way {policy:?} diverged: \
+                    "CacheSim {size}B/{line}B/{assoc}-way {policy:?} {kind} diverged: \
                      optimized {:?} vs oracle {expected:?}",
                     sim.stats()
                 ));
             }
+        }
+    }
+    None
+}
+
+/// Diffs the optimized [`CacheSim`] against the associative-lookup
+/// [`OracleCache`] over every cell of the replacement-policy zoo:
+/// [`ZOO_GEOMETRIES`] × [`ReplacementKind::ALL`] × both write policies.
+pub fn diff_cache(trace: &Trace) -> Option<String> {
+    for kind in ReplacementKind::ALL {
+        if let Some(msg) = diff_cache_with(trace, &ZOO_GEOMETRIES, kind) {
+            return Some(msg);
         }
     }
     None
@@ -406,26 +458,32 @@ pub fn diff_hybrid(trace: &Trace) -> Option<String> {
 /// Diffs the lock-free parallel sweeps against a serial oracle sweep:
 /// [`fvl_bench::sweep::parallel`] and batched
 /// [`fvl_bench::sweep::parallel_broadcast`] must both report, per
-/// configuration, exactly the stats the [`OracleCache`] computes
-/// serially.
+/// configuration (geometry × write policy × replacement kind), exactly
+/// the stats the [`OracleCache`] computes serially.
 pub fn diff_sweep(trace: &Trace) -> Option<String> {
-    let configs: Vec<(u64, u32, u32, WritePolicy, OraclePolicy)> = GEOMETRIES
+    type SweepConfig = (u64, u32, u32, WritePolicy, OraclePolicy, ReplacementKind);
+    let configs: Vec<SweepConfig> = GEOMETRIES
         .iter()
         .flat_map(|&(size, line, assoc)| {
-            policies()
-                .into_iter()
-                .map(move |(p, op)| (size, line, assoc, p, op))
+            policies().into_iter().flat_map(move |(p, op)| {
+                ReplacementKind::ALL
+                    .into_iter()
+                    .map(move |kind| (size, line, assoc, p, op, kind))
+            })
         })
         .collect();
 
     let serial: Vec<OracleStats> = configs
         .iter()
-        .map(|&(size, line, assoc, _, op)| oracle_stats(trace, size, line, assoc, op))
+        .map(|&(size, line, assoc, _, op, kind)| {
+            oracle_stats(trace, size, line, assoc, op, mirror(kind))
+        })
         .collect();
 
-    let make = |&(size, line, assoc, policy, _): &(u64, u32, u32, WritePolicy, OraclePolicy)| {
+    let make = |&(size, line, assoc, policy, _, kind): &SweepConfig| {
         CacheSim::new(CacheGeometry::new(size, line, assoc).expect("valid geometry"))
             .with_write_policy(policy)
+            .with_replacement(kind)
     };
 
     let par: Vec<CacheStats> = fvl_bench::sweep::parallel(trace, configs.clone(), |t, config| {

@@ -28,7 +28,7 @@
 //! The `conformance` binary runs the fixed-seed corpus and writes a
 //! shrunk repro trace to `target/conformance/repro.fvltrc` on failure;
 //! `tests/mutation_smoke.rs` (behind the `mutation` feature) proves the
-//! net has teeth by catching three deliberately seeded simulator bugs.
+//! net has teeth by catching four deliberately seeded simulator bugs.
 //!
 //! # Example
 //!
@@ -54,12 +54,12 @@ mod runner;
 mod shrink;
 
 pub use gen::{corpus, generate, Pattern};
-pub use oracle_cache::{OracleCache, OraclePolicy, OracleStats};
+pub use oracle_cache::{OracleCache, OraclePolicy, OracleReplacement, OracleStats};
 pub use oracle_encode::LinearScanEncoder;
 pub use oracle_replay::{scalar_replay, DigestSink};
 pub use rng::SplitMix64;
 pub use runner::{
-    run_boundary_corpus, run_corpus, CaseFailure, CorpusReport, BOUNDARY_ACCESS_COUNTS,
-    DEFAULT_CASES, DEFAULT_TRACE_ACCESSES,
+    run_boundary_corpus, run_corpus, run_policy_corpus, CaseFailure, CorpusReport,
+    BOUNDARY_ACCESS_COUNTS, DEFAULT_CASES, DEFAULT_TRACE_ACCESSES, POLICY_GEOMETRIES,
 };
 pub use shrink::{normalize_events, shrink};

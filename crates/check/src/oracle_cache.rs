@@ -2,12 +2,20 @@
 //!
 //! This is the associative-lookup oracle the optimized
 //! [`fvl_cache::CacheSim`] is diffed against. Everything here is the
-//! obvious textbook formulation: sets are `Vec`s kept in LRU order
-//! (front = least recent), the set index is computed with division and
-//! modulo, memory is a `BTreeMap` from word address to value, and a
-//! lookup is a linear scan. No bit tricks, no stamps, no code shared
-//! with `fvl-cache`.
+//! obvious textbook formulation: LRU sets are `Vec`s kept in recency
+//! order (front = least recent), the set index is computed with
+//! division and modulo, memory is a `BTreeMap` from word address to
+//! value, and a lookup is a linear scan. No bit tricks, no stamps, no
+//! code shared with `fvl-cache`.
+//!
+//! The replacement-policy zoo is mirrored here from its *documented*
+//! algorithms (`fvl_cache::replacement` module docs), not its code: the
+//! non-LRU policies keep per-way metadata in plain positional `Vec`s
+//! (the physical way index matters for their tie-breaks and random
+//! draws), filling the lowest empty way first exactly as the contract
+//! prescribes.
 
+use crate::rng::SplitMix64;
 use fvl_mem::{Access, AccessKind, AccessSink, Addr, Word};
 use std::collections::BTreeMap;
 
@@ -19,6 +27,28 @@ pub enum OraclePolicy {
     WriteBack,
     /// Write-through with no write-allocate.
     WriteThrough,
+}
+
+/// Replacement policy of the [`OracleCache`], mirroring
+/// [`fvl_cache::ReplacementKind`] without depending on it.
+#[derive(Copy, Clone, Eq, PartialEq, Debug, Default)]
+pub enum OracleReplacement {
+    /// Textbook LRU via recency-ordered `Vec`s.
+    #[default]
+    Lru,
+    /// Uniform random victim from a SplitMix64 stream: one draw per
+    /// eviction, reproducing the optimized policy's documented draw
+    /// discipline from the same seed.
+    Random(
+        /// RNG seed.
+        u64,
+    ),
+    /// SHiP-lite RRIP: 2-bit re-reference values plus a 256-entry
+    /// signature counter table.
+    Rrip,
+    /// Age-based LRU that never evicts all-zero/all-ones lines while an
+    /// unpinned way exists.
+    PinnedLru,
 }
 
 /// Hit/miss/traffic counters of the oracle, field-for-field comparable
@@ -69,6 +99,164 @@ struct OracleLine {
     data: Vec<Word>,
 }
 
+/// How the oracle stores its sets: the textbook recency-`Vec` LRU, or
+/// positional per-way slots for the policies whose behavior depends on
+/// physical way indices.
+#[derive(Clone, Debug)]
+enum WayState {
+    /// One `Vec` per set in LRU order: index 0 is the least recently
+    /// used line, the back is the most recently used.
+    Recency(Vec<Vec<OracleLine>>),
+    /// One fixed-width slot row per set; `None` is an empty way. Empty
+    /// ways fill lowest-index-first, as the replacement contract
+    /// prescribes.
+    Positional {
+        slots: Vec<Vec<Option<OracleLine>>>,
+        meta: PolicyMeta,
+    },
+}
+
+/// Per-way replacement metadata for the positional policies, kept as
+/// plain per-set `Vec`s (the naive formulation).
+#[derive(Clone, Debug)]
+enum PolicyMeta {
+    /// One SplitMix64 draw per eviction.
+    Random(SplitMix64),
+    /// 2-bit re-reference values, per-line signatures and outcome bits,
+    /// and the shared 256-entry signature counter table.
+    Rrip {
+        rrpv: Vec<Vec<u8>>,
+        sig: Vec<Vec<u8>>,
+        outcome: Vec<Vec<bool>>,
+        shct: Vec<u8>,
+    },
+    /// Saturating per-way ages plus the all-zero/all-ones pin flags.
+    Pinned {
+        ages: Vec<Vec<u8>>,
+        pinned: Vec<Vec<bool>>,
+    },
+}
+
+/// A line is pinned while every word is zero or all-ones.
+fn line_is_pinned(data: &[Word]) -> bool {
+    data.iter().all(|&w| w == 0 || w == Word::MAX)
+}
+
+impl PolicyMeta {
+    /// A hit on `way` of `set`.
+    fn touch(&mut self, set: usize, way: usize) {
+        match self {
+            PolicyMeta::Random(_) => {}
+            PolicyMeta::Rrip {
+                rrpv,
+                sig,
+                outcome,
+                shct,
+            } => {
+                rrpv[set][way] = 0;
+                if !outcome[set][way] {
+                    outcome[set][way] = true;
+                    let s = sig[set][way] as usize;
+                    if shct[s] < 3 {
+                        shct[s] += 1;
+                    }
+                }
+            }
+            PolicyMeta::Pinned { ages, .. } => {
+                for (w, age) in ages[set].iter_mut().enumerate() {
+                    *age = if w == way { 0 } else { age.saturating_add(1) };
+                }
+            }
+        }
+    }
+
+    /// A store changed the line in `way`; `data` is its words after the
+    /// write.
+    fn store_update(&mut self, set: usize, way: usize, data: &[Word]) {
+        if let PolicyMeta::Pinned { pinned, .. } = self {
+            pinned[set][way] = line_is_pinned(data);
+        }
+    }
+
+    /// A line was installed into `way`.
+    fn fill(&mut self, set: usize, way: usize, line_addr: Addr, line_bytes: u32, data: &[Word]) {
+        match self {
+            PolicyMeta::Random(_) => {}
+            PolicyMeta::Rrip {
+                rrpv,
+                sig,
+                outcome,
+                shct,
+            } => {
+                let s = ((u64::from(line_addr) / u64::from(line_bytes)) % 256) as usize;
+                sig[set][way] = s as u8;
+                outcome[set][way] = false;
+                rrpv[set][way] = if shct[s] == 0 { 3 } else { 2 };
+            }
+            PolicyMeta::Pinned { ages, pinned } => {
+                pinned[set][way] = line_is_pinned(data);
+                for (w, age) in ages[set].iter_mut().enumerate() {
+                    *age = if w == way { 0 } else { age.saturating_add(1) };
+                }
+            }
+        }
+    }
+
+    /// The way of `set` was emptied without an eviction decision.
+    fn invalidate(&mut self, set: usize, way: usize) {
+        match self {
+            PolicyMeta::Random(_) => {}
+            PolicyMeta::Rrip { rrpv, outcome, .. } => {
+                rrpv[set][way] = 3;
+                outcome[set][way] = false;
+            }
+            PolicyMeta::Pinned { ages, pinned } => {
+                ages[set][way] = 0;
+                pinned[set][way] = false;
+            }
+        }
+    }
+
+    /// Chooses the victim way of a full `set`.
+    fn victim(&mut self, set: usize, assoc: usize) -> usize {
+        match self {
+            PolicyMeta::Random(rng) => (rng.next_u64() % assoc as u64) as usize,
+            PolicyMeta::Rrip {
+                rrpv,
+                sig,
+                outcome,
+                shct,
+            } => loop {
+                if let Some(way) = rrpv[set].iter().position(|&r| r == 3) {
+                    if !outcome[set][way] {
+                        let s = sig[set][way] as usize;
+                        shct[s] = shct[s].saturating_sub(1);
+                    }
+                    return way;
+                }
+                for r in rrpv[set].iter_mut() {
+                    *r += 1;
+                }
+            },
+            PolicyMeta::Pinned { ages, pinned } => {
+                let oldest = |ways: &mut dyn Iterator<Item = usize>| -> Option<usize> {
+                    let mut best: Option<(usize, u8)> = None;
+                    for w in ways {
+                        let age = ages[set][w];
+                        if best.map(|(_, b)| age > b).unwrap_or(true) {
+                            best = Some((w, age));
+                        }
+                    }
+                    best.map(|(w, _)| w)
+                };
+                oldest(&mut (0..assoc).filter(|&w| !pinned[set][w]))
+                    .or_else(|| oldest(&mut (0..assoc)))
+                    .expect("associativity is at least 1")
+            }
+        }
+    }
+}
+
 /// The reference write-back/write-through cache.
 ///
 /// # Example
@@ -89,9 +277,8 @@ pub struct OracleCache {
     sets: u64,
     associativity: usize,
     policy: OraclePolicy,
-    /// One `Vec` per set in LRU order: index 0 is the least recently
-    /// used line, the back is the most recently used.
-    lines: Vec<Vec<OracleLine>>,
+    replacement: OracleReplacement,
+    ways: WayState,
     /// Word address -> value; absent words are zero.
     memory: BTreeMap<Addr, Word>,
     stats: OracleStats,
@@ -99,7 +286,7 @@ pub struct OracleCache {
 }
 
 impl OracleCache {
-    /// Creates an empty oracle of the given organization.
+    /// Creates an empty LRU oracle of the given organization.
     ///
     /// # Panics
     ///
@@ -107,6 +294,27 @@ impl OracleCache {
     /// at least one whole line of whole words (the oracle does not
     /// require powers of two; the optimized geometry does).
     pub fn new(size_bytes: u64, line_bytes: u32, associativity: u32, policy: OraclePolicy) -> Self {
+        Self::with_replacement(
+            size_bytes,
+            line_bytes,
+            associativity,
+            policy,
+            OracleReplacement::Lru,
+        )
+    }
+
+    /// Creates an empty oracle with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`OracleCache::new`].
+    pub fn with_replacement(
+        size_bytes: u64,
+        line_bytes: u32,
+        associativity: u32,
+        policy: OraclePolicy,
+        replacement: OracleReplacement,
+    ) -> Self {
         assert!(
             line_bytes >= 4 && line_bytes.is_multiple_of(4),
             "bad line size"
@@ -117,12 +325,40 @@ impl OracleCache {
             "indivisible organization"
         );
         let sets = size_bytes / set_bytes;
+        let n = sets as usize;
+        let a = associativity as usize;
+        let ways = match replacement {
+            OracleReplacement::Lru => WayState::Recency(vec![Vec::new(); n]),
+            OracleReplacement::Random(seed) => WayState::Positional {
+                slots: vec![vec![None; a]; n],
+                meta: PolicyMeta::Random(SplitMix64::new(seed)),
+            },
+            OracleReplacement::Rrip => WayState::Positional {
+                slots: vec![vec![None; a]; n],
+                meta: PolicyMeta::Rrip {
+                    rrpv: vec![vec![3; a]; n],
+                    sig: vec![vec![0; a]; n],
+                    outcome: vec![vec![false; a]; n],
+                    // Counters start mid-range, matching the optimized
+                    // policy's documented initialization.
+                    shct: vec![1; 256],
+                },
+            },
+            OracleReplacement::PinnedLru => WayState::Positional {
+                slots: vec![vec![None; a]; n],
+                meta: PolicyMeta::Pinned {
+                    ages: vec![vec![0; a]; n],
+                    pinned: vec![vec![false; a]; n],
+                },
+            },
+        };
         OracleCache {
             line_bytes,
             sets,
-            associativity: associativity as usize,
+            associativity: a,
             policy,
-            lines: vec![Vec::new(); sets as usize],
+            replacement,
+            ways,
             memory: BTreeMap::new(),
             stats: OracleStats::default(),
             finished: false,
@@ -132,6 +368,11 @@ impl OracleCache {
     /// Accumulated statistics.
     pub fn stats(&self) -> &OracleStats {
         &self.stats
+    }
+
+    /// The replacement policy this oracle models.
+    pub fn replacement(&self) -> OracleReplacement {
+        self.replacement
     }
 
     fn line_addr(&self, addr: Addr) -> Addr {
@@ -158,33 +399,114 @@ impl OracleCache {
         }
     }
 
+    /// Serves a hit if the line is resident, updating recency/policy
+    /// state and (for stores) the line and memory. Returns whether the
+    /// access hit.
+    fn try_hit(&mut self, access: Access, line_addr: Addr, set: usize, word: usize) -> bool {
+        match &mut self.ways {
+            WayState::Recency(sets) => {
+                let Some(position) = sets[set].iter().position(|l| l.line_addr == line_addr) else {
+                    return false;
+                };
+                // Hit: move the line to the most-recently-used end.
+                let mut line = sets[set].remove(position);
+                match access.kind {
+                    AccessKind::Load => self.stats.read_hits += 1,
+                    AccessKind::Store => {
+                        self.stats.write_hits += 1;
+                        line.data[word] = access.value;
+                        match self.policy {
+                            OraclePolicy::WriteBack => line.dirty = true,
+                            OraclePolicy::WriteThrough => {
+                                line.dirty = false;
+                                self.memory.insert(access.addr, access.value);
+                            }
+                        }
+                    }
+                }
+                sets[set].push(line);
+                true
+            }
+            WayState::Positional { slots, meta } => {
+                let Some(way) = slots[set]
+                    .iter()
+                    .position(|s| s.as_ref().is_some_and(|l| l.line_addr == line_addr))
+                else {
+                    return false;
+                };
+                meta.touch(set, way);
+                match access.kind {
+                    AccessKind::Load => self.stats.read_hits += 1,
+                    AccessKind::Store => {
+                        self.stats.write_hits += 1;
+                        let line = slots[set][way].as_mut().expect("probed way");
+                        line.data[word] = access.value;
+                        match self.policy {
+                            OraclePolicy::WriteBack => line.dirty = true,
+                            OraclePolicy::WriteThrough => {
+                                line.dirty = false;
+                                self.memory.insert(access.addr, access.value);
+                            }
+                        }
+                        let data = slots[set][way].as_ref().expect("probed way").data.clone();
+                        meta.store_update(set, way, &data);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Installs a fresh line, evicting a victim from a full set first.
+    fn install(&mut self, set: usize, line_addr: Addr, data: Vec<Word>, dirty: bool) {
+        let line_bytes = self.line_bytes;
+        let assoc = self.associativity;
+        let evicted = match &mut self.ways {
+            WayState::Recency(sets) => {
+                let victim = if sets[set].len() == assoc {
+                    Some(sets[set].remove(0))
+                } else {
+                    None
+                };
+                sets[set].push(OracleLine {
+                    line_addr,
+                    dirty,
+                    data,
+                });
+                victim
+            }
+            WayState::Positional { slots, meta } => {
+                // Empty ways fill lowest-index-first; only a full set
+                // consults the policy.
+                let way = slots[set]
+                    .iter()
+                    .position(Option::is_none)
+                    .unwrap_or_else(|| meta.victim(set, assoc));
+                let victim = slots[set][way].take();
+                meta.fill(set, way, line_addr, line_bytes, &data);
+                slots[set][way] = Some(OracleLine {
+                    line_addr,
+                    dirty,
+                    data,
+                });
+                victim
+            }
+        };
+        if let Some(victim) = evicted {
+            if victim.dirty {
+                self.write_memory_line(victim.line_addr, &victim.data);
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
     /// Simulates one access.
     pub fn access(&mut self, access: Access) {
         let line_addr = self.line_addr(access.addr);
         let set = self.set_of(access.addr);
         let word = self.word_index(access.addr);
-        let position = self.lines[set]
-            .iter()
-            .position(|l| l.line_addr == line_addr);
 
-        if let Some(position) = position {
-            // Hit: move the line to the most-recently-used end.
-            let mut line = self.lines[set].remove(position);
-            match access.kind {
-                AccessKind::Load => self.stats.read_hits += 1,
-                AccessKind::Store => {
-                    self.stats.write_hits += 1;
-                    line.data[word] = access.value;
-                    match self.policy {
-                        OraclePolicy::WriteBack => line.dirty = true,
-                        OraclePolicy::WriteThrough => {
-                            line.dirty = false;
-                            self.memory.insert(access.addr, access.value);
-                        }
-                    }
-                }
-            }
-            self.lines[set].push(line);
+        if self.try_hit(access, line_addr, set, word) {
             return;
         }
 
@@ -195,8 +517,8 @@ impl OracleCache {
             return;
         }
 
-        // Miss: fetch the whole line, install it, evict the LRU line of
-        // a full set, then serve the access from the fresh line.
+        // Miss: fetch the whole line, install it, evict the victim of a
+        // full set, then serve the access from the fresh line.
         match access.kind {
             AccessKind::Load => self.stats.read_misses += 1,
             AccessKind::Store => self.stats.write_misses += 1,
@@ -208,28 +530,30 @@ impl OracleCache {
             data[word] = access.value;
             dirty = true;
         }
-        if self.lines[set].len() == self.associativity {
-            let victim = self.lines[set].remove(0);
-            if victim.dirty {
-                self.write_memory_line(victim.line_addr, &victim.data);
-                self.stats.writebacks += 1;
-            }
-        }
-        self.lines[set].push(OracleLine {
-            line_addr,
-            dirty,
-            data,
-        });
+        self.install(set, line_addr, data, dirty);
     }
 
     /// Writes every dirty line back and empties the cache.
     pub fn flush(&mut self) {
-        for set in 0..self.lines.len() {
-            for line in std::mem::take(&mut self.lines[set]) {
-                if line.dirty {
-                    self.write_memory_line(line.line_addr, &line.data);
-                    self.stats.writebacks += 1;
+        let drained: Vec<OracleLine> = match &mut self.ways {
+            WayState::Recency(sets) => sets.iter_mut().flat_map(std::mem::take).collect(),
+            WayState::Positional { slots, meta } => {
+                let mut out = Vec::new();
+                for (set, row) in slots.iter_mut().enumerate() {
+                    for (way, slot) in row.iter_mut().enumerate() {
+                        if let Some(line) = slot.take() {
+                            meta.invalidate(set, way);
+                            out.push(line);
+                        }
+                    }
                 }
+                out
+            }
+        };
+        for line in drained {
+            if line.dirty {
+                self.write_memory_line(line.line_addr, &line.data);
+                self.stats.writebacks += 1;
             }
         }
     }
@@ -311,6 +635,68 @@ mod tests {
         o.access(Access::load(0x00, 0));
         o.access(Access::load(0x10, 0));
         o.access(Access::load(0x00, 0)); // refresh 0x00; 0x10 is now LRU
+        o.access(Access::load(0x20, 0)); // evicts 0x10
+        o.access(Access::load(0x00, 0));
+        assert_eq!(o.stats().read_hits, 2);
+        assert_eq!(o.stats().read_misses, 3);
+    }
+
+    #[test]
+    fn default_replacement_is_lru() {
+        let o = wb();
+        assert_eq!(o.replacement(), OracleReplacement::Lru);
+    }
+
+    #[test]
+    fn random_replacement_is_reproducible() {
+        let run = |seed: u64| {
+            let mut o = OracleCache::with_replacement(
+                32,
+                16,
+                2,
+                OraclePolicy::WriteBack,
+                OracleReplacement::Random(seed),
+            );
+            for i in 0..64u32 {
+                o.access(Access::load((i % 7) * 0x10, 0));
+            }
+            *o.stats()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn pinned_replacement_keeps_zero_lines() {
+        // One 2-way set: an all-zero line plus a churn of ordinary ones.
+        let mut o = OracleCache::with_replacement(
+            32,
+            16,
+            2,
+            OraclePolicy::WriteBack,
+            OracleReplacement::PinnedLru,
+        );
+        o.access(Access::load(0x00, 0)); // all-zero line: pinned
+        for i in 1..6u32 {
+            o.access(Access::store(i * 0x10, i)); // misses churn way 1
+        }
+        o.access(Access::load(0x00, 0)); // still resident
+        assert_eq!(o.stats().read_hits, 1);
+        assert_eq!(o.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn rrip_evicts_never_rereferenced_first() {
+        // One 2-way set; 0x00 is re-referenced, 0x10 is not.
+        let mut o = OracleCache::with_replacement(
+            32,
+            16,
+            2,
+            OraclePolicy::WriteBack,
+            OracleReplacement::Rrip,
+        );
+        o.access(Access::load(0x00, 0));
+        o.access(Access::load(0x10, 0));
+        o.access(Access::load(0x00, 0));
         o.access(Access::load(0x20, 0)); // evicts 0x10
         o.access(Access::load(0x00, 0));
         assert_eq!(o.stats().read_hits, 2);

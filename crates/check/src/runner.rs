@@ -1,8 +1,9 @@
 //! Corpus execution: generate, check, shrink, report.
 
-use crate::diff::{check_trace, trace_fails};
+use crate::diff::{check_trace, diff_cache_with, trace_fails};
 use crate::gen::{case_params, generate, Pattern};
 use crate::shrink::shrink;
+use fvl_cache::ReplacementKind;
 use fvl_mem::Trace;
 
 /// Number of corpus cases the conformance gate runs by default.
@@ -17,6 +18,12 @@ pub const DEFAULT_TRACE_ACCESSES: u64 = 600;
 /// store chunk boundary (8192 packed accesses at 8 bytes each)
 /// minus/at/plus one.
 pub const BOUNDARY_ACCESS_COUNTS: [u64; 8] = [0, 1, 63, 64, 65, 8191, 8192, 8193];
+
+/// The two set-associative shapes the per-policy CI matrix leg sweeps:
+/// the shallowest and deepest associative zoo geometries (2-way and
+/// 8-way, 16-byte lines), chosen so each policy's victim logic fires
+/// both with one fallback way and with seven.
+pub const POLICY_GEOMETRIES: [(u64, u32, u32); 2] = [(512, 16, 2), (512, 16, 8)];
 
 /// One failing corpus case, with its already-shrunk reproduction trace.
 #[derive(Clone, Debug)]
@@ -72,6 +79,34 @@ pub fn run_corpus(cases: usize, accesses: u64) -> CorpusReport {
     CorpusReport { cases, failures }
 }
 
+/// Runs `cases` fixed-seed corpus traces through the cache
+/// differential alone, scoped to one replacement kind over
+/// [`POLICY_GEOMETRIES`] — the per-policy leg of the CI conformance
+/// matrix, where each matrix job pins one policy so a red leg names
+/// the broken policy directly. Failing traces are shrunk against the
+/// same scoped predicate, keeping the repro attributable to that
+/// policy rather than to whichever runner fails first.
+pub fn run_policy_corpus(kind: ReplacementKind, cases: usize, accesses: u64) -> CorpusReport {
+    let mut failures = Vec::new();
+    for index in 0..cases {
+        let (seed, pattern) = case_params(index);
+        let trace = generate(seed, pattern, accesses);
+        if let Some(message) = diff_cache_with(&trace, &POLICY_GEOMETRIES, kind) {
+            let shrunk = shrink(&trace, &mut |t: &Trace| {
+                diff_cache_with(t, &POLICY_GEOMETRIES, kind).is_some()
+            });
+            failures.push(CaseFailure {
+                index,
+                seed,
+                pattern,
+                failures: vec![message],
+                shrunk,
+            });
+        }
+    }
+    CorpusReport { cases, failures }
+}
+
 /// Runs every [`BOUNDARY_ACCESS_COUNTS`] trace length through every
 /// pattern and differential runner. These lengths straddle the wide
 /// replay's 64-access block seam and the trace store's 64 KiB chunk
@@ -111,5 +146,14 @@ mod tests {
         let report = run_corpus(8, 200);
         assert_eq!(report.cases, 8);
         assert!(report.is_green(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn small_policy_corpus_is_green_for_every_kind() {
+        for kind in ReplacementKind::ALL {
+            let report = run_policy_corpus(kind, 8, 200);
+            assert_eq!(report.cases, 8);
+            assert!(report.is_green(), "{kind}: {:?}", report.failures);
+        }
     }
 }

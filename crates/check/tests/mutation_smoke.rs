@@ -1,21 +1,26 @@
 //! Mutation smoke test: prove the differential net has teeth.
 //!
-//! Compiled only under the `mutation` feature, which turns on three
+//! Compiled only under the `mutation` feature, which turns on four
 //! deliberately seeded bugs in the optimized crates:
 //!
 //! 1. an off-by-one set-index mask in `fvl-cache`'s geometry (the top
 //!    index bit is dropped, folding half the sets onto the other half),
 //! 2. a dropped dirty bit in `fvl-cache`'s data array (modified lines
-//!    are silently discarded instead of written back), and
+//!    are silently discarded instead of written back),
 //! 3. a swapped load/store bit in `fvl-mem`'s packed-trace decoder
-//!    (every packed load replays as a store and vice versa).
+//!    (every packed load replays as a store and vice versa), and
+//! 4. an inverted LRU victim scan in `fvl-cache`'s replacement policy
+//!    (the most recently used way is evicted instead of the least) —
+//!    inert at 1-way associativity, where there is only one way.
 //!
-//! Each test below isolates one bug with a trace constructed so the
-//! other two cannot fire, proving the harness detects *each* of them,
-//! not merely that something somewhere fails.
+//! Each test below isolates one bug with a trace (and, for the
+//! cache-level bugs, a geometry/policy scope) constructed so the others
+//! cannot fire, proving the harness detects *each* of them, not merely
+//! that something somewhere fails.
 
 #![cfg(feature = "mutation")]
 
+use fvl_cache::ReplacementKind;
 use fvl_check::{diff, generate, run_corpus, Pattern};
 use fvl_mem::{Access, Trace, TraceEvent};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -44,8 +49,10 @@ fn index_mask_bug_is_caught() {
 
 /// Bug 2 — dropped dirty bit. Every address keeps the top set-index
 /// bit clear (0x000, 0x400 and 0x800 all map to set 0 under both the
-/// correct and the truncated mask in both differential geometries), so
-/// the mask bug cannot fire; no packed replay is involved. A dirty line
+/// correct and the truncated mask at this geometry), so the mask bug
+/// cannot fire; no packed replay is involved; and the scope is pinned
+/// to the direct-mapped LRU cell, where the inverted-victim bug is
+/// structurally inert (a 1-way set has only one victim). A dirty line
 /// is evicted and re-read: the correct simulator writes it back, the
 /// mutant silently discards the store — caught either as a write-back
 /// count divergence or as a load-value assertion inside the guard.
@@ -58,11 +65,42 @@ fn dropped_dirty_bit_is_caught() {
         TraceEvent::Access(Access::load(0x800, 0)),
         TraceEvent::Access(Access::load(0x000, 42)),
     ]);
-    let caught = match catch_unwind(AssertUnwindSafe(|| diff::diff_cache(&trace))) {
+    let caught = match catch_unwind(AssertUnwindSafe(|| {
+        diff::diff_cache_with(&trace, &[(1024, 16, 1)], ReplacementKind::Lru)
+    })) {
         Ok(result) => result.is_some(),
         Err(_) => true, // the load-value oracle tripped: also a catch
     };
     assert!(caught, "dropped dirty bit went undetected");
+}
+
+/// Bug 4 — inverted LRU victim scan. A load-only trace (dirty-bit bug
+/// inert) replayed as a plain `Trace` (decoder bug inert) through the
+/// 512B 2-way LRU cell alone. Lines 0x000, 0x400, 0x800 and 0xC00 all
+/// map to set 0 there under both the correct and the truncated
+/// set-index mask (mask bug inert). Filling the set and adding a third
+/// line forces a victim: correct LRU evicts 0x000, the mutant evicts
+/// the most recently used 0x400, so the final re-load of 0x000 is a
+/// miss in one simulator and a hit in the other.
+#[test]
+fn wrong_victim_bug_is_caught() {
+    let trace = Trace::from_events(vec![
+        TraceEvent::Access(Access::load(0x000, 0)),
+        TraceEvent::Access(Access::load(0x400, 0)),
+        TraceEvent::Access(Access::load(0x800, 0)),
+        TraceEvent::Access(Access::load(0x000, 0)),
+    ]);
+    assert!(
+        diff::diff_cache_with(&trace, &[(512, 16, 2)], ReplacementKind::Lru).is_some(),
+        "inverted LRU victim scan went undetected"
+    );
+    // The same trace through the direct-mapped cell is clean: a 1-way
+    // set has a single way, so the failure is attributable to the
+    // victim scan alone.
+    assert_eq!(
+        diff::diff_cache_with(&trace, &[(1024, 16, 1)], ReplacementKind::Lru),
+        None
+    );
 }
 
 /// Bug 3 — swapped load/store decode. The packed replay differential

@@ -1,7 +1,7 @@
 //! Configuration for the DMC+FVC hybrid.
 
 use crate::value_set::FrequentValueSet;
-use fvl_cache::CacheGeometry;
+use fvl_cache::{CacheGeometry, ReplacementKind};
 
 /// Builder-style configuration for a [`crate::HybridCache`].
 ///
@@ -30,6 +30,7 @@ pub struct HybridConfig {
     dmc: CacheGeometry,
     fvc_entries: u32,
     values: FrequentValueSet,
+    dmc_replacement: ReplacementKind,
     fvc_associativity: u32,
     min_frequent_words: u32,
     write_allocate_fvc: bool,
@@ -48,6 +49,7 @@ impl HybridConfig {
             dmc,
             fvc_entries,
             values,
+            dmc_replacement: ReplacementKind::Lru,
             fvc_associativity: 1,
             min_frequent_words: 1,
             write_allocate_fvc: true,
@@ -55,6 +57,14 @@ impl HybridConfig {
             occupancy_sample_every: 4096,
             verify_values: true,
         }
+    }
+
+    /// Sets the DMC's replacement policy (default true LRU; only
+    /// matters for set-associative DMC geometries — see
+    /// [`fvl_cache::replacement`] for the zoo).
+    pub fn dmc_replacement(mut self, kind: ReplacementKind) -> Self {
+        self.dmc_replacement = kind;
+        self
     }
 
     /// Sets the FVC associativity (default 1: direct mapped, as in the
@@ -121,6 +131,11 @@ impl HybridConfig {
     /// The frequent value set.
     pub fn values(&self) -> &FrequentValueSet {
         &self.values
+    }
+
+    /// The DMC replacement policy.
+    pub fn dmc_replacement_kind(&self) -> ReplacementKind {
+        self.dmc_replacement
     }
 
     pub(crate) fn fvc_assoc(&self) -> u32 {

@@ -76,7 +76,7 @@ impl HybridCache {
         );
         let sample_every = config.sample_every();
         HybridCache {
-            dmc: DataCache::new(dmc_geom),
+            dmc: DataCache::with_replacement(dmc_geom, config.dmc_replacement_kind()),
             fvc,
             values: config.values().clone(),
             memory: MainMemory::new(),

@@ -56,6 +56,6 @@ pub use config::HybridConfig;
 pub use fvc::{Fvc, FvcLine};
 pub use hybrid::HybridCache;
 pub use hybrid_stats::HybridStats;
-pub use online::{OnlineHybrid, ValueSketch};
+pub use online::{OnlineHybrid, ValueSketch, ALWAYS_RESIDENT};
 pub use value_set::{FrequentValueSet, ValueSetError, SIMD_MAX_VALUES};
 pub use victim_hybrid::VictimHybrid;

@@ -76,6 +76,13 @@ impl ValueSketch {
     }
 }
 
+/// The two always-resident frequent values of the GPGPU-Sim
+/// `ValueCache` (SNIPPETS.md Snippet 1): all-zero and all-ones words.
+/// [`OnlineHybrid::pin_values`] seeds them ahead of whatever the sketch
+/// learns, mirroring the pinned ways of
+/// [`fvl_cache::replacement::PinnedLru`].
+pub const ALWAYS_RESIDENT: [Word; 2] = [0, Word::MAX];
+
 /// Phase of an [`OnlineHybrid`].
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
 enum Phase {
@@ -115,6 +122,7 @@ pub struct OnlineHybrid {
     top_k: usize,
     window: u64,
     sketch: ValueSketch,
+    pinned: Vec<Word>,
     phase: Phase,
     accesses: u64,
     profiling_sim: CacheSim,
@@ -141,6 +149,7 @@ impl OnlineHybrid {
             top_k,
             window,
             sketch: ValueSketch::new(top_k * 16),
+            pinned: Vec::new(),
             phase: Phase::Profiling,
             accesses: 0,
             profiling_sim: CacheSim::new(geom),
@@ -148,6 +157,35 @@ impl OnlineHybrid {
             profiling_stats: CacheStats::new(),
             finished: false,
         }
+    }
+
+    /// Pins `values` as always-resident (builder style): they occupy
+    /// the front of the latched set regardless of what the profiling
+    /// sketch learns, exactly like the GPGPU-Sim `ValueCache`'s
+    /// dedicated all-zero/all-ones slots — pass [`ALWAYS_RESIDENT`] for
+    /// that configuration. Duplicates are dropped; at most `top_k`
+    /// values latch in total, learned values filling what the pins
+    /// leave free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the profiling window has already latched.
+    pub fn pin_values(mut self, values: &[Word]) -> Self {
+        assert!(
+            self.hybrid.is_none(),
+            "pin_values must precede the profiling window"
+        );
+        for &v in values {
+            if !self.pinned.contains(&v) {
+                self.pinned.push(v);
+            }
+        }
+        self
+    }
+
+    /// The values pinned via [`OnlineHybrid::pin_values`].
+    pub fn pinned_values(&self) -> &[Word] {
+        &self.pinned
     }
 
     /// The values the FVC latched, once the window has passed.
@@ -170,7 +208,15 @@ impl OnlineHybrid {
     }
 
     fn latch(&mut self) {
-        let values = self.sketch.top_k(self.top_k);
+        // Pinned values take the front slots; the sketch's ranking
+        // fills the rest, skipping values already pinned.
+        let mut values = self.pinned.clone();
+        for v in self.sketch.top_k(self.top_k) {
+            if !values.contains(&v) {
+                values.push(v);
+            }
+        }
+        values.truncate(self.top_k);
         let set =
             FrequentValueSet::new(values).expect("sketch yields nonempty deduplicated values");
         // The hybrid starts cold; the profiling DMC's warm state means
@@ -314,6 +360,32 @@ mod tests {
         sim.on_finish();
         let combined = sim.combined_stats();
         assert_eq!(combined.accesses(), 49);
+    }
+
+    #[test]
+    fn pinned_values_latch_ahead_of_the_sketch() {
+        let geom = CacheGeometry::new(1024, 32, 1).unwrap();
+        let mut sim = OnlineHybrid::new(geom, 64, 3, 32).pin_values(&ALWAYS_RESIDENT);
+        assert_eq!(sim.pinned_values(), &ALWAYS_RESIDENT);
+        // Profile a stream that never contains 0 or u32::MAX.
+        for i in 0..32 {
+            sim.on_access(Access::store(0x100 + (i % 8) * 4, 7));
+        }
+        let latched = sim.latched_values().expect("window passed");
+        assert_eq!(&latched[..2], &ALWAYS_RESIDENT, "pins take front slots");
+        assert!(latched.contains(&7), "learned value fills the free slot");
+        assert_eq!(latched.len(), 3, "top_k bounds pins + learned");
+    }
+
+    #[test]
+    fn pinning_everything_leaves_no_learned_slots() {
+        let geom = CacheGeometry::new(1024, 32, 1).unwrap();
+        let mut sim = OnlineHybrid::new(geom, 64, 2, 16).pin_values(&[0, 0, u32::MAX]);
+        for i in 0..16 {
+            sim.on_access(Access::store(i * 4, 42));
+        }
+        // Duplicates dropped, truncated to top_k = 2: just the pins.
+        assert_eq!(sim.latched_values().unwrap(), &ALWAYS_RESIDENT);
     }
 
     #[test]
