@@ -9,7 +9,9 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use fvl_bench::{ExperimentContext, TraceKey, TraceStore};
 use fvl_cache::{CacheGeometry, CacheSim};
 use fvl_core::FrequentValueSet;
-use fvl_mem::{AccessBlock, AccessSink, PackedTrace, SimMemory, SimdLevel, Trace, Word};
+use fvl_mem::{
+    AccessBlock, AccessSink, MappedTrace, PackedTrace, SimMemory, SimdLevel, Trace, Word,
+};
 use fvl_profile::ValueCounter;
 use fvl_workloads::by_name;
 use std::collections::HashMap;
@@ -396,8 +398,10 @@ fn bench_broadcast(c: &mut Criterion) {
 }
 
 /// Chunked trace-file IO: encode and decode throughput for the v1
-/// per-event format and the v2 columnar format, both staged through
-/// 64 KiB blocks.
+/// per-event format, the v2 columnar format, and the chunk-indexed
+/// v2.1 format with delta+varint address columns, all staged through
+/// 64 KiB blocks. The v2.1 decode lanes cover both the streaming
+/// reader and the mapped reader's strict-footer path.
 fn bench_trace_io(c: &mut Criterion) {
     let trace = capture_trace();
     let packed = PackedTrace::from_trace(&trace);
@@ -405,6 +409,20 @@ fn bench_trace_io(c: &mut Criterion) {
     trace.write_to(&mut v1).unwrap();
     let mut v2 = Vec::new();
     packed.write_to(&mut v2).unwrap();
+    let mut v21 = Vec::new();
+    packed.write_v21_to(&mut v21).unwrap();
+    let events = trace.len() as u64;
+    eprintln!(
+        "trace-io sizes over {events} events: v1 {} B ({:.2} B/event), \
+         v2 {} B ({:.2} B/event), v2.1 {} B ({:.2} B/event, {:.0}% of v2)",
+        v1.len(),
+        v1.len() as f64 / events as f64,
+        v2.len(),
+        v2.len() as f64 / events as f64,
+        v21.len(),
+        v21.len() as f64 / events as f64,
+        100.0 * v21.len() as f64 / v2.len() as f64,
+    );
 
     let mut group = c.benchmark_group("trace-io");
     group.throughput(Throughput::Elements(trace.len() as u64));
@@ -433,6 +451,84 @@ fn bench_trace_io(c: &mut Criterion) {
                 .accesses()
         })
     });
+    group.bench_function(BenchmarkId::new("encode", "v21"), |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(v21.len());
+            packed.write_v21_to(&mut out).unwrap();
+            out.len()
+        })
+    });
+    group.bench_function(BenchmarkId::new("decode", "v21"), |b| {
+        b.iter(|| {
+            PackedTrace::read_from(black_box(&v21[..]))
+                .unwrap()
+                .accesses()
+        })
+    });
+    group.bench_function(BenchmarkId::new("decode", "v21-mapped"), |b| {
+        b.iter(|| {
+            MappedTrace::from_bytes(black_box(v21.clone()))
+                .unwrap()
+                .to_packed()
+                .unwrap()
+                .accesses()
+        })
+    });
+    group.finish();
+}
+
+/// Out-of-core replay: the big-trace digest walk fed from a v2.1 file
+/// on disk through the mapped reader vs the fully resident
+/// [`PackedTrace`]. `mmap-cold` maps, parses the footer, and walks per
+/// iteration; `mmap-warm` reuses one mapping and pays only the lazy
+/// per-chunk varint decode each walk; `buffered-cold` is the no-mmap
+/// fallback that slurps the file through 64 KiB reads; `in-ram` is the
+/// resident upper bound the out-of-core lanes chase.
+fn bench_mmap(c: &mut Criterion) {
+    let trace = big_trace(8 << 20);
+    let packed = PackedTrace::from_trace(&trace);
+    let dir: std::path::PathBuf = [env!("CARGO_MANIFEST_DIR"), "..", "..", "target", "bench-io"]
+        .iter()
+        .collect();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("replay.fvltrc");
+    let file = std::fs::File::create(&path).unwrap();
+    packed.write_v21_to(std::io::BufWriter::new(file)).unwrap();
+    let warm = MappedTrace::open(&path).unwrap();
+
+    let mut group = c.benchmark_group("mmap");
+    group.throughput(Throughput::Elements(trace.accesses()));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("walk", "in-ram"), |b| {
+        b.iter(|| {
+            let mut sink = DigestSink::default();
+            packed.replay_into(&mut sink);
+            sink.acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("walk", "mmap-warm"), |b| {
+        b.iter(|| {
+            let mut sink = DigestSink::default();
+            warm.replay_into(&mut sink).unwrap();
+            sink.acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("walk", "mmap-cold"), |b| {
+        b.iter(|| {
+            let mapped = MappedTrace::open(black_box(&path)).unwrap();
+            let mut sink = DigestSink::default();
+            mapped.replay_into(&mut sink).unwrap();
+            sink.acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("walk", "buffered-cold"), |b| {
+        b.iter(|| {
+            let mapped = MappedTrace::open_buffered(black_box(&path)).unwrap();
+            let mut sink = DigestSink::default();
+            mapped.replay_into(&mut sink).unwrap();
+            sink.acc
+        })
+    });
     group.finish();
 }
 
@@ -445,6 +541,7 @@ criterion_group!(
     bench_encode,
     bench_sim_memory,
     bench_capture,
-    bench_trace_io
+    bench_trace_io,
+    bench_mmap
 );
 criterion_main!(benches);

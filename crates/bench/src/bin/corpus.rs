@@ -1,0 +1,270 @@
+//! CLI for out-of-core trace corpora.
+//!
+//! ```text
+//! corpus gen <dir> [--traces N] [--accesses N] [--seed N] [--chunk-accesses N]
+//! corpus sweep <dir> [--budget-bytes N] [--in-ram]
+//!              [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]
+//! ```
+//!
+//! `gen` writes a directory of deterministic synthetic v2.1 trace
+//! files. `sweep` opens every `*.fvltrc` file in the directory as a
+//! memory-mapped [`fvl_mem::MappedTrace`] and runs the two-pass corpus
+//! sweep (column digests, then cache simulations plus the one-pass
+//! reuse-distance curve) with decoded-chunk residency bounded by
+//! `--budget-bytes`.
+//!
+//! Sweep reports go to stdout and are bit-identical between the
+//! default mapped mode and the `--in-ram` resident baseline — CI diffs
+//! the two. Residency accounting (peak, waits) is
+//! scheduling-dependent, so it goes to stderr and, with
+//! `--metrics-timing`, into a `corpus` block of the JSON export.
+
+use fvl_bench::corpus::{
+    sweep_corpus, Corpus, CorpusReport, ReplayMode, DEFAULT_BUDGET_BYTES, SWEEP_GEOMETRIES,
+};
+use fvl_bench::engine::{CellId, ClassStats, Completed, Engine};
+use fvl_bench::metrics::{self, RunInfo};
+use fvl_mem::CHUNK_ACCESSES;
+use fvl_obs::Json;
+use fvl_profile::TOWER_LEVELS;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Class labels for the reuse-curve levels in the metrics export
+/// (aligned with `fvl_bench::experiments::ext6::CAPACITY_LABELS`).
+const CURVE_CLASSES: [&str; TOWER_LEVELS] = [
+    "tower-32B",
+    "tower-64B",
+    "tower-128B",
+    "tower-256B",
+    "tower-512B",
+    "tower-1KB",
+    "tower-2KB",
+    "tower-4KB",
+    "tower-8KB",
+    "tower-16KB",
+    "tower-32KB",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: corpus gen <dir> [--traces N] [--accesses N] [--seed N] [--chunk-accesses N]\n\
+         \x20      corpus sweep <dir> [--budget-bytes N] [--in-ram]\n\
+         \x20                  [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]\n\
+         gen writes N synthetic chunk-indexed v2.1 traces into <dir>\n\
+         sweep maps every *.fvltrc in <dir> and replays it chunk by chunk,\n\
+         \x20     keeping decoded chunks under --budget-bytes (default {DEFAULT_BUDGET_BYTES})\n\
+         --in-ram decodes each trace fully before replay (A/B baseline; stdout\n\
+         \x20     must be bit-identical to the mapped mode)\n\
+         --metrics FILE writes the versioned JSON export; --metrics-timing adds\n\
+         \x20     the scheduling-dependent corpus/residency block"
+    );
+    ExitCode::FAILURE
+}
+
+fn gen(dir: PathBuf, mut iter: std::vec::IntoIter<String>) -> ExitCode {
+    let mut traces = 4usize;
+    let mut accesses = 200_000u64;
+    let mut seed = 1u64;
+    let mut chunk_accesses = CHUNK_ACCESSES;
+    while let Some(arg) = iter.next() {
+        let value = iter.next();
+        match (arg.as_str(), value.and_then(|v| v.parse::<u64>().ok())) {
+            ("--traces", Some(n)) if n >= 1 => traces = n as usize,
+            ("--accesses", Some(n)) => accesses = n,
+            ("--seed", Some(s)) => seed = s,
+            ("--chunk-accesses", Some(c)) if (1..=u32::MAX as u64).contains(&c) => {
+                chunk_accesses = c as u32
+            }
+            _ => return usage(),
+        }
+    }
+    match fvl_bench::corpus::write_synthetic_corpus(&dir, traces, accesses, seed, chunk_accesses) {
+        Ok(paths) => {
+            for path in &paths {
+                let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                println!("wrote {} ({bytes} bytes)", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: cannot write corpus to {}: {err}", dir.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Renders the deterministic sweep report to stdout.
+fn print_report(corpus: &Corpus, report: &CorpusReport) {
+    println!(
+        "# corpus sweep: {} trace{}, {} accesses, {} chunks, {} bytes on disk\n",
+        corpus.len(),
+        if corpus.len() == 1 { "" } else { "s" },
+        corpus.total_accesses(),
+        corpus.total_chunks(),
+        corpus.total_file_bytes(),
+    );
+    for s in &report.summaries {
+        println!(
+            "trace {}: accesses={} stores={} chunks={} digest={:016x}",
+            s.name, s.accesses, s.stores, s.chunks, s.digest
+        );
+        let rates: Vec<String> = s
+            .geometries
+            .iter()
+            .map(|(label, stats)| format!("{label} {:.4}%", stats.miss_rate() * 100.0))
+            .collect();
+        println!("  miss: {}", rates.join(" | "));
+        let curve: Vec<String> = s
+            .curve
+            .points
+            .iter()
+            .map(|p| format!("{}B {:.4}%", p.capacity_bytes, p.miss_rate * 100.0))
+            .collect();
+        println!("  curve: {}", curve.join(" | "));
+    }
+}
+
+/// Residency accounting for the timing-gated `corpus` metrics block.
+fn corpus_block(corpus: &Corpus, report: &CorpusReport) -> Json {
+    let b = &report.budget;
+    Json::object([
+        ("mode", Json::from(report.mode.label())),
+        ("files", Json::U64(corpus.len() as u64)),
+        ("mapped_files", Json::U64(corpus.mapped_files() as u64)),
+        ("total_chunks", Json::U64(corpus.total_chunks())),
+        ("total_accesses", Json::U64(corpus.total_accesses())),
+        ("file_bytes", Json::U64(corpus.total_file_bytes())),
+        ("budget_limit", Json::U64(b.limit)),
+        ("resident_peak", Json::U64(b.peak)),
+        ("waits", Json::U64(b.waits)),
+        ("admissions", Json::U64(b.admissions)),
+        ("admitted_bytes", Json::U64(b.admitted_bytes)),
+    ])
+}
+
+fn sweep(dir: PathBuf, mut iter: std::vec::IntoIter<String>) -> ExitCode {
+    let mut budget_bytes = DEFAULT_BUDGET_BYTES;
+    let mut mode = ReplayMode::Mapped;
+    let mut metrics_json: Option<String> = None;
+    let mut metrics_csv: Option<String> = None;
+    let mut metrics_timing = false;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--in-ram" => mode = ReplayMode::InRam,
+            "--metrics-timing" => metrics_timing = true,
+            "--budget-bytes" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) => budget_bytes = n,
+                None => return usage(),
+            },
+            "--metrics" => match iter.next() {
+                Some(path) => metrics_json = Some(path),
+                None => return usage(),
+            },
+            "--metrics-csv" => match iter.next() {
+                Some(path) => metrics_csv = Some(path),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let corpus = match Corpus::open_dir(&dir) {
+        Ok(corpus) => corpus,
+        Err(err) => {
+            eprintln!("error: cannot open corpus {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if corpus.is_empty() {
+        eprintln!("error: no *.fvltrc files in {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let report = match sweep_corpus(&corpus, budget_bytes, mode) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: corpus sweep failed: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_report(&corpus, &report);
+
+    // Diagnostics: scheduling-dependent, stderr only.
+    let b = &report.budget;
+    eprintln!(
+        "residency: mode={} budget={} peak={} waits={} admissions={} admitted={} bytes",
+        report.mode.label(),
+        b.limit,
+        b.peak,
+        b.waits,
+        b.admissions,
+        b.admitted_bytes,
+    );
+    eprintln!(
+        "mapping: {}/{} files memory-mapped",
+        corpus.mapped_files(),
+        corpus.len()
+    );
+
+    // Re-record the summaries as engine cells so the corpus export
+    // reuses the experiments' versioned metrics schema.
+    if metrics_json.is_some() || metrics_csv.is_some() {
+        let engine = Engine::serial();
+        let replays = 2 + SWEEP_GEOMETRIES.len() as u64;
+        engine.cells((0..report.summaries.len()).collect::<Vec<_>>(), |i| {
+            let s = &report.summaries[i];
+            let mut done = Completed::new((), replays * s.accesses).at(CellId::new(
+                "corpus",
+                s.name.clone(),
+                "sweep",
+            ));
+            for (label, stats) in &s.geometries {
+                done.classes.push(ClassStats::from_stats(label, stats));
+            }
+            for (label, point) in CURVE_CLASSES.iter().zip(&s.curve.points) {
+                done.classes
+                    .push(ClassStats::new(label, point.hits, point.misses));
+            }
+            done
+        });
+        if let Some(path) = metrics_json {
+            let run = RunInfo::new(dir.display().to_string(), 0, false);
+            let doc = metrics::json_report_with_extra(
+                &engine,
+                &run,
+                None,
+                metrics_timing,
+                Some(("corpus", corpus_block(&corpus, &report))),
+            );
+            let mut body = doc.render_pretty();
+            body.push('\n');
+            if let Err(err) = std::fs::write(&path, body) {
+                eprintln!("error: cannot write metrics file {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("metrics: wrote {path}");
+        }
+        if let Some(path) = metrics_csv {
+            if let Err(err) = std::fs::write(&path, metrics::csv_report(&engine)) {
+                eprintln!("error: cannot write metrics CSV {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("metrics: wrote {path}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+    let command = args.remove(0);
+    let dir = PathBuf::from(args.remove(0));
+    let iter = args.into_iter();
+    match command.as_str() {
+        "gen" => gen(dir, iter),
+        "sweep" => sweep(dir, iter),
+        _ => usage(),
+    }
+}

@@ -5,6 +5,7 @@ pub mod ext2;
 pub mod ext3;
 pub mod ext4;
 pub mod ext5;
+pub mod ext6;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;
@@ -109,6 +110,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("ext3", ext3::run),
         ("ext4", ext4::run),
         ("ext5", ext5::run),
+        ("ext6", ext6::run),
         ("verify", verify::run),
     ]
 }

@@ -23,6 +23,7 @@
 
 #![deny(missing_docs)]
 
+pub mod corpus;
 pub mod data;
 pub mod engine;
 pub mod experiments;

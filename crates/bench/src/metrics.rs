@@ -111,6 +111,23 @@ pub fn json_report_full(
     store: Option<&TraceStore>,
     timing: bool,
 ) -> Json {
+    json_report_with_extra(engine, run, store, timing, None)
+}
+
+/// Like [`json_report_full`], with one caller-supplied named block
+/// (used by the `corpus` binary for residency-budget accounting).
+///
+/// The extra block is appended only in timing mode, for the same
+/// reason the trace-store block is: residency peaks and wait counts
+/// are scheduling-dependent, and the plain `--metrics` export must
+/// stay byte-identical across worker counts and replay modes.
+pub fn json_report_with_extra(
+    engine: &Engine,
+    run: &RunInfo,
+    store: Option<&TraceStore>,
+    timing: bool,
+    extra: Option<(&'static str, Json)>,
+) -> Json {
     let records = engine.cell_records();
     let mut doc = vec![
         ("schema_version".to_string(), Json::U64(SCHEMA_VERSION)),
@@ -135,6 +152,9 @@ pub fn json_report_full(
         }
         if let Some(hotpath) = hotpath_block() {
             doc.push(("hotpath".to_string(), hotpath));
+        }
+        if let Some((name, block)) = extra {
+            doc.push((name.to_string(), block));
         }
     }
     Json::Object(doc)

@@ -13,7 +13,9 @@ use crate::oracle_encode::LinearScanEncoder;
 use crate::oracle_replay::{scalar_replay, DigestSink};
 use fvl_cache::{CacheGeometry, CacheSim, CacheStats, ReplacementKind, Simulator, WritePolicy};
 use fvl_core::{FrequentValueSet, HybridCache, HybridConfig, OnlineHybrid};
-use fvl_mem::{AccessSink, PackedTrace, SimdLevel, SimdPolicy, Trace, Word};
+use fvl_mem::{
+    AccessSink, MappedTrace, PackedTrace, SimdLevel, SimdPolicy, Trace, Word, CHUNK_ACCESSES,
+};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -214,6 +216,88 @@ pub fn diff_simd(trace: &Trace) -> Option<String> {
             }
         }
         Err(e) => return Some(format!("v2 round-trip failed to decode: {e}")),
+    }
+    None
+}
+
+/// Diffs the out-of-core v2.1 trace path against the fully resident
+/// packed replay. The trace is encoded at several chunk sizes (so the
+/// corpus's chunk-boundary access counts straddle a chunk edge in at
+/// least one of them), reopened through [`MappedTrace::from_bytes`],
+/// and must (a) round-trip its columns and region side table exactly,
+/// (b) produce a byte-identical order-sensitive replay digest from
+/// lazy chunk-by-chunk delivery, and (c) yield identical [`CacheSim`]
+/// stats and traffic when the simulators are fed from the lazy stream
+/// instead of the resident one.
+///
+/// The in-RAM side never touches the varint address codec, so a codec
+/// bug cannot cancel out of the comparison.
+pub fn diff_corpus(trace: &Trace) -> Option<String> {
+    let packed = PackedTrace::from_trace(trace);
+    let mut reference = DigestSink::new();
+    packed.replay_into(&mut reference);
+
+    for chunk_accesses in [7u32, 64, CHUNK_ACCESSES] {
+        let mut encoded = Vec::new();
+        packed
+            .write_v21_with(&mut encoded, chunk_accesses)
+            .expect("in-memory write cannot fail");
+        let mapped = match MappedTrace::from_bytes(encoded) {
+            Ok(mapped) => mapped,
+            Err(e) => return Some(format!("v2.1 (chunk {chunk_accesses}) failed to open: {e}")),
+        };
+
+        let resident = match mapped.to_packed() {
+            Ok(resident) => resident,
+            Err(e) => {
+                return Some(format!(
+                    "v2.1 (chunk {chunk_accesses}) failed to decode resident: {e}"
+                ))
+            }
+        };
+        if resident.addrs() != packed.addrs()
+            || resident.values() != packed.values()
+            || resident.region_events() != packed.region_events()
+        {
+            return Some(format!(
+                "v2.1 (chunk {chunk_accesses}) round-trip changed the columns"
+            ));
+        }
+
+        let mut lazy = DigestSink::new();
+        if let Err(e) = mapped.replay_into(&mut lazy) {
+            return Some(format!(
+                "v2.1 (chunk {chunk_accesses}) lazy replay failed: {e}"
+            ));
+        }
+        if lazy != reference {
+            return Some(format!(
+                "v2.1 (chunk {chunk_accesses}) lazy replay digest diverged: \
+                 {lazy:?} vs {reference:?}"
+            ));
+        }
+
+        for &(size, line, assoc) in &GEOMETRIES {
+            let geom = CacheGeometry::new(size, line, assoc).expect("valid geometry");
+            let mut in_ram = CacheSim::new(geom);
+            packed.replay_into(&mut in_ram);
+            let mut out_of_core = CacheSim::new(geom);
+            if let Err(e) = mapped.replay_into(&mut out_of_core) {
+                return Some(format!(
+                    "v2.1 (chunk {chunk_accesses}) lazy cache replay failed: {e}"
+                ));
+            }
+            if in_ram.stats() != out_of_core.stats()
+                || in_ram.traffic_words() != out_of_core.traffic_words()
+            {
+                return Some(format!(
+                    "CacheSim {size}B/{line}B/{assoc}-way fed from the v2.1 lazy stream \
+                     (chunk {chunk_accesses}) diverged: {:?} vs in-RAM {:?}",
+                    out_of_core.stats(),
+                    in_ram.stats()
+                ));
+            }
+        }
     }
     None
 }
@@ -523,13 +607,14 @@ pub fn diff_sweep(trace: &Trace) -> Option<String> {
 /// divergence.
 pub fn check_trace(trace: &Trace) -> Vec<String> {
     type Runner = fn(&Trace) -> Option<String>;
-    let runners: [(&str, Runner); 6] = [
+    let runners: [(&str, Runner); 7] = [
         ("replay", diff_replay),
         ("simd", diff_simd),
         ("cache", diff_cache),
         ("encode", diff_encode),
         ("hybrid", diff_hybrid),
         ("sweep", diff_sweep),
+        ("corpus", diff_corpus),
     ];
     let mut failures = Vec::new();
     for (name, runner) in runners {

@@ -28,7 +28,7 @@
 //! The `conformance` binary runs the fixed-seed corpus and writes a
 //! shrunk repro trace to `target/conformance/repro.fvltrc` on failure;
 //! `tests/mutation_smoke.rs` (behind the `mutation` feature) proves the
-//! net has teeth by catching four deliberately seeded simulator bugs.
+//! net has teeth by catching five deliberately seeded simulator bugs.
 //!
 //! # Example
 //!

@@ -1,6 +1,6 @@
 //! Mutation smoke test: prove the differential net has teeth.
 //!
-//! Compiled only under the `mutation` feature, which turns on four
+//! Compiled only under the `mutation` feature, which turns on five
 //! deliberately seeded bugs in the optimized crates:
 //!
 //! 1. an off-by-one set-index mask in `fvl-cache`'s geometry (the top
@@ -8,10 +8,14 @@
 //! 2. a dropped dirty bit in `fvl-cache`'s data array (modified lines
 //!    are silently discarded instead of written back),
 //! 3. a swapped load/store bit in `fvl-mem`'s packed-trace decoder
-//!    (every packed load replays as a store and vice versa), and
+//!    (every packed load replays as a store and vice versa),
 //! 4. an inverted LRU victim scan in `fvl-cache`'s replacement policy
 //!    (the most recently used way is evicted instead of the least) —
-//!    inert at 1-way associativity, where there is only one way.
+//!    inert at 1-way associativity, where there is only one way, and
+//! 5. an off-by-one continuation-bit check in `fvl-mem`'s varint
+//!    decoder (`byte < 0x7f` instead of `byte < 0x80`), which
+//!    misreads any v2.1 address token whose final varint byte is
+//!    exactly `0x7f` and desynchronizes the rest of the chunk.
 //!
 //! Each test below isolates one bug with a trace (and, for the
 //! cache-level bugs, a geometry/policy scope) constructed so the others
@@ -120,6 +124,38 @@ fn swapped_decode_is_caught() {
     );
     // And the same trace through the un-packed cache differential is
     // clean: the failure is attributable to the decoder alone.
+    assert_eq!(diff::diff_cache(&trace), None);
+}
+
+/// Bug 5 — varint continuation off-by-one. The second load sits at
+/// word delta +4064 from the first, so its v2.1 address token is
+/// `zigzag(4064) << 1 = 0x3f80`, whose varint encoding is the byte
+/// pair `[0x80, 0x7f]` — a final byte of exactly `0x7f`, the one value
+/// where `byte < 0x7f` and `byte < 0x80` disagree. The mutant keeps
+/// reading past the end of the token and desynchronizes the chunk, so
+/// the out-of-core differential fails on decode or digest. The trace
+/// is load-only (dirty-bit bug inert, and loads of never-stored words
+/// carry value 0), touches two lines in distinct sets under either
+/// index mask with nothing evicted (mask and victim bugs inert), and
+/// the swapped-kind decode (bug 3) mutates the reference digest and
+/// the lazy digest identically — only the varint path is exercised on
+/// one side alone.
+#[test]
+fn varint_continuation_bug_is_caught() {
+    diff::silence_panics();
+    // word 100 (byte 0x190), then word 4164 (byte 0x4110): delta +4064.
+    let trace = Trace::from_events(vec![
+        TraceEvent::Access(Access::load(0x190, 0)),
+        TraceEvent::Access(Access::load(0x4110, 0)),
+    ]);
+    let caught = match catch_unwind(AssertUnwindSafe(|| diff::diff_corpus(&trace))) {
+        Ok(result) => result.is_some(),
+        Err(_) => true,
+    };
+    assert!(caught, "varint continuation off-by-one went undetected");
+    // The same trace through the cache differential is clean — no
+    // packed or varint decode is involved there — so the failure is
+    // attributable to the v2.1 address codec alone.
     assert_eq!(diff::diff_cache(&trace), None);
 }
 

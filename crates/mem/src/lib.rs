@@ -23,6 +23,11 @@
 //!   access instead of 16, branchless replay, and broadcast replay that
 //!   feeds N sinks in one pass. [`TraceRepr`] selects between the two
 //!   layouts at runtime behind one API.
+//! * [`MappedTrace`] — out-of-core access to the chunk-indexed v2.1
+//!   trace-file format: the file stays memory-mapped (with a buffered
+//!   fallback) and [`CHUNK_ACCESSES`]-sized chunks decode lazily, so one
+//!   chunk's columns are resident at a time no matter how large the
+//!   trace is.
 //! * [`MemorySnapshot`] — a periodic view of live memory contents used by
 //!   the paper's "frequently *occurring* value" sampling (every 10M
 //!   instructions in the paper; every N accesses here).
@@ -51,6 +56,8 @@ mod alloc;
 mod bus;
 mod layout;
 mod live;
+mod mapped;
+mod mmap;
 mod packed;
 mod repr;
 mod sim_memory;
@@ -59,6 +66,7 @@ mod snapshot;
 mod trace;
 mod trace_io;
 mod traced;
+pub mod varint;
 
 pub use access::{
     Access, AccessBlock, AccessKind, AccessSink, CountingSink, Fanout, NullSink, ACCESS_BLOCK,
@@ -67,6 +75,8 @@ pub use alloc::{HeapAllocator, StackAllocator};
 pub use bus::{Bus, BusExt};
 pub use layout::{Addr, Region, RegionKind, Word, GLOBAL_BASE, HEAP_BASE, STACK_BASE, WORD_BYTES};
 pub use live::LiveSet;
+pub use mapped::MappedTrace;
+pub use mmap::MapSource;
 pub use packed::{
     BroadcastReplay, PackedTrace, RegionEvent, BROADCAST_BLOCK, BROADCAST_INLINE_MAX, STORE_BIT,
 };
@@ -75,5 +85,5 @@ pub use sim_memory::SimMemory;
 pub use simd::{SimdLevel, SimdPolicy};
 pub use snapshot::MemorySnapshot;
 pub use trace::{Trace, TraceBuffer, TraceEvent};
-pub use trace_io::CHUNK_BYTES;
+pub use trace_io::{CHUNK_ACCESSES, CHUNK_BYTES};
 pub use traced::TracedMemory;

@@ -392,6 +392,16 @@ impl PackedTrace {
     /// non-overriding sinks observe as ordinary in-order
     /// [`AccessSink::on_access`] calls.
     pub fn replay_into_with<S: AccessSink + ?Sized>(&self, level: SimdLevel, sink: &mut S) {
+        self.feed_into_with(level, sink);
+        sink.on_finish();
+    }
+
+    /// Delivers every event of this trace to `sink` **without** calling
+    /// [`AccessSink::on_finish`] — the streaming building block chunked
+    /// out-of-core replay uses: one logical trace arrives as many
+    /// [`PackedTrace`] pieces (see [`crate::MappedTrace`]), each fed in
+    /// turn, and the caller finishes the sink exactly once at the end.
+    pub fn feed_into_with<S: AccessSink + ?Sized>(&self, level: SimdLevel, sink: &mut S) {
         self.segments(|seg| match seg {
             Segment::Run(lo, hi) => self.feed_with(level, lo, hi, sink),
             Segment::Breakpoint(event) => {
@@ -402,7 +412,6 @@ impl PackedTrace {
                 }
             }
         });
-        sink.on_finish();
     }
 
     /// Dynamic-dispatch wrapper over [`PackedTrace::replay_into`].

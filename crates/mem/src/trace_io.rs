@@ -13,11 +13,35 @@
 //!   the value column, then the region-event side table. Roughly half
 //!   the bytes of v1 for access-dominated traces, and decoding is two
 //!   bulk column reads instead of per-event tag dispatch.
+//! * `FVLTRC21` — the chunk-indexed v2.1 evolution written by
+//!   [`PackedTrace::write_v21_to`]: the columns are split into
+//!   [`CHUNK_ACCESSES`]-access chunks, each chunk's address column is
+//!   delta + varint compressed (see [`crate::varint`]), and a footer
+//!   index records every chunk's file offset so the memory-mapped
+//!   reader ([`crate::MappedTrace`]) can decode chunks lazily and out
+//!   of order. Layout:
 //!
-//! Both [`Trace::read_from`] and [`PackedTrace::read_from`] sniff the
-//! magic and accept **either** format, converting as needed — old v1
-//! files load into packed pipelines and new v2 files load into legacy
-//! ones.
+//!   ```text
+//!   magic "FVLTRC21"
+//!   accesses u64 | region_count u64 | chunk_count u64
+//!   chunk_accesses u32 | reserved u32
+//!   per chunk:  chunk_len u32 | addr_bytes u32
+//!               addr varints (addr_bytes) | values (4 * chunk_len)
+//!   per region event: the 18-byte v2 record
+//!   footer index, per chunk: payload_offset u64 | chunk_len u32
+//!                            | addr_bytes u32
+//!   index_offset u64
+//!   ```
+//!
+//!   The inline chunk headers make the stream self-delimiting, so the
+//!   sequential readers below never look at the footer (trailing bytes
+//!   stay tolerated, as for v1/v2); the footer is validated only by the
+//!   random-access mapped reader.
+//!
+//! [`Trace::read_from`] and [`PackedTrace::read_from`] sniff the
+//! magic and accept **any** format, converting as needed — old v1
+//! files load into packed pipelines and new v2/v2.1 files load into
+//! legacy ones.
 //!
 //! All encoding goes through an explicit chunk buffer
 //! ([`CHUNK_BYTES`]-sized `write_all` calls instead of one syscall-ish
@@ -31,11 +55,27 @@ use std::io::{self, Read, Write};
 
 const MAGIC_V1: &[u8; 8] = b"FVLTRC1\n";
 const MAGIC_V2: &[u8; 8] = b"FVLTRC2\n";
+pub(crate) const MAGIC_V21: &[u8; 8] = b"FVLTRC21";
 
 /// Size of the encode/decode staging buffer: every `write_all` to the
 /// underlying writer (and every `read` from the underlying reader)
 /// moves about this many bytes, not one field's worth.
 pub const CHUNK_BYTES: usize = 64 * 1024;
+
+/// Default accesses per v2.1 chunk — the unit of lazy decode for the
+/// mapped reader and of residency accounting for the corpus manager.
+/// 8192 accesses is 32 KiB of resident columns, a few pages of mapped
+/// file, and two [`crate::ACCESS_BLOCK`]-aligned orders of magnitude of
+/// SIMD replay per decode.
+pub const CHUNK_ACCESSES: u32 = 8192;
+
+/// Bytes of v2.1 fixed header: magic + accesses + region_count +
+/// chunk_count + chunk_accesses + reserved.
+pub(crate) const V21_HEADER_BYTES: usize = 8 + 8 + 8 + 8 + 4 + 4;
+
+/// Bytes per v2.1 footer-index entry: payload_offset u64 + chunk_len
+/// u32 + addr_bytes u32.
+pub(crate) const V21_INDEX_ENTRY_BYTES: usize = 16;
 
 const TAG_LOAD: u8 = 0;
 const TAG_STORE: u8 = 1;
@@ -44,7 +84,7 @@ const TAG_FREE: u8 = 3;
 
 /// Bytes per v2 region-event record: u64 pos + u8 is_alloc + u8 kind +
 /// u32 base + u32 words.
-const REGION_RECORD_BYTES: usize = 18;
+pub(crate) const REGION_RECORD_BYTES: usize = 18;
 
 fn kind_to_byte(kind: RegionKind) -> u8 {
     match kind {
@@ -54,7 +94,7 @@ fn kind_to_byte(kind: RegionKind) -> u8 {
     }
 }
 
-fn byte_to_kind(b: u8) -> io::Result<RegionKind> {
+pub(crate) fn byte_to_kind(b: u8) -> io::Result<RegionKind> {
     match b {
         0 => Ok(RegionKind::Global),
         1 => Ok(RegionKind::Heap),
@@ -66,7 +106,7 @@ fn byte_to_kind(b: u8) -> io::Result<RegionKind> {
     }
 }
 
-fn bad_data(msg: impl Into<String>) -> io::Error {
+pub(crate) fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
@@ -185,7 +225,15 @@ impl<R: Read> ChunkedReader<R> {
 
     /// Reads a whole `u32` column of `len` entries, chunk by chunk.
     fn take_u32_column(&mut self, len: usize) -> io::Result<Vec<u32>> {
-        let mut column = Vec::with_capacity(len.min(1 << 24));
+        let mut column = Vec::new();
+        self.take_u32_column_into(len, &mut column)?;
+        Ok(column)
+    }
+
+    /// [`Self::take_u32_column`] appending into a caller-owned column,
+    /// so a multi-chunk reader avoids a per-chunk staging allocation.
+    fn take_u32_column_into(&mut self, len: usize, column: &mut Vec<u32>) -> io::Result<()> {
+        column.reserve(len.min(1 << 24));
         let mut chunk = [0u8; CHUNK_BYTES];
         let mut remaining = len;
         while remaining > 0 {
@@ -198,7 +246,7 @@ impl<R: Read> ChunkedReader<R> {
             );
             remaining -= n;
         }
-        Ok(column)
+        Ok(())
     }
 }
 
@@ -210,7 +258,8 @@ fn read_any<R: Read>(reader: R) -> io::Result<ReadTrace> {
     match &magic {
         m if m == MAGIC_V1 => read_v1(&mut chunked).map(ReadTrace::Legacy),
         m if m == MAGIC_V2 => read_v2(&mut chunked).map(ReadTrace::Packed),
-        _ => Err(bad_data("not an FVLTRC1/FVLTRC2 trace")),
+        m if m == MAGIC_V21 => read_v21(&mut chunked).map(ReadTrace::Packed),
+        _ => Err(bad_data("not an FVLTRC1/FVLTRC2/FVLTRC21 trace")),
     }
 }
 
@@ -262,6 +311,16 @@ fn read_v2<R: Read>(reader: &mut ChunkedReader<R>) -> io::Result<PackedTrace> {
     }
     let addrs = reader.take_u32_column(accesses as usize)?;
     let values = reader.take_u32_column(accesses as usize)?;
+    let regions = read_regions(reader, region_count)?;
+    PackedTrace::from_columns(addrs, values, regions).map_err(bad_data)
+}
+
+/// Reads `region_count` v2-layout region records (shared by the v2 and
+/// v2.1 decoders).
+fn read_regions<R: Read>(
+    reader: &mut ChunkedReader<R>,
+    region_count: u64,
+) -> io::Result<Vec<RegionEvent>> {
     let mut regions = Vec::with_capacity(region_count.min(1 << 20) as usize);
     for _ in 0..region_count {
         let pos = reader.take_u64()?;
@@ -279,6 +338,99 @@ fn read_v2<R: Read>(reader: &mut ChunkedReader<R>) -> io::Result<PackedTrace> {
             region: Region::new(base, words, kind),
         });
     }
+    Ok(regions)
+}
+
+/// The fixed v2.1 header fields (minus the magic), validated.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct V21Header {
+    /// Total access events across all chunks.
+    pub accesses: u64,
+    /// Region-event records after the chunk payloads.
+    pub region_count: u64,
+    /// Number of chunks; always `accesses.div_ceil(chunk_accesses)`.
+    pub chunk_count: u64,
+    /// Accesses per chunk (every chunk but the last is exactly full).
+    pub chunk_accesses: u32,
+}
+
+impl V21Header {
+    /// Validates the header invariants hostile inputs could break:
+    /// counts in range, chunk geometry consistent with the access
+    /// count, and a nonzero chunk size whenever there are accesses.
+    pub(crate) fn validate(self) -> io::Result<V21Header> {
+        if self.accesses > u64::from(u32::MAX) || self.region_count > 1 << 32 {
+            return Err(bad_data("v2.1 trace header counts out of range"));
+        }
+        let expect_chunks = if self.accesses == 0 {
+            0
+        } else if self.chunk_accesses == 0 {
+            return Err(bad_data("v2.1 chunk size is zero"));
+        } else {
+            self.accesses.div_ceil(u64::from(self.chunk_accesses))
+        };
+        if self.chunk_count != expect_chunks {
+            return Err(bad_data(format!(
+                "v2.1 chunk count {} inconsistent with {} accesses of {} per chunk",
+                self.chunk_count, self.accesses, self.chunk_accesses
+            )));
+        }
+        Ok(self)
+    }
+
+    /// The access-column range `[lo, hi)` chunk `i` covers.
+    pub(crate) fn chunk_range(&self, i: u64) -> (u64, u64) {
+        let lo = i * u64::from(self.chunk_accesses);
+        let hi = (lo + u64::from(self.chunk_accesses)).min(self.accesses);
+        (lo, hi)
+    }
+
+    /// Checks one chunk's inline (or index) header against the
+    /// geometry this header promises, bounding `addr_bytes` before any
+    /// allocation happens.
+    pub(crate) fn check_chunk(&self, i: u64, chunk_len: u32, addr_bytes: u32) -> io::Result<()> {
+        let (lo, hi) = self.chunk_range(i);
+        if u64::from(chunk_len) != hi - lo {
+            return Err(bad_data(format!(
+                "v2.1 chunk {i} declares {chunk_len} accesses, expected {}",
+                hi - lo
+            )));
+        }
+        let max = crate::varint::MAX_VARINT_BYTES_PER_ADDR as u64 * u64::from(chunk_len);
+        if u64::from(addr_bytes) > max {
+            return Err(bad_data(format!(
+                "v2.1 chunk {i} declares {addr_bytes} address bytes for {chunk_len} accesses"
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn read_v21<R: Read>(reader: &mut ChunkedReader<R>) -> io::Result<PackedTrace> {
+    let header = V21Header {
+        accesses: reader.take_u64()?,
+        region_count: reader.take_u64()?,
+        chunk_count: reader.take_u64()?,
+        chunk_accesses: reader.take_u32()?,
+    }
+    .validate()?;
+    let _reserved = reader.take_u32()?;
+    let mut addrs = Vec::with_capacity((header.accesses as usize).min(1 << 24));
+    let mut values = Vec::with_capacity((header.accesses as usize).min(1 << 24));
+    let mut encoded = Vec::new();
+    for chunk in 0..header.chunk_count {
+        let chunk_len = reader.take_u32()?;
+        let addr_bytes = reader.take_u32()?;
+        header.check_chunk(chunk, chunk_len, addr_bytes)?;
+        encoded.clear();
+        encoded.resize(addr_bytes as usize, 0);
+        reader.take(&mut encoded)?;
+        crate::varint::decode_addr_chunk_into(&encoded, chunk_len as usize, &mut addrs)?;
+        reader.take_u32_column_into(chunk_len as usize, &mut values)?;
+    }
+    let regions = read_regions(reader, header.region_count)?;
+    // The footer index is for random access; the sequential decode is
+    // complete without it, so it reads as tolerated trailing bytes.
     PackedTrace::from_columns(addrs, values, regions).map_err(bad_data)
 }
 
@@ -389,6 +541,79 @@ impl PackedTrace {
     /// writing it: header + two `u32` columns + region records.
     pub fn encoded_len(&self) -> u64 {
         8 + 8 + 8 + 8 * self.accesses() + (self.region_events().len() * REGION_RECORD_BYTES) as u64
+    }
+
+    /// Writes the trace in the chunk-indexed `FVLTRC21` (v2.1) format
+    /// with the default [`CHUNK_ACCESSES`] chunk size: per-chunk
+    /// delta+varint address columns, raw value columns, the v2 region
+    /// table, and a footer chunk index for random access (see the
+    /// module docs for the layout). On-disk size is typically well
+    /// under the resident form's 8 bytes per access.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_v21_to<W: Write>(&self, writer: W) -> io::Result<()> {
+        self.write_v21_with(writer, CHUNK_ACCESSES)
+    }
+
+    /// [`PackedTrace::write_v21_to`] with an explicit chunk size —
+    /// small chunks let tests and CI exercise many-chunk files without
+    /// huge traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_accesses` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_v21_with<W: Write>(&self, writer: W, chunk_accesses: u32) -> io::Result<()> {
+        assert!(chunk_accesses > 0, "chunk size must be positive");
+        let accesses = self.accesses();
+        let ca = u64::from(chunk_accesses);
+        let chunk_count = accesses.div_ceil(ca);
+        let mut out = ChunkedWriter::new(writer);
+        out.put(MAGIC_V21)?;
+        out.put_u64(accesses)?;
+        out.put_u64(self.region_events().len() as u64)?;
+        out.put_u64(chunk_count)?;
+        out.put_u32(chunk_accesses)?;
+        out.put_u32(0)?; // reserved
+        let mut index: Vec<(u64, u32, u32)> = Vec::with_capacity(chunk_count as usize);
+        let mut offset = V21_HEADER_BYTES as u64;
+        let mut encoded = Vec::new();
+        let (addrs, values) = (self.addrs(), self.values());
+        for chunk in 0..chunk_count {
+            let lo = (chunk * ca) as usize;
+            let hi = ((chunk + 1) * ca).min(accesses) as usize;
+            let chunk_len = (hi - lo) as u32;
+            encoded.clear();
+            crate::varint::encode_addr_chunk(&addrs[lo..hi], &mut encoded);
+            let addr_bytes = encoded.len() as u32;
+            index.push((offset, chunk_len, addr_bytes));
+            out.put_u32(chunk_len)?;
+            out.put_u32(addr_bytes)?;
+            out.put(&encoded)?;
+            for &v in &values[lo..hi] {
+                out.put_u32(v)?;
+            }
+            offset += 8 + u64::from(addr_bytes) + 4 * u64::from(chunk_len);
+        }
+        for event in self.region_events() {
+            out.put_u64(event.pos)?;
+            out.put(&[u8::from(event.is_alloc), kind_to_byte(event.region.kind)])?;
+            out.put_u32(event.region.base)?;
+            out.put_u32(event.region.words)?;
+        }
+        let index_offset = offset + (self.region_events().len() * REGION_RECORD_BYTES) as u64;
+        for (payload_offset, chunk_len, addr_bytes) in index {
+            out.put_u64(payload_offset)?;
+            out.put_u32(chunk_len)?;
+            out.put_u32(addr_bytes)?;
+        }
+        out.put_u64(index_offset)?;
+        out.finish()
     }
 }
 
@@ -517,6 +742,76 @@ mod tests {
         let mut bytes = Vec::new();
         packed.write_to(&mut bytes).unwrap();
         assert!(PackedTrace::read_from(bytes.as_slice()).unwrap().is_empty());
+    }
+
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[test]
+    fn v21_round_trips_across_chunk_sizes() {
+        let packed = PackedTrace::from_trace(&sample_trace());
+        for chunk_accesses in [1u32, 2, 3, 7, CHUNK_ACCESSES] {
+            let mut bytes = Vec::new();
+            packed.write_v21_with(&mut bytes, chunk_accesses).unwrap();
+            assert_eq!(&bytes[..8], MAGIC_V21);
+            let loaded = PackedTrace::read_from(bytes.as_slice()).unwrap();
+            assert_eq!(loaded.addrs(), packed.addrs(), "chunk {chunk_accesses}");
+            assert_eq!(loaded.values(), packed.values(), "chunk {chunk_accesses}");
+            assert_eq!(loaded.region_events(), packed.region_events());
+            // The legacy reader sniffs v2.1 too.
+            let unpacked = Trace::read_from(bytes.as_slice()).unwrap();
+            assert_eq!(unpacked.events(), packed.to_trace().events());
+        }
+    }
+
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[test]
+    fn v21_empty_trace_round_trips() {
+        let packed = PackedTrace::from_trace(&Trace::from_events(vec![]));
+        let mut bytes = Vec::new();
+        packed.write_v21_to(&mut bytes).unwrap();
+        assert_eq!(bytes.len(), V21_HEADER_BYTES + 8);
+        assert!(PackedTrace::read_from(bytes.as_slice()).unwrap().is_empty());
+    }
+
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[test]
+    fn v21_is_smaller_than_v2_on_local_streams() {
+        let mut events = Vec::new();
+        for i in 0u32..20_000 {
+            events.push(TraceEvent::Access(Access::store((i % 4096) * 4, i)));
+        }
+        let packed = PackedTrace::from_trace(&Trace::from_events(events));
+        let mut v2 = Vec::new();
+        packed.write_to(&mut v2).unwrap();
+        let mut v21 = Vec::new();
+        packed.write_v21_to(&mut v21).unwrap();
+        // The addr column collapses to ~1–2 varint bytes per access.
+        assert!(
+            v21.len() * 10 < v2.len() * 8,
+            "v2.1 {} vs v2 {}",
+            v21.len(),
+            v2.len()
+        );
+        let loaded = PackedTrace::read_from(v21.as_slice()).unwrap();
+        assert_eq!(loaded.addrs(), packed.addrs());
+        assert_eq!(loaded.values(), packed.values());
+    }
+
+    #[test]
+    fn v21_inconsistent_chunk_geometry_is_rejected() {
+        let packed = PackedTrace::from_trace(&sample_trace());
+        let mut bytes = Vec::new();
+        packed.write_v21_with(&mut bytes, 4).unwrap();
+        // Corrupt the chunk_count field (offset 24) to a huge value:
+        // the reader must reject it from the header alone, not try to
+        // allocate or read that many chunks.
+        bytes[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = PackedTrace::read_from(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // And a zero chunk size with nonzero accesses.
+        let mut bytes2 = Vec::new();
+        packed.write_v21_with(&mut bytes2, 4).unwrap();
+        bytes2[32..36].copy_from_slice(&0u32.to_le_bytes());
+        assert!(PackedTrace::read_from(bytes2.as_slice()).is_err());
     }
 
     #[test]

@@ -5,8 +5,8 @@
 #![cfg(feature = "proptest")]
 
 use fvl_mem::{
-    Access, AccessSink, Bus, CountingSink, HeapAllocator, LiveSet, PackedTrace, Region, RegionKind,
-    SimMemory, Trace, TraceBuffer, TraceEvent, TracedMemory,
+    varint, Access, AccessSink, Bus, CountingSink, HeapAllocator, LiveSet, MappedTrace,
+    PackedTrace, Region, RegionKind, SimMemory, Trace, TraceBuffer, TraceEvent, TracedMemory,
 };
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -75,6 +75,65 @@ proptest! {
         trace.write_to(&mut v1).unwrap();
         let via_packed = PackedTrace::read_from(v1.as_slice()).unwrap();
         prop_assert_eq!(via_packed.to_trace().events(), trace.events());
+    }
+
+    /// The chunk-indexed v2.1 format round-trips any trace at any chunk
+    /// size, through both the streaming decoder and the mapped reader's
+    /// lazy chunk-by-chunk replay. Small chunk sizes put region events
+    /// on and around chunk boundaries; the generated access counts land
+    /// on exact-multiple and straggler chunk splits.
+    #[test]
+    fn trace_format_v21_round_trips(events in arb_events(), chunk_accesses in 1u32..300) {
+        let trace = Trace::from_events(events);
+        let packed = PackedTrace::from_trace(&trace);
+        let mut v21 = Vec::new();
+        packed.write_v21_with(&mut v21, chunk_accesses).unwrap();
+
+        // Streaming decoder.
+        let streamed = PackedTrace::read_from(v21.as_slice()).unwrap();
+        prop_assert_eq!(streamed.addrs(), packed.addrs());
+        prop_assert_eq!(streamed.values(), packed.values());
+        prop_assert_eq!(streamed.region_events(), packed.region_events());
+
+        // Mapped reader: strict footer validation, chunk concatenation,
+        // and lazy replay must all reproduce the resident trace.
+        let mapped = MappedTrace::from_bytes(v21).unwrap();
+        prop_assert_eq!(mapped.accesses(), packed.accesses());
+        let resident = mapped.to_packed().unwrap();
+        prop_assert_eq!(resident.addrs(), packed.addrs());
+        prop_assert_eq!(resident.values(), packed.values());
+        let mut concat_addrs: Vec<u32> = Vec::new();
+        for i in 0..mapped.chunk_count() {
+            concat_addrs.extend_from_slice(mapped.decode_chunk(i).unwrap().addrs());
+        }
+        prop_assert_eq!(concat_addrs.as_slice(), packed.addrs());
+        let mut lazy = CountingSink::new();
+        mapped.replay_into(&mut lazy).unwrap();
+        let mut reference = CountingSink::new();
+        packed.replay_into(&mut reference);
+        prop_assert_eq!(lazy.accesses(), reference.accesses());
+        prop_assert_eq!(lazy.loads(), reference.loads());
+        prop_assert_eq!(lazy.stores(), reference.stores());
+        prop_assert_eq!(lazy.allocs(), reference.allocs());
+        prop_assert_eq!(lazy.frees(), reference.frees());
+    }
+
+    /// The delta+varint address codec round-trips any packed address
+    /// column, including full-range words (maximum positive and
+    /// negative deltas) and every store-bit combination.
+    #[test]
+    fn varint_addr_codec_round_trips(
+        words in prop::collection::vec((0u32..=u32::MAX >> 2, any::<bool>()), 0..300),
+    ) {
+        let addrs: Vec<u32> = words
+            .into_iter()
+            .map(|(word, store)| (word << 2) | u32::from(store))
+            .collect();
+        let mut encoded = Vec::new();
+        varint::encode_addr_chunk(&addrs, &mut encoded);
+        prop_assert!(encoded.len() <= addrs.len() * varint::MAX_VARINT_BYTES_PER_ADDR);
+        let decoded = varint::decode_addr_chunk(&encoded, addrs.len()).unwrap();
+        prop_assert_eq!(decoded, addrs);
     }
 
     /// SimMemory behaves exactly like a HashMap with a zero default.

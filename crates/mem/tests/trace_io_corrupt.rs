@@ -4,7 +4,7 @@
 //! never an attempt to allocate a buffer sized by attacker-controlled
 //! header counts.
 
-use fvl_mem::{Access, PackedTrace, Region, RegionKind, Trace, TraceEvent};
+use fvl_mem::{Access, MappedTrace, PackedTrace, Region, RegionKind, Trace, TraceEvent};
 use std::io::ErrorKind;
 
 /// A small trace exercising every event tag: loads, stores, and
@@ -33,6 +33,44 @@ fn v2_bytes() -> Vec<u8> {
         .write_to(&mut bytes)
         .unwrap();
     bytes
+}
+
+/// The sample trace in the chunk-indexed v2.1 format at a chunk size of
+/// two accesses, so the four accesses split across two chunks and the
+/// footer index has multiple entries to corrupt.
+fn v21_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    PackedTrace::from_trace(&sample_trace())
+        .write_v21_with(&mut bytes, 2)
+        .unwrap();
+    bytes
+}
+
+/// A raw v2.1 header with attacker-chosen counts and no body.
+fn v21_header(accesses: u64, regions: u64, chunks: u64, chunk_accesses: u32) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC21");
+    bytes.extend_from_slice(&accesses.to_le_bytes());
+    bytes.extend_from_slice(&regions.to_le_bytes());
+    bytes.extend_from_slice(&chunks.to_le_bytes());
+    bytes.extend_from_slice(&chunk_accesses.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    bytes
+}
+
+/// The mapped reader must reject `bytes` with a decode-shaped error.
+fn assert_mapped_rejected(bytes: &[u8], what: &str) {
+    let err = MappedTrace::from_bytes(bytes.to_vec())
+        .err()
+        .unwrap_or_else(|| panic!("MappedTrace accepted {what}"));
+    assert!(
+        matches!(
+            err.kind(),
+            ErrorKind::InvalidData | ErrorKind::UnexpectedEof
+        ),
+        "MappedTrace on {what}: unexpected error kind {:?}",
+        err.kind()
+    );
 }
 
 /// Both decoders must reject `bytes` with a decode-shaped error.
@@ -212,15 +250,129 @@ fn corrupt_v2_record_bodies_are_invalid_data() {
 }
 
 #[test]
+fn every_strict_prefix_of_a_v21_stream_is_rejected() {
+    let bytes = v21_bytes();
+    let full = MappedTrace::from_bytes(bytes.clone()).expect("full v2.1 stream ok");
+    assert_eq!(full.chunk_count(), 2);
+    // The footer (16-byte index entries plus the trailing index offset)
+    // is trailing data to the streaming decoders — they stop after the
+    // region table — so the streaming sweep runs up to the payload end.
+    let footer = full.chunk_count() as usize * 16 + 8;
+    let payload_end = bytes.len() - footer;
+    for len in 0..payload_end {
+        assert_rejected(&bytes[..len], &format!("v2.1 prefix of {len} bytes"));
+    }
+    // The mapped reader validates the footer strictly: every strict
+    // prefix, including ones cut inside the chunk index, must fail.
+    for len in 0..bytes.len() {
+        assert_mapped_rejected(&bytes[..len], &format!("v2.1 prefix of {len} bytes"));
+    }
+    assert!(
+        PackedTrace::read_from(bytes.as_slice()).is_ok(),
+        "full stream ok"
+    );
+}
+
+#[test]
+fn hostile_v21_header_counts_fail_without_allocating() {
+    // accesses > u32::MAX is structurally impossible for packed columns
+    // and must be rejected before any column buffer is sized from it.
+    let bytes = v21_header(u64::from(u32::MAX) + 1, 0, 1, 1);
+    assert_rejected(&bytes, "v2.1 with accesses=u32::MAX+1");
+    assert_mapped_rejected(&bytes, "v2.1 with accesses=u32::MAX+1");
+
+    // chunk_count inconsistent with accesses / chunk_accesses — a
+    // u64::MAX count must not drive a 2^64-iteration decode loop.
+    let bytes = v21_header(4, 0, u64::MAX, 2);
+    assert_rejected(&bytes, "v2.1 with chunk_count=u64::MAX");
+    assert_mapped_rejected(&bytes, "v2.1 with chunk_count=u64::MAX");
+
+    // A zero chunk size with a nonzero access count divides by zero in
+    // any naive chunk-count check.
+    let bytes = v21_header(4, 0, 2, 0);
+    assert_rejected(&bytes, "v2.1 with chunk_accesses=0");
+    assert_mapped_rejected(&bytes, "v2.1 with chunk_accesses=0");
+
+    // region_count far beyond the guard, body empty.
+    let bytes = v21_header(0, u64::MAX, 0, 2);
+    assert_rejected(&bytes, "v2.1 with region_count=u64::MAX");
+    assert_mapped_rejected(&bytes, "v2.1 with region_count=u64::MAX");
+}
+
+#[test]
+fn hostile_v21_chunk_headers_fail_without_allocating() {
+    // The first chunk's inline header sits right after the 40-byte file
+    // header: chunk_len at +40, addr_bytes at +44.
+    let mut bytes = v21_bytes();
+    bytes[44..48].copy_from_slice(&u32::MAX.to_le_bytes());
+    // addr_bytes=u32::MAX exceeds the 5-bytes-per-address ceiling for a
+    // two-access chunk: both decoders must reject it before allocating
+    // a 4 GiB varint buffer. The mapped reader also sees it disagree
+    // with the footer index entry.
+    assert_rejected(&bytes, "v2.1 with inline addr_bytes=u32::MAX");
+    assert_mapped_rejected(&bytes, "v2.1 with inline addr_bytes=u32::MAX");
+
+    // An inline chunk_len that disagrees with the geometry the file
+    // header promises (and with the footer index entry).
+    let mut bytes = v21_bytes();
+    bytes[40..44].copy_from_slice(&3u32.to_le_bytes());
+    assert_rejected(&bytes, "v2.1 with inline chunk_len=3");
+    assert_mapped_rejected(&bytes, "v2.1 with inline chunk_len=3");
+}
+
+#[test]
+fn hostile_v21_chunk_index_entries_are_rejected() {
+    // The footer is invisible to the streaming decoders, so these cases
+    // target the mapped reader's strict index validation alone.
+    let good = v21_bytes();
+    let len = good.len();
+    let index_offset = len - 8 - 2 * 16;
+
+    // Trailing index offset pointing outside the file, or inconsistent
+    // with the file length.
+    for bogus in [u64::MAX, 0, index_offset as u64 - 1] {
+        let mut bytes = good.clone();
+        bytes[len - 8..].copy_from_slice(&bogus.to_le_bytes());
+        assert_mapped_rejected(&bytes, &format!("v2.1 with index_offset={bogus}"));
+    }
+
+    // First index entry: payload_offset at +0, chunk_len at +8,
+    // addr_bytes at +12. A payload offset at u64::MAX must not wrap
+    // into an in-bounds slice, one past the region table must not read
+    // region bytes as chunk payload.
+    for bogus in [u64::MAX, len as u64, 0] {
+        let mut bytes = good.clone();
+        bytes[index_offset..index_offset + 8].copy_from_slice(&bogus.to_le_bytes());
+        assert_mapped_rejected(&bytes, &format!("v2.1 with payload_offset={bogus}"));
+    }
+
+    // Index-entry chunk geometry that disagrees with the file header
+    // (and the inline chunk header). addr_bytes=u32::MAX must be
+    // rejected by the per-chunk ceiling before any decode allocates.
+    let mut bytes = good.clone();
+    bytes[index_offset + 8..index_offset + 12].copy_from_slice(&7u32.to_le_bytes());
+    assert_mapped_rejected(&bytes, "v2.1 with index chunk_len=7");
+    let mut bytes = good.clone();
+    bytes[index_offset + 12..index_offset + 16].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_mapped_rejected(&bytes, "v2.1 with index addr_bytes=u32::MAX");
+}
+
+#[test]
 fn trailing_garbage_after_a_complete_trace_is_ignored() {
     // The formats are length-prefixed: a decoder consumes exactly the
     // declared records and must not choke on what follows (e.g. a trace
     // embedded in a larger container).
-    for (mut bytes, accesses) in [(v1_bytes(), 4u64), (v2_bytes(), 4u64)] {
+    for (mut bytes, accesses) in [(v1_bytes(), 4u64), (v2_bytes(), 4u64), (v21_bytes(), 4u64)] {
         bytes.extend_from_slice(b"GARBAGE AFTER THE TRACE \xff\xfe\xfd");
         let trace = Trace::read_from(bytes.as_slice()).unwrap();
         assert_eq!(trace.accesses(), accesses);
         let packed = PackedTrace::read_from(bytes.as_slice()).unwrap();
         assert_eq!(packed.accesses(), accesses);
     }
+    // The mapped reader is the exception by design: its footer lives at
+    // the end of the file, so trailing garbage shifts the index out from
+    // under it and must be rejected, not silently misparsed.
+    let mut bytes = v21_bytes();
+    bytes.extend_from_slice(b"GARBAGE AFTER THE TRACE \xff\xfe\xfd");
+    assert_mapped_rejected(&bytes, "v2.1 with trailing garbage");
 }

@@ -17,6 +17,8 @@
 //!   800-word blocks of referenced memory (Figure 5).
 //! * [`MissAttribution`] — the share of cache misses involving the top
 //!   frequent values (Figure 4).
+//! * [`ReuseProfiler`] — the full miss-rate-vs-cache-size curve in one
+//!   streaming pass, via a log2 tower of true-LRU caches.
 //! * [`overlap_top`] — ranking overlap across program inputs (Table 2).
 //!
 //! # Example
@@ -41,6 +43,7 @@ mod constancy;
 mod counter;
 mod occurrence;
 mod ranking;
+mod reuse;
 mod sensitivity;
 mod spatial;
 mod stability;
@@ -51,6 +54,7 @@ pub use constancy::ConstancyAnalyzer;
 pub use counter::ValueCounter;
 pub use occurrence::OccurrenceSampler;
 pub use ranking::{rank_by_count, top_by_count};
+pub use reuse::{CurvePoint, MissCurve, ReuseProfiler, DEFAULT_LINE_BYTES, TOWER_LEVELS};
 pub use sensitivity::{overlap_report, overlap_top, OverlapReport};
 pub use spatial::{SpatialAnalyzer, SpatialProfile};
 pub use stability::{StabilityAnalyzer, StabilityReport};

@@ -1,0 +1,383 @@
+//! Streaming reuse-distance profiling: the full miss-rate-vs-cache-size
+//! curve in one trace walk.
+//!
+//! A fully associative LRU cache of capacity `C` lines hits an access
+//! exactly when the access's *reuse distance* (distinct lines touched
+//! since the last touch of its line) is below `C`. Sweeping cache size
+//! therefore only needs the reuse-distance distribution — and instead
+//! of maintaining an exact distance tree, [`ReuseProfiler`] keeps a
+//! *log2 tower* of small true-LRU caches (capacities 1, 2, 4, …,
+//! 2^(L-1) lines) and updates all of them per access. Each level's hit
+//! count is exactly what a fully associative LRU cache of that size
+//! would score, so one streaming pass yields the whole
+//! miss-rate-vs-size curve — the fundamental object of the
+//! cache-utilization literature, and the curve the `ext6` experiment
+//! cross-checks against `CacheSim` at every tower geometry.
+//!
+//! Every level is a few KB of state, so the profiler streams over
+//! corpora of any size (it is an [`AccessSink`], so the out-of-core
+//! chunked replay feeds it directly).
+
+use fvl_mem::{Access, AccessSink, WORD_BYTES};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Levels in the default tower: capacities 2^0 .. 2^10 lines, i.e.
+/// 32 B .. 32 KiB of data at the default 32-byte line.
+pub const TOWER_LEVELS: usize = 11;
+
+/// Default line size (bytes) — the paper's DMC line size.
+pub const DEFAULT_LINE_BYTES: u32 = 32;
+
+/// Slot index meaning "none" in the intrusive LRU lists.
+const NIL: u32 = u32::MAX;
+
+/// One true-LRU cache of the tower: a line → slot map plus an
+/// intrusive doubly-linked recency list over slot arrays, so touch,
+/// insert, and evict are all O(1).
+struct LruLevel {
+    capacity: usize,
+    hits: u64,
+    map: HashMap<u32, u32>,
+    lines: Vec<u32>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32,
+    tail: u32,
+}
+
+impl LruLevel {
+    fn new(capacity: usize) -> LruLevel {
+        LruLevel {
+            capacity,
+            hits: 0,
+            map: HashMap::with_capacity(capacity * 2),
+            lines: Vec::with_capacity(capacity),
+            prev: Vec::with_capacity(capacity),
+            next: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: u32) {
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    /// Links `slot` in as the most-recently-used entry.
+    fn push_front(&mut self, slot: u32) {
+        self.prev[slot as usize] = NIL;
+        self.next[slot as usize] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Touches `line`, returning whether it was resident (a hit for a
+    /// fully associative LRU cache of this capacity).
+    fn access(&mut self, line: u32) -> bool {
+        if let Some(&slot) = self.map.get(&line) {
+            self.hits += 1;
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return true;
+        }
+        let slot = if self.lines.len() < self.capacity {
+            let slot = self.lines.len() as u32;
+            self.lines.push(line);
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            slot
+        } else {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.lines[victim as usize]);
+            self.lines[victim as usize] = line;
+            victim
+        };
+        self.map.insert(line, slot);
+        self.push_front(slot);
+        false
+    }
+}
+
+/// One point of a [`MissCurve`]: the exact fully-associative-LRU hit
+/// and miss counts at one cache size.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CurvePoint {
+    /// Cache capacity in lines (a power of two).
+    pub capacity_lines: u64,
+    /// Cache capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Accesses whose reuse distance was below the capacity.
+    pub hits: u64,
+    /// Accesses that would miss (including cold misses).
+    pub misses: u64,
+    /// `misses / (hits + misses)`, 0 for an empty trace.
+    pub miss_rate: f64,
+}
+
+/// The miss-rate-vs-cache-size curve extracted from one
+/// [`ReuseProfiler`] pass, smallest capacity first.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MissCurve {
+    /// Line size the curve was measured at.
+    pub line_bytes: u32,
+    /// Total accesses profiled.
+    pub accesses: u64,
+    /// One point per tower level, capacity ascending.
+    pub points: Vec<CurvePoint>,
+}
+
+/// Streaming reuse-distance profiler: a log2 tower of true-LRU caches
+/// updated on every access (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use fvl_mem::{Access, AccessSink};
+/// use fvl_profile::ReuseProfiler;
+///
+/// let mut profiler = ReuseProfiler::new();
+/// // Round-robin over 2 lines: everything hits once capacity >= 2.
+/// for i in 0..100u32 {
+///     profiler.on_access(Access::load((i % 2) * 32, 0));
+/// }
+/// let curve = profiler.curve();
+/// assert_eq!(curve.points[0].hits, 0); // capacity 1: always thrashing
+/// assert_eq!(curve.points[1].misses, 2); // capacity 2: cold misses only
+/// ```
+pub struct ReuseProfiler {
+    line_bytes: u32,
+    levels: Vec<LruLevel>,
+    accesses: u64,
+}
+
+impl ReuseProfiler {
+    /// The default tower: [`TOWER_LEVELS`] levels of
+    /// [`DEFAULT_LINE_BYTES`]-byte lines (32 B .. 32 KiB).
+    pub fn new() -> ReuseProfiler {
+        ReuseProfiler::with_shape(DEFAULT_LINE_BYTES, TOWER_LEVELS)
+    }
+
+    /// A tower of `levels` caches (capacities 2^0 .. 2^(levels-1)
+    /// lines) with `line_bytes`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_bytes` is a power of two of at least one
+    /// word and `levels` is in `1..=24`.
+    pub fn with_shape(line_bytes: u32, levels: usize) -> ReuseProfiler {
+        assert!(
+            line_bytes.is_power_of_two() && line_bytes >= WORD_BYTES,
+            "line size must be a power-of-two number of bytes, got {line_bytes}"
+        );
+        assert!((1..=24).contains(&levels), "tower levels out of range");
+        ReuseProfiler {
+            line_bytes,
+            levels: (0..levels).map(|l| LruLevel::new(1 << l)).collect(),
+            accesses: 0,
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Number of tower levels.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Capacity of level `level` in lines (`2^level`).
+    pub fn capacity_lines(&self, level: usize) -> u64 {
+        1u64 << level
+    }
+
+    /// Capacity of level `level` in bytes.
+    pub fn capacity_bytes(&self, level: usize) -> u64 {
+        self.capacity_lines(level) * u64::from(self.line_bytes)
+    }
+
+    /// Total accesses profiled so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Hits a fully associative LRU cache of level `level`'s capacity
+    /// would have scored.
+    pub fn hits(&self, level: usize) -> u64 {
+        self.levels[level].hits
+    }
+
+    /// Misses at level `level` (including cold misses).
+    pub fn misses(&self, level: usize) -> u64 {
+        self.accesses - self.levels[level].hits
+    }
+
+    /// Miss rate at level `level`; 0 before any access.
+    pub fn miss_rate(&self, level: usize) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses(level) as f64 / self.accesses as f64
+        }
+    }
+
+    /// Extracts the full miss-rate-vs-cache-size curve.
+    pub fn curve(&self) -> MissCurve {
+        MissCurve {
+            line_bytes: self.line_bytes,
+            accesses: self.accesses,
+            points: (0..self.levels.len())
+                .map(|l| CurvePoint {
+                    capacity_lines: self.capacity_lines(l),
+                    capacity_bytes: self.capacity_bytes(l),
+                    hits: self.hits(l),
+                    misses: self.misses(l),
+                    miss_rate: self.miss_rate(l),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for ReuseProfiler {
+    fn default() -> Self {
+        ReuseProfiler::new()
+    }
+}
+
+impl AccessSink for ReuseProfiler {
+    fn on_access(&mut self, access: Access) {
+        let line = access.addr / self.line_bytes;
+        self.accesses += 1;
+        for level in &mut self.levels {
+            level.access(line);
+        }
+    }
+}
+
+impl fmt::Debug for ReuseProfiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReuseProfiler")
+            .field("line_bytes", &self.line_bytes)
+            .field("levels", &self.levels.len())
+            .field("accesses", &self.accesses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact reuse-distance oracle: full LRU stack as a Vec.
+    fn oracle_hits(lines: &[u32], capacity: usize) -> u64 {
+        let mut stack: Vec<u32> = Vec::new();
+        let mut hits = 0;
+        for &line in lines {
+            if let Some(depth) = stack.iter().position(|&l| l == line) {
+                if depth < capacity {
+                    hits += 1;
+                }
+                stack.remove(depth);
+            }
+            stack.insert(0, line);
+        }
+        hits
+    }
+
+    fn profile(lines: &[u32]) -> ReuseProfiler {
+        let mut p = ReuseProfiler::with_shape(32, 6);
+        for &line in lines {
+            p.on_access(Access::load(line * 32, 0));
+        }
+        p
+    }
+
+    #[test]
+    fn matches_the_stack_distance_oracle() {
+        // Mixed locality: sequential sweeps, hot loop, random-ish jumps.
+        let mut lines = Vec::new();
+        let mut x = 7u32;
+        for i in 0..2000u32 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            lines.push(match i % 4 {
+                0 => i % 40,       // sweep
+                1 => x % 8,        // hot set
+                2 => x % 100,      // wider set
+                _ => (i / 2) % 17, // strided
+            });
+        }
+        let p = profile(&lines);
+        for level in 0..p.levels() {
+            assert_eq!(
+                p.hits(level),
+                oracle_hits(&lines, 1 << level),
+                "capacity {}",
+                1 << level
+            );
+        }
+    }
+
+    #[test]
+    fn hits_grow_monotonically_with_capacity() {
+        let lines: Vec<u32> = (0..500u32).map(|i| (i * i) % 61).collect();
+        let p = profile(&lines);
+        for level in 1..p.levels() {
+            assert!(p.hits(level) >= p.hits(level - 1), "level {level}");
+        }
+        let curve = p.curve();
+        assert_eq!(curve.accesses, 500);
+        assert_eq!(curve.points.len(), p.levels());
+        assert_eq!(curve.points[0].capacity_bytes, 32);
+        for w in curve.points.windows(2) {
+            assert!(w[1].miss_rate <= w[0].miss_rate);
+            assert_eq!(w[1].capacity_lines, w[0].capacity_lines * 2);
+        }
+    }
+
+    #[test]
+    fn line_granularity_folds_words_onto_one_line() {
+        let mut p = ReuseProfiler::new();
+        // 8 consecutive words = one 32-byte line: only one cold miss.
+        for w in 0..8u32 {
+            p.on_access(Access::store(w * 4, w));
+        }
+        assert_eq!(p.misses(0), 1);
+        assert_eq!(p.hits(0), 7);
+    }
+
+    #[test]
+    fn empty_profile_has_zero_rates() {
+        let p = ReuseProfiler::new();
+        assert_eq!(p.accesses(), 0);
+        assert_eq!(p.miss_rate(0), 0.0);
+        assert_eq!(p.curve().points[TOWER_LEVELS - 1].misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_unaligned_line_size() {
+        let _ = ReuseProfiler::with_shape(48, 4);
+    }
+}
