@@ -2,29 +2,35 @@
 //!
 //! ```text
 //! corpus gen <dir> [--traces N] [--accesses N] [--seed N] [--chunk-accesses N]
-//! corpus sweep <dir> [--budget-bytes N] [--in-ram]
+//!            [--codec v21|v22]
+//! corpus sweep <dir> [--budget-bytes N] [--in-ram] [--inline-decode]
 //!              [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]
 //! ```
 //!
-//! `gen` writes a directory of deterministic synthetic v2.1 trace
-//! files. `sweep` opens every `*.fvltrc` file in the directory as a
-//! memory-mapped [`fvl_mem::MappedTrace`] and runs the two-pass corpus
-//! sweep (column digests, then cache simulations plus the one-pass
-//! reuse-distance curve) with decoded-chunk residency bounded by
-//! `--budget-bytes`.
+//! `gen` writes a directory of deterministic synthetic chunk-indexed
+//! trace files — v2.1 varint columns by default, v2.2 stream-split
+//! columns with `--codec v22`. `sweep` opens every `*.fvltrc` file in
+//! the directory as a memory-mapped [`fvl_mem::MappedTrace`] and runs
+//! the two-pass corpus sweep (column digests, then cache simulations
+//! plus the one-pass reuse-distance curve) with decoded-chunk
+//! residency bounded by `--budget-bytes`: half the budget funds the
+//! per-file decoded-chunk LRU caches, half bounds in-flight decodes.
+//! The simulation pass decodes one chunk ahead on a producer thread
+//! unless `--inline-decode` selects the serial decode lane.
 //!
 //! Sweep reports go to stdout and are bit-identical between the
-//! default mapped mode and the `--in-ram` resident baseline — CI diffs
-//! the two. Residency accounting (peak, waits) is
-//! scheduling-dependent, so it goes to stderr and, with
-//! `--metrics-timing`, into a `corpus` block of the JSON export.
+//! default mapped mode and the `--in-ram` resident baseline, and
+//! between pipelined and inline decode — CI diffs them. Residency and
+//! cache accounting is scheduling-dependent, so it goes to stderr and,
+//! with `--metrics-timing`, into a `corpus` block of the JSON export.
 
 use fvl_bench::corpus::{
-    sweep_corpus, Corpus, CorpusReport, ReplayMode, DEFAULT_BUDGET_BYTES, SWEEP_GEOMETRIES,
+    sweep_corpus_with, ChunkDecode, Corpus, CorpusReport, ReplayMode, DEFAULT_BUDGET_BYTES,
+    SWEEP_GEOMETRIES,
 };
 use fvl_bench::engine::{CellId, ClassStats, Completed, Engine};
 use fvl_bench::metrics::{self, RunInfo};
-use fvl_mem::CHUNK_ACCESSES;
+use fvl_mem::{AddrCodec, CHUNK_ACCESSES};
 use fvl_obs::Json;
 use fvl_profile::TOWER_LEVELS;
 use std::path::PathBuf;
@@ -49,13 +55,17 @@ const CURVE_CLASSES: [&str; TOWER_LEVELS] = [
 fn usage() -> ExitCode {
     eprintln!(
         "usage: corpus gen <dir> [--traces N] [--accesses N] [--seed N] [--chunk-accesses N]\n\
-         \x20      corpus sweep <dir> [--budget-bytes N] [--in-ram]\n\
+         \x20                [--codec v21|v22]\n\
+         \x20      corpus sweep <dir> [--budget-bytes N] [--in-ram] [--inline-decode]\n\
          \x20                  [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]\n\
-         gen writes N synthetic chunk-indexed v2.1 traces into <dir>\n\
+         gen writes N synthetic chunk-indexed traces into <dir> (--codec v21\n\
+         \x20     varint columns, the default, or v22 stream-split columns)\n\
          sweep maps every *.fvltrc in <dir> and replays it chunk by chunk,\n\
          \x20     keeping decoded chunks under --budget-bytes (default {DEFAULT_BUDGET_BYTES})\n\
          --in-ram decodes each trace fully before replay (A/B baseline; stdout\n\
          \x20     must be bit-identical to the mapped mode)\n\
+         --inline-decode turns off the decode-ahead pipeline (A/B lane; stdout\n\
+         \x20     must be bit-identical to the pipelined default)\n\
          --metrics FILE writes the versioned JSON export; --metrics-timing adds\n\
          \x20     the scheduling-dependent corpus/residency block"
     );
@@ -67,8 +77,16 @@ fn gen(dir: PathBuf, mut iter: std::vec::IntoIter<String>) -> ExitCode {
     let mut accesses = 200_000u64;
     let mut seed = 1u64;
     let mut chunk_accesses = CHUNK_ACCESSES;
+    let mut codec = AddrCodec::Varint;
     while let Some(arg) = iter.next() {
         let value = iter.next();
+        if arg.as_str() == "--codec" {
+            match value.as_deref().and_then(AddrCodec::parse) {
+                Some(c) => codec = c,
+                None => return usage(),
+            }
+            continue;
+        }
         match (arg.as_str(), value.and_then(|v| v.parse::<u64>().ok())) {
             ("--traces", Some(n)) if n >= 1 => traces = n as usize,
             ("--accesses", Some(n)) => accesses = n,
@@ -79,7 +97,14 @@ fn gen(dir: PathBuf, mut iter: std::vec::IntoIter<String>) -> ExitCode {
             _ => return usage(),
         }
     }
-    match fvl_bench::corpus::write_synthetic_corpus(&dir, traces, accesses, seed, chunk_accesses) {
+    match fvl_bench::corpus::write_synthetic_corpus_with(
+        &dir,
+        traces,
+        accesses,
+        seed,
+        chunk_accesses,
+        codec,
+    ) {
         Ok(paths) => {
             for path in &paths {
                 let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
@@ -128,8 +153,10 @@ fn print_report(corpus: &Corpus, report: &CorpusReport) {
 /// Residency accounting for the timing-gated `corpus` metrics block.
 fn corpus_block(corpus: &Corpus, report: &CorpusReport) -> Json {
     let b = &report.budget;
+    let c = &report.cache;
     Json::object([
         ("mode", Json::from(report.mode.label())),
+        ("decode", Json::from(report.decode.label())),
         ("files", Json::U64(corpus.len() as u64)),
         ("mapped_files", Json::U64(corpus.mapped_files() as u64)),
         ("total_chunks", Json::U64(corpus.total_chunks())),
@@ -140,18 +167,25 @@ fn corpus_block(corpus: &Corpus, report: &CorpusReport) -> Json {
         ("waits", Json::U64(b.waits)),
         ("admissions", Json::U64(b.admissions)),
         ("admitted_bytes", Json::U64(b.admitted_bytes)),
+        ("cache_capacity", Json::U64(c.capacity)),
+        ("cache_peak", Json::U64(c.peak)),
+        ("cache_hits", Json::U64(c.hits)),
+        ("cache_misses", Json::U64(c.misses)),
+        ("cache_evictions", Json::U64(c.evictions)),
     ])
 }
 
 fn sweep(dir: PathBuf, mut iter: std::vec::IntoIter<String>) -> ExitCode {
     let mut budget_bytes = DEFAULT_BUDGET_BYTES;
     let mut mode = ReplayMode::Mapped;
+    let mut decode = ChunkDecode::Pipelined;
     let mut metrics_json: Option<String> = None;
     let mut metrics_csv: Option<String> = None;
     let mut metrics_timing = false;
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--in-ram" => mode = ReplayMode::InRam,
+            "--inline-decode" => decode = ChunkDecode::Inline,
             "--metrics-timing" => metrics_timing = true,
             "--budget-bytes" => match iter.next().and_then(|s| s.parse().ok()) {
                 Some(n) => budget_bytes = n,
@@ -179,7 +213,7 @@ fn sweep(dir: PathBuf, mut iter: std::vec::IntoIter<String>) -> ExitCode {
         eprintln!("error: no *.fvltrc files in {}", dir.display());
         return ExitCode::FAILURE;
     }
-    let report = match sweep_corpus(&corpus, budget_bytes, mode) {
+    let report = match sweep_corpus_with(&corpus, budget_bytes, mode, decode) {
         Ok(report) => report,
         Err(err) => {
             eprintln!("error: corpus sweep failed: {err}");
@@ -191,13 +225,19 @@ fn sweep(dir: PathBuf, mut iter: std::vec::IntoIter<String>) -> ExitCode {
     // Diagnostics: scheduling-dependent, stderr only.
     let b = &report.budget;
     eprintln!(
-        "residency: mode={} budget={} peak={} waits={} admissions={} admitted={} bytes",
+        "residency: mode={} decode={} budget={} peak={} waits={} admissions={} admitted={} bytes",
         report.mode.label(),
+        report.decode.label(),
         b.limit,
         b.peak,
         b.waits,
         b.admissions,
         b.admitted_bytes,
+    );
+    let c = &report.cache;
+    eprintln!(
+        "chunk-cache: capacity={} peak={} hits={} misses={} evictions={}",
+        c.capacity, c.peak, c.hits, c.misses, c.evictions,
     );
     eprintln!(
         "mapping: {}/{} files memory-mapped",

@@ -1,12 +1,12 @@
 //! Out-of-core trace corpus manager.
 //!
-//! Sweeps a *directory* of chunk-indexed v2.1 trace files
-//! ([`fvl_mem::MappedTrace`]) that may collectively be far larger than
-//! memory. Files stay memory-mapped (never decoded whole, except in the
-//! explicit in-RAM baseline mode) and decode one
-//! [`fvl_mem::CHUNK_ACCESSES`]-sized chunk at a time; a shared
-//! [`ResidencyBudget`] bounds how many decoded-chunk bytes are live
-//! across all worker threads at once.
+//! Sweeps a *directory* of chunk-indexed trace files (v2.1 varint or
+//! v2.2 stream-split, via [`fvl_mem::MappedTrace`]) that may
+//! collectively be far larger than memory. Files stay memory-mapped
+//! (never decoded whole, except in the explicit in-RAM baseline mode)
+//! and decode one [`fvl_mem::CHUNK_ACCESSES`]-sized chunk at a time; a
+//! shared [`ResidencyBudget`] bounds how many decoded-chunk bytes are
+//! live across all worker threads at once.
 //!
 //! Two passes run over the corpus, both work-stealing via
 //! [`crate::sweep::parallel`]:
@@ -18,26 +18,48 @@
 //! 2. **Simulation pass** — trace-granular: each file streams chunk by
 //!    chunk through the [`SWEEP_GEOMETRIES`] cache simulators and a
 //!    [`ReuseProfiler`] miss-rate-curve tower, all fed from the same
-//!    resident chunk.
+//!    resident chunk. With [`ChunkDecode::Pipelined`] (the default) a
+//!    producer thread runs one chunk ahead of simulation: it issues an
+//!    `madvise(WILLNEED)` prefetch for chunk *i + 1*, then decodes
+//!    chunk *i* while the consumer is still simulating chunk *i − 1*,
+//!    handing decoded blocks over a bounded ring so decode latency
+//!    overlaps simulation instead of serialising with it.
+//!
+//! In mapped mode the byte budget is **split**: half backs the
+//! per-file decoded-chunk LRU caches
+//! ([`MappedTrace::set_chunk_cache_capacity`]) so the second pass can
+//! reuse first-pass decodes, and the other half bounds in-flight
+//! (pipelined) decodes through the [`ResidencyBudget`]. Cache-resident
+//! and in-flight bytes are accounted separately and each stays under
+//! its share, so total decoded residency stays under the configured
+//! budget.
 //!
 //! [`ReplayMode::InRam`] is the A/B baseline: each trace is decoded to a
 //! fully resident [`PackedTrace`] and replayed conventionally. Both modes
 //! must produce byte-identical [`TraceSummary`] values — only the
-//! [`BudgetStats`] (timing-class data) may differ.
+//! [`BudgetStats`] and [`ChunkCacheStats`] (timing-class data) may
+//! differ.
 
 use crate::sweep;
 use fvl_cache::{CacheGeometry, CacheSim, CacheStats};
 use fvl_mem::simd::{self, SimdLevel};
 use fvl_mem::{
-    AccessSink, MappedTrace, PackedTrace, Region, RegionEvent, RegionKind, HEAP_BASE, STORE_BIT,
+    AccessSink, AddrCodec, ChunkCacheStats, MappedTrace, PackedTrace, Region, RegionEvent,
+    RegionKind, HEAP_BASE, STORE_BIT,
 };
 use fvl_profile::{MissCurve, ReuseProfiler};
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Condvar, Mutex};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Default bound on decoded-chunk bytes resident across all workers.
 pub const DEFAULT_BUDGET_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Depth of the decode-ahead ring in [`ChunkDecode::Pipelined`] mode:
+/// how many decoded chunks may sit between the producer and the
+/// simulating consumer (each still holding its budget reservation).
+pub const PIPELINE_DEPTH: usize = 4;
 
 /// File extension the corpus manager picks up from a directory.
 pub const TRACE_EXTENSION: &str = "fvltrc";
@@ -311,6 +333,31 @@ impl ReplayMode {
     }
 }
 
+/// How the simulation pass obtains decoded chunks in mapped mode.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ChunkDecode {
+    /// Decode each chunk on the simulating thread, serially with the
+    /// simulation itself (the pre-pipeline behaviour; kept as the A/B
+    /// comparison lane).
+    Inline,
+    /// Decode one chunk ahead on a producer thread: prefetch chunk
+    /// `i + 1` (`madvise(WILLNEED)` on the mmap path), decode chunk `i`,
+    /// and hand decoded blocks to the simulating consumer over a
+    /// bounded ring of depth [`PIPELINE_DEPTH`]. Every in-flight block
+    /// holds its [`ResidencyBudget`] reservation until consumed.
+    Pipelined,
+}
+
+impl ChunkDecode {
+    /// Stable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChunkDecode::Inline => "inline",
+            ChunkDecode::Pipelined => "pipelined",
+        }
+    }
+}
+
 /// Everything the sweep measured about one trace file. Identical
 /// between [`ReplayMode::Mapped`] and [`ReplayMode::InRam`] by
 /// construction — that invariant is what the `diff_corpus` conformance
@@ -341,20 +388,46 @@ pub struct TraceSummary {
 pub struct CorpusReport {
     /// How trace data was reached.
     pub mode: ReplayMode,
+    /// How the simulation pass decoded chunks (mapped mode only).
+    pub decode: ChunkDecode,
     /// Per-file results, in corpus order.
     pub summaries: Vec<TraceSummary>,
     /// Residency accounting (timing-class: scheduling-dependent).
     pub budget: BudgetStats,
+    /// Decoded-chunk cache accounting summed over all files
+    /// (timing-class; all-zero in in-RAM mode or when the budget is
+    /// too small to fund a cache share).
+    pub cache: ChunkCacheStats,
+}
+
+/// Obtains chunk `i` of `trace`, preferring the trace's decoded-chunk
+/// cache. A cache hit carries no [`ChunkGuard`] — its bytes are already
+/// accounted against the cache's capacity share; only a fresh decode
+/// reserves in-flight budget (and is inserted into the cache for the
+/// next pass, if one is configured).
+fn fetch_chunk<'b>(
+    trace: &MappedTrace,
+    budget: &'b ResidencyBudget,
+    i: u64,
+) -> io::Result<(Arc<PackedTrace>, Option<ChunkGuard<'b>>)> {
+    if let Some(chunk) = trace.cached_chunk(i) {
+        return Ok((chunk, None));
+    }
+    let guard = budget.admit(trace.chunk_decoded_bytes(i));
+    let chunk = trace.decode_chunk_cached(i)?;
+    Ok((chunk, Some(guard)))
 }
 
 /// Streams one mapped trace into several sinks chunk by chunk, holding
 /// a budget reservation while each decoded chunk is live. Every sink
 /// sees exactly the event stream of a resident replay and is finished
-/// once.
+/// once. In [`ChunkDecode::Pipelined`] mode a producer thread prefetches
+/// and decodes one chunk ahead of the simulating consumer.
 fn replay_budgeted(
     trace: &MappedTrace,
     budget: &ResidencyBudget,
     level: SimdLevel,
+    decode: ChunkDecode,
     sinks: &mut [&mut dyn AccessSink],
 ) -> io::Result<()> {
     if trace.chunk_count() == 0 {
@@ -368,11 +441,40 @@ fn replay_budgeted(
             }
         }
     } else {
-        for i in 0..trace.chunk_count() {
-            let _guard = budget.admit(trace.chunk_decoded_bytes(i));
-            let chunk = trace.decode_chunk(i)?;
-            for sink in sinks.iter_mut() {
-                chunk.feed_into_with(level, &mut **sink);
+        match decode {
+            ChunkDecode::Inline => {
+                for i in 0..trace.chunk_count() {
+                    let (chunk, guard) = fetch_chunk(trace, budget, i)?;
+                    for sink in sinks.iter_mut() {
+                        chunk.feed_into_with(level, &mut **sink);
+                    }
+                    drop(guard);
+                }
+            }
+            ChunkDecode::Pipelined => {
+                std::thread::scope(|scope| -> io::Result<()> {
+                    let (tx, rx) = mpsc::sync_channel(PIPELINE_DEPTH);
+                    let producer = scope.spawn(move || -> io::Result<()> {
+                        trace.prefetch_chunk(0);
+                        for i in 0..trace.chunk_count() {
+                            if i + 1 < trace.chunk_count() {
+                                trace.prefetch_chunk(i + 1);
+                            }
+                            let block = fetch_chunk(trace, budget, i)?;
+                            if tx.send(block).is_err() {
+                                break; // consumer dropped the ring
+                            }
+                        }
+                        Ok(())
+                    });
+                    for (chunk, guard) in rx {
+                        for sink in sinks.iter_mut() {
+                            chunk.feed_into_with(level, &mut **sink);
+                        }
+                        drop(guard);
+                    }
+                    producer.join().expect("corpus decode producer panicked")
+                })?;
             }
         }
     }
@@ -400,8 +502,7 @@ fn digest_pass(
                 .collect();
             let per_chunk = sweep::parallel(corpus, items.clone(), |corpus, &(f, c)| {
                 let trace = &corpus.entries[f].trace;
-                let _guard = budget.admit(trace.chunk_decoded_bytes(c));
-                let chunk = trace.decode_chunk(c)?;
+                let (chunk, _guard) = fetch_chunk(trace, budget, c)?;
                 Ok::<ChunkFacts, io::Error>(chunk_facts(chunk.addrs(), chunk.values()))
             });
             let mut folds = vec![(DIGEST_SEED, 0u64); corpus.len()];
@@ -448,6 +549,7 @@ fn sim_pass(
     corpus: &Corpus,
     budget: &ResidencyBudget,
     mode: ReplayMode,
+    decode: ChunkDecode,
 ) -> io::Result<Vec<FileSimResult>> {
     let level = simd::active_level();
     let results = sweep::parallel(
@@ -470,7 +572,9 @@ fn sim_pass(
                     sims.iter_mut().map(|s| s as &mut dyn AccessSink).collect();
                 sinks.push(&mut profiler);
                 match mode {
-                    ReplayMode::Mapped => replay_budgeted(trace, budget, level, &mut sinks)?,
+                    ReplayMode::Mapped => {
+                        replay_budgeted(trace, budget, level, decode, &mut sinks)?
+                    }
                     ReplayMode::InRam => {
                         let packed = trace.to_packed()?;
                         for sink in sinks.iter_mut() {
@@ -491,7 +595,8 @@ fn sim_pass(
 }
 
 /// Runs both corpus passes under one residency budget and assembles the
-/// per-file summaries.
+/// per-file summaries, with the default [`ChunkDecode::Pipelined`]
+/// decode-ahead simulation pass.
 ///
 /// # Errors
 ///
@@ -501,31 +606,79 @@ pub fn sweep_corpus(
     budget_bytes: u64,
     mode: ReplayMode,
 ) -> io::Result<CorpusReport> {
-    let budget = ResidencyBudget::new(budget_bytes);
-    let folds = digest_pass(corpus, &budget, mode)?;
-    let sims = sim_pass(corpus, &budget, mode)?;
-    let summaries = corpus
-        .entries
-        .iter()
-        .zip(folds)
-        .zip(sims)
-        .map(
-            |((entry, (digest, stores)), (geometries, curve))| TraceSummary {
-                name: entry.name.clone(),
-                accesses: entry.trace.accesses(),
-                stores,
-                chunks: entry.trace.chunk_count(),
-                file_bytes: entry.trace.file_bytes(),
-                digest,
-                geometries,
-                curve,
-            },
-        )
-        .collect();
+    sweep_corpus_with(corpus, budget_bytes, mode, ChunkDecode::Pipelined)
+}
+
+/// [`sweep_corpus`] with an explicit simulation-pass decode strategy.
+///
+/// In mapped mode half the byte budget funds the per-file decoded-chunk
+/// LRU caches (split evenly across files) and the other half bounds
+/// in-flight decodes; when the budget is too small to give every file a
+/// non-zero share, caching stays disabled and the whole budget bounds
+/// in-flight decodes, which degrades to the pre-cache behaviour.
+///
+/// # Errors
+///
+/// Propagates chunk-decode failures from either pass.
+pub fn sweep_corpus_with(
+    corpus: &Corpus,
+    budget_bytes: u64,
+    mode: ReplayMode,
+    decode: ChunkDecode,
+) -> io::Result<CorpusReport> {
+    let mut cache_share_per_file = 0u64;
+    if mode == ReplayMode::Mapped && !corpus.is_empty() {
+        cache_share_per_file = (budget_bytes / 2) / corpus.len() as u64;
+        for entry in &corpus.entries {
+            entry.trace.set_chunk_cache_capacity(cache_share_per_file);
+        }
+    }
+    let cache_share = cache_share_per_file * corpus.len() as u64;
+    let budget = ResidencyBudget::new(budget_bytes - cache_share);
+    let result = (|| -> io::Result<Vec<TraceSummary>> {
+        let folds = digest_pass(corpus, &budget, mode)?;
+        let sims = sim_pass(corpus, &budget, mode, decode)?;
+        Ok(corpus
+            .entries
+            .iter()
+            .zip(folds)
+            .zip(sims)
+            .map(
+                |((entry, (digest, stores)), (geometries, curve))| TraceSummary {
+                    name: entry.name.clone(),
+                    accesses: entry.trace.accesses(),
+                    stores,
+                    chunks: entry.trace.chunk_count(),
+                    file_bytes: entry.trace.file_bytes(),
+                    digest,
+                    geometries,
+                    curve,
+                },
+            )
+            .collect())
+    })();
+    // Snapshot cache accounting, then release the cached chunks — the
+    // corpus may be swept again (possibly in a different mode) and the
+    // caches should not outlive the sweep that funded them.
+    let mut cache = ChunkCacheStats::default();
+    for entry in &corpus.entries {
+        let st = entry.trace.chunk_cache_stats();
+        cache.capacity += st.capacity;
+        cache.resident += st.resident;
+        cache.peak += st.peak;
+        cache.hits += st.hits;
+        cache.misses += st.misses;
+        cache.evictions += st.evictions;
+        if cache_share_per_file > 0 {
+            entry.trace.set_chunk_cache_capacity(0);
+        }
+    }
     Ok(CorpusReport {
         mode,
-        summaries,
+        decode,
+        summaries: result?,
         budget: budget.stats(),
+        cache,
     })
 }
 
@@ -610,13 +763,42 @@ pub fn write_synthetic_corpus(
     seed: u64,
     chunk_accesses: u32,
 ) -> io::Result<Vec<PathBuf>> {
+    write_synthetic_corpus_with(
+        dir,
+        traces,
+        accesses,
+        seed,
+        chunk_accesses,
+        AddrCodec::Varint,
+    )
+}
+
+/// [`write_synthetic_corpus`] with an explicit address-column codec:
+/// [`AddrCodec::Varint`] writes v2.1 files, [`AddrCodec::Split`] v2.2.
+/// Both codecs produce the same logical traces, so sweeps over either
+/// corpus report identical summaries.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_synthetic_corpus_with(
+    dir: &Path,
+    traces: usize,
+    accesses: u64,
+    seed: u64,
+    chunk_accesses: u32,
+    codec: AddrCodec,
+) -> io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
     let mut paths = Vec::with_capacity(traces);
     for i in 0..traces {
         let trace = synth_trace(accesses + i as u64, seed.wrapping_add(i as u64));
         let path = dir.join(format!("synth-{i:03}.{TRACE_EXTENSION}"));
         let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
-        trace.write_v21_with(&mut file, chunk_accesses)?;
+        match codec {
+            AddrCodec::Varint => trace.write_v21_with(&mut file, chunk_accesses)?,
+            AddrCodec::Split => trace.write_v22_with(&mut file, chunk_accesses)?,
+        }
         std::io::Write::flush(&mut file)?;
         paths.push(path);
     }
@@ -686,14 +868,77 @@ mod tests {
         assert!(corpus.total_accesses() * 8 > 4 * budget_bytes);
         assert!(corpus.max_chunk_bytes() <= budget_bytes);
         let report = sweep_corpus(&corpus, budget_bytes, ReplayMode::Mapped).unwrap();
+        // In-flight peak stays under the in-flight share and the cache
+        // under its share, so total decoded residency stays under the
+        // configured budget.
         assert!(
-            report.budget.peak <= budget_bytes,
-            "accounted peak {} exceeds budget {}",
+            report.budget.peak + report.cache.peak <= budget_bytes,
+            "accounted peak {} + cache peak {} exceeds budget {}",
             report.budget.peak,
+            report.cache.peak,
             budget_bytes
         );
-        assert_eq!(report.budget.admissions, 2 * corpus.total_chunks());
+        // Every chunk is admitted at most twice (once per pass); cache
+        // hits in the second pass skip admission entirely.
+        let total = corpus.total_chunks();
+        assert!(
+            (total..=2 * total).contains(&report.budget.admissions),
+            "admissions {} outside [{total}, {}]",
+            report.budget.admissions,
+            2 * total
+        );
         assert_eq!(report.summaries.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn big_budget_reuses_first_pass_decodes() {
+        let dir = temp_dir("cache-reuse");
+        // 64MB budget over a ~KB-scale corpus: every file's cache share
+        // holds the whole file, so the simulation pass decodes nothing.
+        write_synthetic_corpus(&dir, 3, 5_000, 11, 512).unwrap();
+        let corpus = Corpus::open_dir(&dir).unwrap();
+        let report = sweep_corpus(&corpus, 64 * 1024 * 1024, ReplayMode::Mapped).unwrap();
+        let total = corpus.total_chunks();
+        assert_eq!(
+            report.cache.misses, total,
+            "each chunk should decode exactly once: {:?}",
+            report.cache
+        );
+        assert_eq!(
+            report.cache.hits, total,
+            "the simulation pass should run entirely from cache: {:?}",
+            report.cache
+        );
+        assert_eq!(report.budget.admissions, total);
+        assert_eq!(report.cache.evictions, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pipelined_and_inline_decode_agree() {
+        let dir = temp_dir("decode-ab");
+        write_synthetic_corpus(&dir, 2, 8_000, 5, 256).unwrap();
+        let corpus = Corpus::open_dir(&dir).unwrap();
+        let piped = sweep_corpus_with(
+            &corpus,
+            24 * 1024,
+            ReplayMode::Mapped,
+            ChunkDecode::Pipelined,
+        )
+        .unwrap();
+        let inline =
+            sweep_corpus_with(&corpus, 24 * 1024, ReplayMode::Mapped, ChunkDecode::Inline).unwrap();
+        assert_eq!(piped.decode, ChunkDecode::Pipelined);
+        assert_eq!(inline.decode, ChunkDecode::Inline);
+        assert_eq!(piped.summaries.len(), inline.summaries.len());
+        for (p, i) in piped.summaries.iter().zip(&inline.summaries) {
+            assert_eq!(p.name, i.name);
+            assert_eq!(p.digest, i.digest);
+            assert_eq!(p.stores, i.stores);
+            assert_eq!(p.geometries, i.geometries);
+            assert_eq!(p.curve, i.curve);
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -713,6 +958,35 @@ mod tests {
             assert_eq!(m.curve, r.curve);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v21_and_v22_corpora_sweep_identically() {
+        let dir21 = temp_dir("codec-v21");
+        let dir22 = temp_dir("codec-v22");
+        write_synthetic_corpus_with(&dir21, 2, 6_000, 9, 512, AddrCodec::Varint).unwrap();
+        write_synthetic_corpus_with(&dir22, 2, 6_000, 9, 512, AddrCodec::Split).unwrap();
+        let c21 = Corpus::open_dir(&dir21).unwrap();
+        let c22 = Corpus::open_dir(&dir22).unwrap();
+        assert!(c21
+            .entries()
+            .iter()
+            .all(|e| e.trace.codec() == AddrCodec::Varint));
+        assert!(c22
+            .entries()
+            .iter()
+            .all(|e| e.trace.codec() == AddrCodec::Split));
+        let r21 = sweep_corpus(&c21, 32 * 1024, ReplayMode::Mapped).unwrap();
+        let r22 = sweep_corpus(&c22, 32 * 1024, ReplayMode::Mapped).unwrap();
+        for (a, b) in r21.summaries.iter().zip(&r22.summaries) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.digest, b.digest);
+            assert_eq!(a.stores, b.stores);
+            assert_eq!(a.geometries, b.geometries);
+            assert_eq!(a.curve, b.curve);
+        }
+        let _ = std::fs::remove_dir_all(&dir21);
+        let _ = std::fs::remove_dir_all(&dir22);
     }
 
     #[test]

@@ -14,7 +14,8 @@ use crate::oracle_replay::{scalar_replay, DigestSink};
 use fvl_cache::{CacheGeometry, CacheSim, CacheStats, ReplacementKind, Simulator, WritePolicy};
 use fvl_core::{FrequentValueSet, HybridCache, HybridConfig, OnlineHybrid};
 use fvl_mem::{
-    AccessSink, MappedTrace, PackedTrace, SimdLevel, SimdPolicy, Trace, Word, CHUNK_ACCESSES,
+    AccessSink, AddrCodec, MappedTrace, PackedTrace, SimdLevel, SimdPolicy, Trace, Word,
+    CHUNK_ACCESSES,
 };
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -217,10 +218,44 @@ pub fn diff_simd(trace: &Trace) -> Option<String> {
         }
         Err(e) => return Some(format!("v2 round-trip failed to decode: {e}")),
     }
+
+    // The v2.2 stream-split address codec: every available SIMD level's
+    // shuffle-table decode must reproduce the scalar decode (and the
+    // original column) byte for byte — including the resumable tail the
+    // kernels fall back to near the end of the payload.
+    let addrs = packed.addrs();
+    if !addrs.is_empty() {
+        let mut column = Vec::new();
+        fvl_mem::varint::encode_addr_chunk_split(addrs, &mut column);
+        let scalar = match fvl_mem::varint::decode_addr_chunk_split(&column, addrs.len()) {
+            Ok(decoded) => decoded,
+            Err(e) => return Some(format!("split column failed scalar decode: {e}")),
+        };
+        if scalar != addrs {
+            return Some("split column scalar round-trip changed the addresses".to_string());
+        }
+        for level in SimdLevel::available() {
+            let mut out = Vec::new();
+            if let Err(e) = fvl_mem::varint::decode_addr_chunk_split_into_with(
+                &column,
+                addrs.len(),
+                level,
+                &mut out,
+            ) {
+                return Some(format!("split decode at {level:?} failed: {e}"));
+            }
+            if out != addrs {
+                return Some(format!(
+                    "split decode at {level:?} diverged from the encoded column"
+                ));
+            }
+        }
+    }
     None
 }
 
-/// Diffs the out-of-core v2.1 trace path against the fully resident
+/// Diffs the out-of-core chunk-indexed trace path — both the v2.1
+/// varint and v2.2 stream-split codecs — against the fully resident
 /// packed replay. The trace is encoded at several chunk sizes (so the
 /// corpus's chunk-boundary access counts straddle a chunk edge in at
 /// least one of them), reopened through [`MappedTrace::from_bytes`],
@@ -228,76 +263,130 @@ pub fn diff_simd(trace: &Trace) -> Option<String> {
 /// (b) produce a byte-identical order-sensitive replay digest from
 /// lazy chunk-by-chunk delivery, and (c) yield identical [`CacheSim`]
 /// stats and traffic when the simulators are fed from the lazy stream
-/// instead of the resident one.
+/// instead of the resident one. A final transcode leg re-encodes each
+/// format as the other and requires byte-identical files.
 ///
-/// The in-RAM side never touches the varint address codec, so a codec
-/// bug cannot cancel out of the comparison.
+/// The in-RAM side never touches the address codecs, so a codec bug
+/// cannot cancel out of the comparison.
 pub fn diff_corpus(trace: &Trace) -> Option<String> {
     let packed = PackedTrace::from_trace(trace);
     let mut reference = DigestSink::new();
     packed.replay_into(&mut reference);
 
-    for chunk_accesses in [7u32, 64, CHUNK_ACCESSES] {
-        let mut encoded = Vec::new();
-        packed
-            .write_v21_with(&mut encoded, chunk_accesses)
-            .expect("in-memory write cannot fail");
-        let mapped = match MappedTrace::from_bytes(encoded) {
-            Ok(mapped) => mapped,
-            Err(e) => return Some(format!("v2.1 (chunk {chunk_accesses}) failed to open: {e}")),
+    for codec in [AddrCodec::Varint, AddrCodec::Split] {
+        let tag = match codec {
+            AddrCodec::Varint => "v2.1",
+            AddrCodec::Split => "v2.2",
         };
-
-        let resident = match mapped.to_packed() {
-            Ok(resident) => resident,
-            Err(e) => {
-                return Some(format!(
-                    "v2.1 (chunk {chunk_accesses}) failed to decode resident: {e}"
-                ))
+        for chunk_accesses in [7u32, 64, CHUNK_ACCESSES] {
+            let mut encoded = Vec::new();
+            match codec {
+                AddrCodec::Varint => packed.write_v21_with(&mut encoded, chunk_accesses),
+                AddrCodec::Split => packed.write_v22_with(&mut encoded, chunk_accesses),
             }
-        };
-        if resident.addrs() != packed.addrs()
-            || resident.values() != packed.values()
-            || resident.region_events() != packed.region_events()
-        {
-            return Some(format!(
-                "v2.1 (chunk {chunk_accesses}) round-trip changed the columns"
-            ));
-        }
-
-        let mut lazy = DigestSink::new();
-        if let Err(e) = mapped.replay_into(&mut lazy) {
-            return Some(format!(
-                "v2.1 (chunk {chunk_accesses}) lazy replay failed: {e}"
-            ));
-        }
-        if lazy != reference {
-            return Some(format!(
-                "v2.1 (chunk {chunk_accesses}) lazy replay digest diverged: \
-                 {lazy:?} vs {reference:?}"
-            ));
-        }
-
-        for &(size, line, assoc) in &GEOMETRIES {
-            let geom = CacheGeometry::new(size, line, assoc).expect("valid geometry");
-            let mut in_ram = CacheSim::new(geom);
-            packed.replay_into(&mut in_ram);
-            let mut out_of_core = CacheSim::new(geom);
-            if let Err(e) = mapped.replay_into(&mut out_of_core) {
+            .expect("in-memory write cannot fail");
+            let mapped = match MappedTrace::from_bytes(encoded) {
+                Ok(mapped) => mapped,
+                Err(e) => {
+                    return Some(format!(
+                        "{tag} (chunk {chunk_accesses}) failed to open: {e}"
+                    ))
+                }
+            };
+            if mapped.codec() != codec {
                 return Some(format!(
-                    "v2.1 (chunk {chunk_accesses}) lazy cache replay failed: {e}"
+                    "{tag} (chunk {chunk_accesses}) sniffed as {:?}",
+                    mapped.codec()
                 ));
             }
-            if in_ram.stats() != out_of_core.stats()
-                || in_ram.traffic_words() != out_of_core.traffic_words()
+
+            let resident = match mapped.to_packed() {
+                Ok(resident) => resident,
+                Err(e) => {
+                    return Some(format!(
+                        "{tag} (chunk {chunk_accesses}) failed to decode resident: {e}"
+                    ))
+                }
+            };
+            if resident.addrs() != packed.addrs()
+                || resident.values() != packed.values()
+                || resident.region_events() != packed.region_events()
             {
                 return Some(format!(
-                    "CacheSim {size}B/{line}B/{assoc}-way fed from the v2.1 lazy stream \
-                     (chunk {chunk_accesses}) diverged: {:?} vs in-RAM {:?}",
-                    out_of_core.stats(),
-                    in_ram.stats()
+                    "{tag} (chunk {chunk_accesses}) round-trip changed the columns"
                 ));
             }
+
+            let mut lazy = DigestSink::new();
+            if let Err(e) = mapped.replay_into(&mut lazy) {
+                return Some(format!(
+                    "{tag} (chunk {chunk_accesses}) lazy replay failed: {e}"
+                ));
+            }
+            if lazy != reference {
+                return Some(format!(
+                    "{tag} (chunk {chunk_accesses}) lazy replay digest diverged: \
+                     {lazy:?} vs {reference:?}"
+                ));
+            }
+
+            for &(size, line, assoc) in &GEOMETRIES {
+                let geom = CacheGeometry::new(size, line, assoc).expect("valid geometry");
+                let mut in_ram = CacheSim::new(geom);
+                packed.replay_into(&mut in_ram);
+                let mut out_of_core = CacheSim::new(geom);
+                if let Err(e) = mapped.replay_into(&mut out_of_core) {
+                    return Some(format!(
+                        "{tag} (chunk {chunk_accesses}) lazy cache replay failed: {e}"
+                    ));
+                }
+                if in_ram.stats() != out_of_core.stats()
+                    || in_ram.traffic_words() != out_of_core.traffic_words()
+                {
+                    return Some(format!(
+                        "CacheSim {size}B/{line}B/{assoc}-way fed from the {tag} lazy stream \
+                         (chunk {chunk_accesses}) diverged: {:?} vs in-RAM {:?}",
+                        out_of_core.stats(),
+                        in_ram.stats()
+                    ));
+                }
+            }
         }
+    }
+
+    // Transcode leg: decoding one chunked format and re-encoding as the
+    // other must match encoding the resident trace directly — the two
+    // codecs describe the same logical columns, so transcoding is
+    // byte-lossless in both directions.
+    let mut v21 = Vec::new();
+    packed.write_v21_to(&mut v21).expect("in-memory write");
+    let mut v22 = Vec::new();
+    packed.write_v22_to(&mut v22).expect("in-memory write");
+    let from_v21 = match MappedTrace::from_bytes(v21).and_then(|m| m.to_packed()) {
+        Ok(t) => t,
+        Err(e) => return Some(format!("transcode leg failed to reopen v2.1: {e}")),
+    };
+    let mut v22_again = Vec::new();
+    from_v21
+        .write_v22_to(&mut v22_again)
+        .expect("in-memory write");
+    if v22_again != v22 {
+        return Some("v2.1 -> v2.2 transcode is not byte-identical".to_string());
+    }
+    let from_v22 = match MappedTrace::from_bytes(v22).and_then(|m| m.to_packed()) {
+        Ok(t) => t,
+        Err(e) => return Some(format!("transcode leg failed to reopen v2.2: {e}")),
+    };
+    let mut v21_again = Vec::new();
+    from_v21
+        .write_v21_to(&mut v21_again)
+        .expect("in-memory write");
+    let mut v21_direct = Vec::new();
+    from_v22
+        .write_v21_to(&mut v21_direct)
+        .expect("in-memory write");
+    if v21_again != v21_direct {
+        return Some("v2.2 -> v2.1 transcode is not byte-identical".to_string());
     }
     None
 }

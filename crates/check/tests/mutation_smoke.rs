@@ -1,6 +1,6 @@
 //! Mutation smoke test: prove the differential net has teeth.
 //!
-//! Compiled only under the `mutation` feature, which turns on five
+//! Compiled only under the `mutation` feature, which turns on six
 //! deliberately seeded bugs in the optimized crates:
 //!
 //! 1. an off-by-one set-index mask in `fvl-cache`'s geometry (the top
@@ -11,11 +11,17 @@
 //!    (every packed load replays as a store and vice versa),
 //! 4. an inverted LRU victim scan in `fvl-cache`'s replacement policy
 //!    (the most recently used way is evicted instead of the least) —
-//!    inert at 1-way associativity, where there is only one way, and
+//!    inert at 1-way associativity, where there is only one way,
 //! 5. an off-by-one continuation-bit check in `fvl-mem`'s varint
 //!    decoder (`byte < 0x7f` instead of `byte < 0x80`), which
 //!    misreads any v2.1 address token whose final varint byte is
-//!    exactly `0x7f` and desynchronizes the rest of the chunk.
+//!    exactly `0x7f` and desynchronizes the rest of the chunk, and
+//! 6. a flipped control-byte length-table entry in `fvl-mem`'s v2.2
+//!    stream-split decoder (`lane_len(0, 0)` reads 2 payload bytes
+//!    instead of 1), which desynchronizes any chunk whose first group
+//!    holds four single-byte tokens — at every SIMD level, since the
+//!    scalar tail and the const shuffle tables share the one mutated
+//!    length authority.
 //!
 //! Each test below isolates one bug with a trace (and, for the
 //! cache-level bugs, a geometry/policy scope) constructed so the others
@@ -157,6 +163,48 @@ fn varint_continuation_bug_is_caught() {
     // packed or varint decode is involved there — so the failure is
     // attributable to the v2.1 address codec alone.
     assert_eq!(diff::diff_cache(&trace), None);
+}
+
+/// Bug 6 — flipped split control-table length. Four loads at
+/// word-adjacent addresses give a v2.2 chunk whose first control group
+/// is four single-byte tokens (control byte 0), the exact cell the
+/// mutation corrupts: lane 0 decodes as two payload bytes, so the
+/// group desynchronizes and the chunk over-runs its payload. The
+/// tokens (16, 4, 4, 4) are single varint bytes below `0x7f`, so the
+/// v2.1 continuation off-by-one (bug 5) cannot fire; the trace is
+/// load-only (dirty-bit bug inert), stays within one cache line
+/// (mask and victim bugs inert), and the swapped-kind decode (bug 3)
+/// mutates both sides of the replay digests identically.
+#[test]
+fn split_control_table_bug_is_caught() {
+    diff::silence_panics();
+    let trace = Trace::from_events(vec![
+        TraceEvent::Access(Access::load(0x10, 0)),
+        TraceEvent::Access(Access::load(0x14, 0)),
+        TraceEvent::Access(Access::load(0x18, 0)),
+        TraceEvent::Access(Access::load(0x1c, 0)),
+    ]);
+    let caught = match catch_unwind(AssertUnwindSafe(|| diff::diff_corpus(&trace))) {
+        Ok(result) => result.is_some(),
+        Err(_) => true,
+    };
+    assert!(caught, "flipped split control-table entry went undetected");
+    // Attribution: the cache differential never touches an address
+    // codec and stays clean on this trace...
+    assert_eq!(diff::diff_cache(&trace), None);
+    // ...and the v2.1 varint container alone round-trips the columns
+    // exactly, so none of the other five mutations fires on this trace
+    // — the diff_corpus failure is attributable to the v2.2
+    // stream-split decoder alone.
+    let packed = fvl_mem::PackedTrace::from_trace(&trace);
+    let mut v21 = Vec::new();
+    packed.write_v21_to(&mut v21).unwrap();
+    let resident = fvl_mem::MappedTrace::from_bytes(v21)
+        .unwrap()
+        .to_packed()
+        .unwrap();
+    assert_eq!(resident.addrs(), packed.addrs());
+    assert_eq!(resident.values(), packed.values());
 }
 
 /// End to end: a small corpus run must go red, and every failure must

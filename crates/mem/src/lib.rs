@@ -75,7 +75,7 @@ pub use alloc::{HeapAllocator, StackAllocator};
 pub use bus::{Bus, BusExt};
 pub use layout::{Addr, Region, RegionKind, Word, GLOBAL_BASE, HEAP_BASE, STACK_BASE, WORD_BYTES};
 pub use live::LiveSet;
-pub use mapped::MappedTrace;
+pub use mapped::{ChunkCacheStats, MappedTrace};
 pub use mmap::MapSource;
 pub use packed::{
     BroadcastReplay, PackedTrace, RegionEvent, BROADCAST_BLOCK, BROADCAST_INLINE_MAX, STORE_BIT,
@@ -85,5 +85,5 @@ pub use sim_memory::SimMemory;
 pub use simd::{SimdLevel, SimdPolicy};
 pub use snapshot::MemorySnapshot;
 pub use trace::{Trace, TraceBuffer, TraceEvent};
-pub use trace_io::{CHUNK_ACCESSES, CHUNK_BYTES};
+pub use trace_io::{AddrCodec, CHUNK_ACCESSES, CHUNK_BYTES};
 pub use traced::TracedMemory;

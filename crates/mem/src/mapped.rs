@@ -1,5 +1,6 @@
-//! Out-of-core trace access: lazy, chunk-granular decode of v2.1
-//! (`FVLTRC21`) trace files through a memory mapping.
+//! Out-of-core trace access: lazy, chunk-granular decode of
+//! chunk-indexed (`FVLTRC21`/`FVLTRC22`) trace files through a memory
+//! mapping.
 //!
 //! [`PackedTrace::read_from`] materializes a whole trace in RAM, which
 //! caps corpus studies at resident-set size. [`MappedTrace`] instead
@@ -17,6 +18,14 @@
 //! and length in the index is bounds-checked against the file before
 //! use, so hostile files fail with `InvalidData` instead of reading
 //! out of bounds or allocating unboundedly.
+//!
+//! Two additions serve multi-pass, pipelined sweeps:
+//! [`MappedTrace::prefetch_chunk`] issues `madvise(MADV_WILLNEED)` for
+//! a chunk's payload so page-in overlaps with simulating the previous
+//! chunk, and an opt-in decoded-chunk LRU
+//! ([`MappedTrace::decode_chunk_cached`], capacity via
+//! [`MappedTrace::set_chunk_cache_capacity`]) lets a digest pass and a
+//! simulation pass share one decode per chunk.
 
 use crate::access::AccessSink;
 use crate::layout::Region;
@@ -24,12 +33,13 @@ use crate::mmap::MapSource;
 use crate::packed::{PackedTrace, RegionEvent};
 use crate::simd::{self, SimdLevel};
 use crate::trace_io::{
-    bad_data, byte_to_kind, V21Header, MAGIC_V21, REGION_RECORD_BYTES, V21_HEADER_BYTES,
-    V21_INDEX_ENTRY_BYTES,
+    bad_data, byte_to_kind, AddrCodec, V21Header, MAGIC_V21, MAGIC_V22, REGION_RECORD_BYTES,
+    V21_HEADER_BYTES, V21_INDEX_ENTRY_BYTES,
 };
 use crate::varint;
 use std::io;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 /// One validated footer-index entry.
 #[derive(Copy, Clone, Debug)]
@@ -68,6 +78,69 @@ pub struct MappedTrace {
     header: V21Header,
     chunks: Vec<ChunkEntry>,
     regions: Vec<RegionEvent>,
+    cache: Mutex<ChunkCache>,
+}
+
+/// Counters describing a [`MappedTrace`] decoded-chunk cache — all
+/// byte figures are in decoded (resident) bytes, the same unit as
+/// [`MappedTrace::chunk_decoded_bytes`].
+#[derive(Copy, Clone, Default, Debug)]
+pub struct ChunkCacheStats {
+    /// Configured capacity (0 = caching disabled, the default).
+    pub capacity: u64,
+    /// Decoded bytes currently held.
+    pub resident: u64,
+    /// High-water mark of `resident`.
+    pub peak: u64,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to decode.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+/// One cached decoded chunk.
+#[derive(Debug)]
+struct CacheEntry {
+    index: u64,
+    bytes: u64,
+    stamp: u64,
+    chunk: Arc<PackedTrace>,
+}
+
+/// A small LRU over decoded chunks, so multi-pass corpus sweeps decode
+/// each chunk once. Linear-scan recency (entries are few — chunks are
+/// 32 KiB-class) with a monotone stamp; disabled until a capacity is
+/// set.
+#[derive(Default, Debug)]
+struct ChunkCache {
+    capacity: u64,
+    stamp: u64,
+    resident: u64,
+    peak: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    entries: Vec<CacheEntry>,
+}
+
+impl ChunkCache {
+    /// Evicts least-recently-stamped entries until `resident <= target`.
+    fn evict_to(&mut self, target: u64) {
+        while self.resident > target && !self.entries.is_empty() {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("non-empty entries");
+            let evicted = self.entries.swap_remove(oldest);
+            self.resident -= evicted.bytes;
+            self.evictions += 1;
+        }
+    }
 }
 
 /// Bounds-checked subslice at a (file-offset, length) pair.
@@ -137,20 +210,34 @@ impl MappedTrace {
         let bytes = source.bytes();
         let len = bytes.len() as u64;
         if bytes.len() < V21_HEADER_BYTES + 8 {
-            return Err(bad_data("file too short for a v2.1 trace"));
+            return Err(bad_data("file too short for a chunk-indexed trace"));
         }
-        if &bytes[..8] != MAGIC_V21 {
+        let codec = if &bytes[..8] == MAGIC_V21 {
+            AddrCodec::Varint
+        } else if &bytes[..8] == MAGIC_V22 {
+            AddrCodec::Split
+        } else {
             return Err(bad_data(
-                "not an FVLTRC21 file (only the chunk-indexed v2.1 format supports mapped reads)",
+                "not an FVLTRC21/FVLTRC22 file (only the chunk-indexed formats support mapped reads)",
             ));
-        }
+        };
         let header = V21Header {
             accesses: get_u64(bytes, 8)?,
             region_count: get_u64(bytes, 16)?,
             chunk_count: get_u64(bytes, 24)?,
             chunk_accesses: get_u32(bytes, 32)?,
+            codec,
         }
         .validate()?;
+        if codec == AddrCodec::Split {
+            let reserved = get_u32(bytes, 36)?;
+            if reserved != codec.id() {
+                return Err(bad_data(format!(
+                    "FVLTRC22 header declares codec id {reserved}, expected {}",
+                    codec.id()
+                )));
+            }
+        }
 
         // Footer: the trailing u64 locates the index, whose size the
         // header fixes; both must agree exactly.
@@ -233,6 +320,7 @@ impl MappedTrace {
             header,
             chunks,
             regions,
+            cache: Mutex::new(ChunkCache::default()),
         })
     }
 
@@ -322,7 +410,19 @@ impl MappedTrace {
         let (lo, hi) = self.header.chunk_range(i);
         let addr_off = entry.payload_offset + 8;
         let encoded = slice(bytes, addr_off, u64::from(entry.addr_bytes))?;
-        let addrs = varint::decode_addr_chunk(encoded, entry.chunk_len as usize)?;
+        let addrs = match self.header.codec {
+            AddrCodec::Varint => varint::decode_addr_chunk(encoded, entry.chunk_len as usize)?,
+            AddrCodec::Split => {
+                let mut addrs = Vec::new();
+                varint::decode_addr_chunk_split_into_with(
+                    encoded,
+                    entry.chunk_len as usize,
+                    simd::active_level(),
+                    &mut addrs,
+                )?;
+                addrs
+            }
+        };
         let values_off = addr_off + u64::from(entry.addr_bytes);
         let values: Vec<u32> = slice(bytes, values_off, 4 * u64::from(entry.chunk_len))?
             .chunks_exact(4)
@@ -330,6 +430,135 @@ impl MappedTrace {
             .collect();
         let regions: Vec<RegionEvent> = self.chunk_regions(i, lo, hi).collect();
         PackedTrace::from_columns(addrs, values, regions).map_err(bad_data)
+    }
+
+    /// The address codec of the underlying file (`FVLTRC21` varint or
+    /// `FVLTRC22` stream-split).
+    pub fn codec(&self) -> AddrCodec {
+        self.header.codec
+    }
+
+    /// Hints the kernel to page in chunk `i`'s payload bytes ahead of
+    /// its decode (`madvise(MADV_WILLNEED)` on the mapped path, no-op
+    /// otherwise). Purely advisory — never fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.chunk_count()`.
+    pub fn prefetch_chunk(&self, i: u64) {
+        let entry = self.chunks[usize::try_from(i).expect("chunk index")];
+        let len = 8 + u64::from(entry.addr_bytes) + 4 * u64::from(entry.chunk_len);
+        self.source.advise_willneed(entry.payload_offset, len);
+    }
+
+    /// Enables (or resizes) the decoded-chunk LRU cache used by
+    /// [`MappedTrace::decode_chunk_cached`], evicting immediately if
+    /// the current contents exceed the new capacity. Capacity 0 (the
+    /// default) disables caching. The unit is decoded bytes, as
+    /// returned by [`MappedTrace::chunk_decoded_bytes`].
+    ///
+    /// Each call starts a fresh accounting epoch: the hit/miss/eviction
+    /// counters reset and `peak` rebases to the surviving residency, so
+    /// [`MappedTrace::chunk_cache_stats`] describes only the use since
+    /// the capacity was last set.
+    pub fn set_chunk_cache_capacity(&self, bytes: u64) {
+        let mut cache = self.cache.lock().expect("chunk cache poisoned");
+        cache.capacity = bytes;
+        let target = cache.capacity;
+        cache.evict_to(target);
+        cache.hits = 0;
+        cache.misses = 0;
+        cache.evictions = 0;
+        cache.peak = cache.resident;
+    }
+
+    /// Snapshot of the decoded-chunk cache counters.
+    pub fn chunk_cache_stats(&self) -> ChunkCacheStats {
+        let cache = self.cache.lock().expect("chunk cache poisoned");
+        ChunkCacheStats {
+            capacity: cache.capacity,
+            resident: cache.resident,
+            peak: cache.peak,
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+        }
+    }
+
+    /// Returns chunk `i` from the decoded-chunk cache without decoding
+    /// anything: `Some` (counted as a hit) when resident, `None` when
+    /// absent or the cache is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.chunk_count()`.
+    pub fn cached_chunk(&self, i: u64) -> Option<Arc<PackedTrace>> {
+        assert!(i < self.header.chunk_count, "chunk index out of range");
+        let mut cache = self.cache.lock().expect("chunk cache poisoned");
+        if cache.capacity == 0 {
+            return None;
+        }
+        cache.stamp += 1;
+        let stamp = cache.stamp;
+        if let Some(entry) = cache.entries.iter_mut().find(|e| e.index == i) {
+            entry.stamp = stamp;
+            let chunk = Arc::clone(&entry.chunk);
+            cache.hits += 1;
+            return Some(chunk);
+        }
+        None
+    }
+
+    /// [`MappedTrace::decode_chunk`] through the decoded-chunk cache:
+    /// a resident chunk is returned without touching the file; a miss
+    /// decodes, inserts (evicting least-recently-used entries to make
+    /// room), and returns the fresh chunk. Chunks larger than the whole
+    /// capacity are returned uncached. With the cache disabled this is
+    /// exactly `decode_chunk` plus an `Arc`.
+    ///
+    /// Concurrent misses on the same chunk may decode it twice; both
+    /// results are identical and the first insert wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.chunk_count()`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MappedTrace::decode_chunk`].
+    pub fn decode_chunk_cached(&self, i: u64) -> io::Result<Arc<PackedTrace>> {
+        if let Some(chunk) = self.cached_chunk(i) {
+            return Ok(chunk);
+        }
+        // Decode outside the lock so concurrent misses on different
+        // chunks proceed in parallel.
+        let decoded = Arc::new(self.decode_chunk(i)?);
+        let bytes = self.chunk_decoded_bytes(i);
+        let mut cache = self.cache.lock().expect("chunk cache poisoned");
+        if cache.capacity == 0 {
+            return Ok(decoded);
+        }
+        cache.misses += 1;
+        if bytes > cache.capacity {
+            return Ok(decoded);
+        }
+        if let Some(entry) = cache.entries.iter().find(|e| e.index == i) {
+            // Lost a decode race; keep the incumbent.
+            return Ok(Arc::clone(&entry.chunk));
+        }
+        let target = cache.capacity - bytes;
+        cache.evict_to(target);
+        cache.stamp += 1;
+        let stamp = cache.stamp;
+        cache.entries.push(CacheEntry {
+            index: i,
+            bytes,
+            stamp,
+            chunk: Arc::clone(&decoded),
+        });
+        cache.resident += bytes;
+        cache.peak = cache.peak.max(cache.resident);
+        Ok(decoded)
     }
 
     /// Streams the whole trace into `sink` chunk by chunk, decoding
@@ -419,6 +648,13 @@ mod tests {
         let packed = PackedTrace::from_trace(trace);
         let mut bytes = Vec::new();
         packed.write_v21_with(&mut bytes, chunk_accesses).unwrap();
+        bytes
+    }
+
+    fn v22_bytes(trace: &Trace, chunk_accesses: u32) -> Vec<u8> {
+        let packed = PackedTrace::from_trace(trace);
+        let mut bytes = Vec::new();
+        packed.write_v22_with(&mut bytes, chunk_accesses).unwrap();
         bytes
     }
 
@@ -513,5 +749,97 @@ mod tests {
             mapped.replay_into_with(level, &mut sink).unwrap();
             assert_eq!(sink, reference, "{level:?}");
         }
+    }
+
+    #[test]
+    fn v22_maps_and_matches_v21_chunk_for_chunk() {
+        for accesses in [0u32, 1, 15, 16, 17, 100, 1000] {
+            let trace = mixed_trace(accesses);
+            let v21 = MappedTrace::from_bytes(v21_bytes(&trace, 16)).unwrap();
+            let v22 = MappedTrace::from_bytes(v22_bytes(&trace, 16)).unwrap();
+            assert_eq!(v21.codec(), crate::AddrCodec::Varint);
+            assert_eq!(v22.codec(), crate::AddrCodec::Split);
+            assert_eq!(v21.chunk_count(), v22.chunk_count());
+            assert_eq!(v21.region_events(), v22.region_events());
+            for i in 0..v21.chunk_count() {
+                let a = v21.decode_chunk(i).unwrap();
+                let b = v22.decode_chunk(i).unwrap();
+                assert_eq!(a.addrs(), b.addrs(), "chunk {i} of {accesses}");
+                assert_eq!(a.values(), b.values(), "chunk {i} of {accesses}");
+                assert_eq!(a.region_events(), b.region_events());
+                assert_eq!(v21.chunk_decoded_bytes(i), v22.chunk_decoded_bytes(i));
+            }
+            let mut a = CountingSink::new();
+            let mut b = CountingSink::new();
+            v21.replay_into(&mut a).unwrap();
+            v22.replay_into(&mut b).unwrap();
+            assert_eq!(a, b, "{accesses} accesses");
+            assert_eq!(
+                v22.to_packed().unwrap().addrs(),
+                PackedTrace::from_trace(&trace).addrs()
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_is_harmless_on_every_source() {
+        let trace = mixed_trace(100);
+        let mapped = MappedTrace::from_bytes(v22_bytes(&trace, 16)).unwrap();
+        for i in 0..mapped.chunk_count() {
+            mapped.prefetch_chunk(i);
+        }
+        let mut sink = CountingSink::new();
+        mapped.replay_into(&mut sink).unwrap();
+        assert_eq!(sink.accesses(), mapped.accesses());
+    }
+
+    #[test]
+    fn chunk_cache_hits_evicts_and_respects_capacity() {
+        let trace = mixed_trace(200);
+        let mapped = MappedTrace::from_bytes(v22_bytes(&trace, 16)).unwrap();
+        let n = mapped.chunk_count();
+        assert!(n >= 4, "test wants several chunks, got {n}");
+        // Disabled by default: no hits, nothing retained.
+        assert!(mapped.cached_chunk(0).is_none());
+        let first = mapped.decode_chunk_cached(0).unwrap();
+        assert_eq!(mapped.chunk_cache_stats().resident, 0);
+        assert!(mapped.cached_chunk(0).is_none());
+
+        // Capacity for roughly two chunks.
+        let per_chunk = mapped.chunk_decoded_bytes(0);
+        mapped.set_chunk_cache_capacity(2 * per_chunk);
+        let again = mapped.decode_chunk_cached(0).unwrap();
+        assert_eq!(first.addrs(), again.addrs());
+        assert!(mapped.cached_chunk(0).is_some(), "0 should now be resident");
+        let stats = mapped.chunk_cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert!(stats.hits >= 1);
+        assert_eq!(stats.resident, per_chunk);
+
+        // Filling past capacity evicts the least recently used.
+        mapped.decode_chunk_cached(1).unwrap();
+        mapped.cached_chunk(0); // refresh 0 so 1 is the LRU victim
+        mapped.decode_chunk_cached(2).unwrap();
+        let stats = mapped.chunk_cache_stats();
+        assert!(stats.evictions >= 1, "{stats:?}");
+        assert!(stats.resident <= stats.capacity, "{stats:?}");
+        assert!(stats.peak <= stats.capacity, "{stats:?}");
+        assert!(mapped.cached_chunk(1).is_none(), "LRU victim survived");
+        assert!(mapped.cached_chunk(0).is_some());
+        assert!(mapped.cached_chunk(2).is_some());
+
+        // Cached decode still yields correct chunks everywhere.
+        for i in 0..n {
+            assert_eq!(
+                mapped.decode_chunk_cached(i).unwrap().addrs(),
+                mapped.decode_chunk(i).unwrap().addrs(),
+                "chunk {i}"
+            );
+        }
+
+        // Shrinking to zero flushes and disables.
+        mapped.set_chunk_cache_capacity(0);
+        assert_eq!(mapped.chunk_cache_stats().resident, 0);
+        assert!(mapped.cached_chunk(0).is_none());
     }
 }

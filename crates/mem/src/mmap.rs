@@ -29,6 +29,7 @@ mod sys {
 
     pub const PROT_READ: i32 = 1;
     pub const MAP_PRIVATE: i32 = 2;
+    pub const MADV_WILLNEED: i32 = 3;
 
     extern "C" {
         pub fn mmap(
@@ -40,6 +41,7 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
     }
 }
 
@@ -79,6 +81,32 @@ impl Mmap {
         let ptr = std::ptr::NonNull::new(ptr.cast::<u8>())
             .ok_or_else(|| io::Error::other("mmap returned null"))?;
         Ok(Mmap { ptr, len })
+    }
+
+    /// Hints the kernel that `len` bytes at `offset` will be read
+    /// soon (`madvise(MADV_WILLNEED)`), so read-ahead overlaps with
+    /// whatever the caller does next. Purely advisory: out-of-range
+    /// requests are clamped and syscall errors ignored — prefetch can
+    /// never turn into a failure.
+    pub fn advise_willneed(&self, offset: u64, len: u64) {
+        const PAGE: u64 = 4096;
+        let Ok(map_len) = u64::try_from(self.len) else {
+            return;
+        };
+        let start = (offset.min(map_len) / PAGE) * PAGE;
+        let end = offset.saturating_add(len).min(map_len);
+        if end <= start {
+            return;
+        }
+        // SAFETY: the range lies inside the live mapping; MADV_WILLNEED
+        // only schedules read-ahead and cannot alter the bytes.
+        unsafe {
+            sys::madvise(
+                self.ptr.as_ptr().add(start as usize).cast(),
+                (end - start) as usize,
+                sys::MADV_WILLNEED,
+            );
+        }
     }
 
     /// The mapped bytes.
@@ -178,6 +206,19 @@ impl MapSource {
         }
     }
 
+    /// Prefetch hint for `len` bytes at `offset`: forwarded to
+    /// `Mmap::advise_willneed` on a kernel mapping, a no-op for heap
+    /// buffers (already resident).
+    pub fn advise_willneed(&self, offset: u64, len: u64) {
+        match self {
+            #[cfg(target_os = "linux")]
+            MapSource::Mapped(map) => map.advise_willneed(offset, len),
+            MapSource::Heap(_) => {
+                let _ = (offset, len);
+            }
+        }
+    }
+
     /// Whether the bytes come from a kernel mapping (as opposed to a
     /// resident heap buffer).
     pub fn is_mapped(&self) -> bool {
@@ -243,5 +284,22 @@ mod tests {
     #[test]
     fn missing_file_errors() {
         assert!(MapSource::open(Path::new("/nonexistent/fvl-trace")).is_err());
+    }
+
+    #[test]
+    fn advise_willneed_is_harmless_everywhere() {
+        let path = temp_path("advise");
+        let payload = vec![0xabu8; 100_000];
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        for source in [
+            MapSource::open(&path).unwrap(),
+            MapSource::read(&path).unwrap(),
+        ] {
+            source.advise_willneed(0, 4096);
+            source.advise_willneed(50_000, u64::MAX); // clamped to the end
+            source.advise_willneed(u64::MAX, 1); // entirely out of range
+            assert_eq!(source.bytes(), payload.as_slice());
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 }

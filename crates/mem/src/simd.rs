@@ -170,6 +170,41 @@ impl SimdLevel {
     }
 }
 
+/// The concrete kernel the v2.2 stream-split address decoder
+/// ([`crate::varint::decode_addr_chunk_split_into_with`]) runs for a
+/// given [`SimdLevel`]. The split decoder's shuffle kernel needs
+/// `pshufb` (SSSE3), which [`SimdLevel`] deliberately does not model —
+/// the replay kernels only need SSE2 — so the split decoder refines
+/// the level with its own feature checks: vector levels use the
+/// shuffle kernel when the ISA is actually present and otherwise fall
+/// back to the branch-split scalar loop.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub(crate) enum SplitKernel {
+    /// Masked-load scalar loop (also the tail/error authority for the
+    /// vector kernels).
+    Scalar,
+    /// 4 tokens per `pshufb`.
+    #[cfg(target_arch = "x86_64")]
+    Ssse3,
+    /// 8 tokens per 256-bit shuffle.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+/// Refines a replay [`SimdLevel`] into the split-decode kernel to run.
+pub(crate) fn split_kernel(level: SimdLevel) -> SplitKernel {
+    #[cfg(target_arch = "x86_64")]
+    if level >= SimdLevel::Avx2 && std::arch::is_x86_feature_detected!("avx2") {
+        return SplitKernel::Avx2;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if level >= SimdLevel::Sse2 && std::arch::is_x86_feature_detected!("ssse3") {
+        return SplitKernel::Ssse3;
+    }
+    let _ = level;
+    SplitKernel::Scalar
+}
+
 /// The process-wide resolved kernel, latched on first use.
 static ACTIVE_LEVEL: OnceLock<SimdLevel> = OnceLock::new();
 

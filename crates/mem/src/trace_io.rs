@@ -37,6 +37,15 @@
 //!   sequential readers below never look at the footer (trailing bytes
 //!   stay tolerated, as for v1/v2); the footer is validated only by the
 //!   random-access mapped reader.
+//! * `FVLTRC22` — the same chunk-indexed container with the address
+//!   codec swapped: each chunk's address column is the stream-split
+//!   layout of [`crate::varint::encode_addr_chunk_split`] (a control
+//!   stream of 2-bit length codes, then the trimmed little-endian
+//!   token bytes), which decodes branch-free and SIMD-wide. The v2.1
+//!   `reserved` header word carries the codec id ([`AddrCodec::id`],
+//!   `1` for split) and must match the magic on read. Everything else —
+//!   header, inline chunk headers, value columns, region table, footer
+//!   index — is byte-compatible with v2.1.
 //!
 //! [`Trace::read_from`] and [`PackedTrace::read_from`] sniff the
 //! magic and accept **any** format, converting as needed — old v1
@@ -56,6 +65,7 @@ use std::io::{self, Read, Write};
 const MAGIC_V1: &[u8; 8] = b"FVLTRC1\n";
 const MAGIC_V2: &[u8; 8] = b"FVLTRC2\n";
 pub(crate) const MAGIC_V21: &[u8; 8] = b"FVLTRC21";
+pub(crate) const MAGIC_V22: &[u8; 8] = b"FVLTRC22";
 
 /// Size of the encode/decode staging buffer: every `write_all` to the
 /// underlying writer (and every `read` from the underlying reader)
@@ -259,7 +269,8 @@ fn read_any<R: Read>(reader: R) -> io::Result<ReadTrace> {
         m if m == MAGIC_V1 => read_v1(&mut chunked).map(ReadTrace::Legacy),
         m if m == MAGIC_V2 => read_v2(&mut chunked).map(ReadTrace::Packed),
         m if m == MAGIC_V21 => read_v21(&mut chunked).map(ReadTrace::Packed),
-        _ => Err(bad_data("not an FVLTRC1/FVLTRC2/FVLTRC21 trace")),
+        m if m == MAGIC_V22 => read_v22(&mut chunked).map(ReadTrace::Packed),
+        _ => Err(bad_data("not an FVLTRC1/FVLTRC2/FVLTRC21/FVLTRC22 trace")),
     }
 }
 
@@ -341,7 +352,52 @@ fn read_regions<R: Read>(
     Ok(regions)
 }
 
-/// The fixed v2.1 header fields (minus the magic), validated.
+/// The per-chunk address-column codec of a chunk-indexed trace file,
+/// determined by the magic (`FVLTRC21` vs `FVLTRC22`) and recorded
+/// redundantly in the header's codec word.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub enum AddrCodec {
+    /// LEB128 delta varints ([`crate::varint::encode_addr_chunk`]) —
+    /// the `FVLTRC21` codec.
+    Varint,
+    /// Stream-split control + payload streams
+    /// ([`crate::varint::encode_addr_chunk_split`]) — the `FVLTRC22`
+    /// codec, decodable branch-free and SIMD-wide.
+    Split,
+}
+
+impl AddrCodec {
+    /// Codec id stored in the header word at offset 36 (the v2.1
+    /// `reserved` word, which v2.1 writers set to 0 and v2.1 readers
+    /// ignore — so v2.2 is a pure extension).
+    pub(crate) fn id(self) -> u32 {
+        match self {
+            AddrCodec::Varint => 0,
+            AddrCodec::Split => 1,
+        }
+    }
+
+    /// Short lower-case label (`"varint"`, `"split"`), used by CLIs
+    /// and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            AddrCodec::Varint => "varint",
+            AddrCodec::Split => "split",
+        }
+    }
+
+    /// Parses a codec label as accepted by `corpus gen --codec`:
+    /// `v21`/`varint` or `v22`/`split`.
+    pub fn parse(s: &str) -> Option<AddrCodec> {
+        match s {
+            "v21" | "varint" => Some(AddrCodec::Varint),
+            "v22" | "split" => Some(AddrCodec::Split),
+            _ => None,
+        }
+    }
+}
+
+/// The fixed v2.1/v2.2 header fields (minus the magic), validated.
 #[derive(Copy, Clone, Debug)]
 pub(crate) struct V21Header {
     /// Total access events across all chunks.
@@ -352,6 +408,8 @@ pub(crate) struct V21Header {
     pub chunk_count: u64,
     /// Accesses per chunk (every chunk but the last is exactly full).
     pub chunk_accesses: u32,
+    /// Address-column codec, fixed by the magic that led here.
+    pub codec: AddrCodec,
 }
 
 impl V21Header {
@@ -396,8 +454,22 @@ impl V21Header {
                 hi - lo
             )));
         }
-        let max = crate::varint::MAX_VARINT_BYTES_PER_ADDR as u64 * u64::from(chunk_len);
-        if u64::from(addr_bytes) > max {
+        let len = u64::from(chunk_len);
+        let (min, max) = match self.codec {
+            AddrCodec::Varint => (0, crate::varint::MAX_VARINT_BYTES_PER_ADDR as u64 * len),
+            // Split columns carry ceil(len/4) control bytes plus 1–4
+            // payload bytes per address; both bounds hold for every
+            // well-formed column, so a hostile field outside them is
+            // rejected before any allocation.
+            AddrCodec::Split => {
+                let control = len.div_ceil(4);
+                (
+                    control + len,
+                    control + crate::varint::MAX_SPLIT_BYTES_PER_ADDR as u64 * len,
+                )
+            }
+        };
+        if u64::from(addr_bytes) < min || u64::from(addr_bytes) > max {
             return Err(bad_data(format!(
                 "v2.1 chunk {i} declares {addr_bytes} address bytes for {chunk_len} accesses"
             )));
@@ -407,17 +479,40 @@ impl V21Header {
 }
 
 fn read_v21<R: Read>(reader: &mut ChunkedReader<R>) -> io::Result<PackedTrace> {
+    read_chunked(reader, AddrCodec::Varint)
+}
+
+fn read_v22<R: Read>(reader: &mut ChunkedReader<R>) -> io::Result<PackedTrace> {
+    read_chunked(reader, AddrCodec::Split)
+}
+
+/// Shared sequential decoder for the chunk-indexed formats; `codec`
+/// comes from the magic the caller sniffed.
+fn read_chunked<R: Read>(
+    reader: &mut ChunkedReader<R>,
+    codec: AddrCodec,
+) -> io::Result<PackedTrace> {
     let header = V21Header {
         accesses: reader.take_u64()?,
         region_count: reader.take_u64()?,
         chunk_count: reader.take_u64()?,
         chunk_accesses: reader.take_u32()?,
+        codec,
     }
     .validate()?;
-    let _reserved = reader.take_u32()?;
+    let reserved = reader.take_u32()?;
+    // v2.1 wrote 0 and ignores the word on read; v2.2 demands its own
+    // codec id so a magic/codec mismatch cannot decode garbage.
+    if codec == AddrCodec::Split && reserved != codec.id() {
+        return Err(bad_data(format!(
+            "FVLTRC22 header declares codec id {reserved}, expected {}",
+            codec.id()
+        )));
+    }
     let mut addrs = Vec::with_capacity((header.accesses as usize).min(1 << 24));
     let mut values = Vec::with_capacity((header.accesses as usize).min(1 << 24));
     let mut encoded = Vec::new();
+    let level = crate::simd::active_level();
     for chunk in 0..header.chunk_count {
         let chunk_len = reader.take_u32()?;
         let addr_bytes = reader.take_u32()?;
@@ -425,7 +520,17 @@ fn read_v21<R: Read>(reader: &mut ChunkedReader<R>) -> io::Result<PackedTrace> {
         encoded.clear();
         encoded.resize(addr_bytes as usize, 0);
         reader.take(&mut encoded)?;
-        crate::varint::decode_addr_chunk_into(&encoded, chunk_len as usize, &mut addrs)?;
+        match codec {
+            AddrCodec::Varint => {
+                crate::varint::decode_addr_chunk_into(&encoded, chunk_len as usize, &mut addrs)?
+            }
+            AddrCodec::Split => crate::varint::decode_addr_chunk_split_into_with(
+                &encoded,
+                chunk_len as usize,
+                level,
+                &mut addrs,
+            )?,
+        }
         reader.take_u32_column_into(chunk_len as usize, &mut values)?;
     }
     let regions = read_regions(reader, header.region_count)?;
@@ -569,17 +674,57 @@ impl PackedTrace {
     ///
     /// Propagates any I/O error from the writer.
     pub fn write_v21_with<W: Write>(&self, writer: W, chunk_accesses: u32) -> io::Result<()> {
+        self.write_chunked(writer, chunk_accesses, AddrCodec::Varint)
+    }
+
+    /// Writes the trace in the chunk-indexed `FVLTRC22` (v2.2) format
+    /// with the default [`CHUNK_ACCESSES`] chunk size: the v2.1
+    /// container with each chunk's address column in the stream-split
+    /// codec ([`crate::varint::encode_addr_chunk_split`]), which trades
+    /// ≤ 25% address-column growth for branch-free, SIMD-wide decode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_v22_to<W: Write>(&self, writer: W) -> io::Result<()> {
+        self.write_v22_with(writer, CHUNK_ACCESSES)
+    }
+
+    /// [`PackedTrace::write_v22_to`] with an explicit chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_accesses` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_v22_with<W: Write>(&self, writer: W, chunk_accesses: u32) -> io::Result<()> {
+        self.write_chunked(writer, chunk_accesses, AddrCodec::Split)
+    }
+
+    /// Shared chunk-indexed writer: magic and per-chunk address codec
+    /// differ, everything else is the common v2.1 container.
+    fn write_chunked<W: Write>(
+        &self,
+        writer: W,
+        chunk_accesses: u32,
+        codec: AddrCodec,
+    ) -> io::Result<()> {
         assert!(chunk_accesses > 0, "chunk size must be positive");
         let accesses = self.accesses();
         let ca = u64::from(chunk_accesses);
         let chunk_count = accesses.div_ceil(ca);
         let mut out = ChunkedWriter::new(writer);
-        out.put(MAGIC_V21)?;
+        out.put(match codec {
+            AddrCodec::Varint => MAGIC_V21,
+            AddrCodec::Split => MAGIC_V22,
+        })?;
         out.put_u64(accesses)?;
         out.put_u64(self.region_events().len() as u64)?;
         out.put_u64(chunk_count)?;
         out.put_u32(chunk_accesses)?;
-        out.put_u32(0)?; // reserved
+        out.put_u32(codec.id())?; // the v2.1 reserved word
         let mut index: Vec<(u64, u32, u32)> = Vec::with_capacity(chunk_count as usize);
         let mut offset = V21_HEADER_BYTES as u64;
         let mut encoded = Vec::new();
@@ -589,7 +734,12 @@ impl PackedTrace {
             let hi = ((chunk + 1) * ca).min(accesses) as usize;
             let chunk_len = (hi - lo) as u32;
             encoded.clear();
-            crate::varint::encode_addr_chunk(&addrs[lo..hi], &mut encoded);
+            match codec {
+                AddrCodec::Varint => crate::varint::encode_addr_chunk(&addrs[lo..hi], &mut encoded),
+                AddrCodec::Split => {
+                    crate::varint::encode_addr_chunk_split(&addrs[lo..hi], &mut encoded)
+                }
+            }
             let addr_bytes = encoded.len() as u32;
             index.push((offset, chunk_len, addr_bytes));
             out.put_u32(chunk_len)?;
@@ -794,6 +944,93 @@ mod tests {
         let loaded = PackedTrace::read_from(v21.as_slice()).unwrap();
         assert_eq!(loaded.addrs(), packed.addrs());
         assert_eq!(loaded.values(), packed.values());
+    }
+
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[test]
+    fn v22_round_trips_across_chunk_sizes() {
+        let packed = PackedTrace::from_trace(&sample_trace());
+        for chunk_accesses in [1u32, 2, 3, 7, CHUNK_ACCESSES] {
+            let mut bytes = Vec::new();
+            packed.write_v22_with(&mut bytes, chunk_accesses).unwrap();
+            assert_eq!(&bytes[..8], MAGIC_V22);
+            assert_eq!(bytes[36..40], 1u32.to_le_bytes()); // codec id
+            let loaded = PackedTrace::read_from(bytes.as_slice()).unwrap();
+            assert_eq!(loaded.addrs(), packed.addrs(), "chunk {chunk_accesses}");
+            assert_eq!(loaded.values(), packed.values(), "chunk {chunk_accesses}");
+            assert_eq!(loaded.region_events(), packed.region_events());
+            // The legacy reader sniffs v2.2 too.
+            let unpacked = Trace::read_from(bytes.as_slice()).unwrap();
+            assert_eq!(unpacked.events(), packed.to_trace().events());
+        }
+    }
+
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[test]
+    fn v22_empty_trace_round_trips() {
+        let packed = PackedTrace::from_trace(&Trace::from_events(vec![]));
+        let mut bytes = Vec::new();
+        packed.write_v22_to(&mut bytes).unwrap();
+        assert_eq!(bytes.len(), V21_HEADER_BYTES + 8);
+        assert!(PackedTrace::read_from(bytes.as_slice()).unwrap().is_empty());
+    }
+
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[test]
+    fn v21_and_v22_transcode_to_identical_traces() {
+        let mut events = Vec::new();
+        for i in 0u32..20_000 {
+            events.push(TraceEvent::Access(Access::store((i % 4096) * 4, i)));
+        }
+        let packed = PackedTrace::from_trace(&Trace::from_events(events));
+        let mut v21 = Vec::new();
+        packed.write_v21_to(&mut v21).unwrap();
+        let mut v22 = Vec::new();
+        packed.write_v22_to(&mut v22).unwrap();
+        // Transcode each through the sniffing reader and re-encode the
+        // other way: both directions are lossless.
+        let from_v21 = PackedTrace::read_from(v21.as_slice()).unwrap();
+        let mut v22_again = Vec::new();
+        from_v21.write_v22_to(&mut v22_again).unwrap();
+        assert_eq!(v22, v22_again);
+        let from_v22 = PackedTrace::read_from(v22.as_slice()).unwrap();
+        let mut v21_again = Vec::new();
+        from_v22.write_v21_to(&mut v21_again).unwrap();
+        assert_eq!(v21, v21_again);
+        // Split trades ≤ 25% addr-column growth for decode speed; the
+        // whole file stays well under the raw v2 form.
+        let mut v2 = Vec::new();
+        packed.write_to(&mut v2).unwrap();
+        assert!(
+            v22.len() < v2.len(),
+            "v2.2 {} vs v2 {}",
+            v22.len(),
+            v2.len()
+        );
+    }
+
+    #[test]
+    fn v22_codec_id_mismatch_is_rejected() {
+        let packed = PackedTrace::from_trace(&sample_trace());
+        let mut bytes = Vec::new();
+        packed.write_v22_with(&mut bytes, 4).unwrap();
+        // Zero the codec word: the v2.2 magic now disagrees with it.
+        bytes[36..40].copy_from_slice(&0u32.to_le_bytes());
+        let err = PackedTrace::read_from(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("codec id"), "{err}");
+    }
+
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[test]
+    fn v21_ignores_the_reserved_word() {
+        // A v2.1 file whose reserved word is nonzero still reads: the
+        // word only became meaningful under the v2.2 magic.
+        let packed = PackedTrace::from_trace(&sample_trace());
+        let mut bytes = Vec::new();
+        packed.write_v21_with(&mut bytes, 4).unwrap();
+        bytes[36..40].copy_from_slice(&7u32.to_le_bytes());
+        assert!(PackedTrace::read_from(bytes.as_slice()).is_ok());
     }
 
     #[test]

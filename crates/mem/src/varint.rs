@@ -1,6 +1,6 @@
 //! Delta + varint compression of the packed address column.
 //!
-//! The v2.1 trace format (`FVLTRC21`, see [`crate::trace_io`]) stores
+//! The v2.1 trace format (`FVLTRC21`, see `trace_io`) stores
 //! each chunk's address column as zigzag-encoded word deltas in LEB128
 //! varints instead of raw `u32`s. Access streams are overwhelmingly
 //! local — consecutive addresses usually sit a few words apart — so
@@ -20,7 +20,20 @@
 //! continuation). The delta chain restarts at zero for every chunk, so
 //! chunks decode independently — the property the memory-mapped lazy
 //! reader ([`crate::MappedTrace`]) relies on.
+//!
+//! The v2.2 format (`FVLTRC22`) keeps the same tokens but stores them
+//! **stream-split** (Stream-VByte style): a control stream of 2-bit
+//! length codes (one byte per four tokens, lane 0 in bits 0–1, unused
+//! high lanes of the last byte zero) followed by a payload stream of
+//! the tokens' little-endian bytes, trimmed to their 1–4 byte length.
+//! Moving the length codes out of the data bytes removes the
+//! byte-at-a-time continuation chain from the decode hot loop: the
+//! scalar decoder does one masked `u32` load per token, and the
+//! SSSE3/AVX2 kernels ([`decode_addr_chunk_split_into_with`]) expand
+//! 4–8 tokens per shuffle from a 256-entry control-byte table and
+//! reconstruct the delta chain with an in-register prefix sum.
 
+use crate::simd::{self, SimdLevel};
 use std::io;
 
 /// Worst-case encoded bytes per address: a 32-bit word delta zigzags
@@ -181,6 +194,437 @@ fn emit_token(out: &mut Vec<u32>, prev: i64, token: u64) -> io::Result<i64> {
     Ok(word)
 }
 
+/// Worst-case split-codec **payload** bytes per address (a token is at
+/// most four little-endian bytes); the control stream adds
+/// `count.div_ceil(4)` bytes on top. Readers use both to bound hostile
+/// `addr_bytes` fields before allocating.
+pub const MAX_SPLIT_BYTES_PER_ADDR: usize = 4;
+
+/// Length in bytes (1–4) of the token in `lane` (0–3) of a split-codec
+/// control byte. This is the single length authority: the scalar
+/// decoder reads it directly and the SIMD shuffle/length tables are
+/// const-built from it.
+#[inline]
+const fn lane_len(control: u8, lane: usize) -> usize {
+    let len = ((control >> (2 * lane)) & 3) as usize + 1;
+    // `seeded-bugs` is a TEST-ONLY mutation used by the `fvl-check`
+    // conformance harness: the length-table entry for control byte
+    // 0x00, lane 0 reads 2 bytes instead of 1, so every all-short
+    // group decodes shifted. The encoder computes lengths from the
+    // token values and never consults this table, so round-trips (and
+    // the per-level digest differentials) catch the flip.
+    #[cfg(feature = "seeded-bugs")]
+    let len = if control == 0 && lane == 0 { 2 } else { len };
+    len
+}
+
+/// Total payload bytes one control byte's four tokens occupy.
+#[cfg(target_arch = "x86_64")]
+const fn group_bytes(control: u8) -> usize {
+    lane_len(control, 0) + lane_len(control, 1) + lane_len(control, 2) + lane_len(control, 3)
+}
+
+/// Per-control-byte `pshufb` masks expanding four trimmed tokens into
+/// four `u32` lanes (0x80 entries zero the unused high bytes).
+#[cfg(target_arch = "x86_64")]
+const SPLIT_SHUFFLE: [[u8; 16]; 256] = {
+    let mut table = [[0x80u8; 16]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut src = 0usize;
+        let mut lane = 0usize;
+        while lane < 4 {
+            let len = lane_len(c as u8, lane);
+            let mut b = 0usize;
+            while b < len {
+                table[c][lane * 4 + b] = (src + b) as u8;
+                b += 1;
+            }
+            src += len;
+            lane += 1;
+        }
+        c += 1;
+    }
+    table
+};
+
+/// Total payload bytes per control byte, for advancing the payload
+/// cursor one shuffle at a time.
+#[cfg(target_arch = "x86_64")]
+const SPLIT_GROUP_BYTES: [u8; 256] = {
+    let mut table = [0u8; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        table[c] = group_bytes(c as u8) as u8;
+        c += 1;
+    }
+    table
+};
+
+/// Low-byte masks for a token of `len` bytes, indexed by `len - 1`.
+const TOKEN_MASK: [u32; 4] = [0xff, 0xffff, 0x00ff_ffff, 0xffff_ffff];
+
+/// Encodes one chunk's packed address column in the v2.2 split layout
+/// (control stream, then payload stream), appending to `out`. The
+/// delta chain starts at word 0, exactly as for [`encode_addr_chunk`].
+pub fn encode_addr_chunk_split(addrs: &[u32], out: &mut Vec<u8>) {
+    let control_at = out.len();
+    out.resize(control_at + addrs.len().div_ceil(4), 0);
+    let mut prev: i64 = 0;
+    for (i, &raw) in addrs.iter().enumerate() {
+        let store = u64::from(raw & 1);
+        let word = i64::from(raw >> 2);
+        let token = (zigzag(word - prev) << 1 | store) as u32;
+        // Length from the value itself: 1 + position of the highest
+        // set byte (`| 1` keeps token 0 at one byte).
+        let len = 4 - (token | 1).leading_zeros() as usize / 8;
+        out[control_at + i / 4] |= ((len - 1) as u8) << (2 * (i % 4));
+        out.extend_from_slice(&token.to_le_bytes()[..len]);
+        prev = word;
+    }
+}
+
+/// Splits a v2.2 address column into its control and payload streams,
+/// validating the control-stream length and that the unused high lanes
+/// of a partial final control byte are zero (the canonical encoding —
+/// rejecting the alternatives keeps encode/decode a bijection).
+fn split_streams(bytes: &[u8], count: usize) -> io::Result<(&[u8], &[u8])> {
+    let control_bytes = count.div_ceil(4);
+    if bytes.len() < control_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "split control stream truncated",
+        ));
+    }
+    let (control, payload) = bytes.split_at(control_bytes);
+    let tail_lanes = count % 4;
+    if tail_lanes != 0 && control[control_bytes - 1] >> (2 * tail_lanes) != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "non-canonical padding in the final control byte",
+        ));
+    }
+    Ok((control, payload))
+}
+
+/// Decodes exactly `count` addresses from an [`encode_addr_chunk_split`]
+/// column with the portable scalar kernel, requiring the payload to be
+/// fully consumed.
+///
+/// # Errors
+///
+/// Fails with `UnexpectedEof` on a truncated control or payload stream
+/// and `InvalidData` when a delta walks outside the 30-bit word space,
+/// the final control byte has non-canonical padding, or payload bytes
+/// are left over after the last address.
+pub fn decode_addr_chunk_split(bytes: &[u8], count: usize) -> io::Result<Vec<u32>> {
+    let mut addrs = Vec::new();
+    decode_addr_chunk_split_into_with(bytes, count, SimdLevel::Scalar, &mut addrs)?;
+    Ok(addrs)
+}
+
+/// [`decode_addr_chunk_split`] appending into a caller-owned column
+/// with an explicit decode kernel. Every [`SimdLevel`] produces
+/// byte-identical output (and identical errors on corrupt input); on
+/// error nothing is appended to `out`.
+///
+/// # Errors
+///
+/// Same conditions as [`decode_addr_chunk_split`].
+pub fn decode_addr_chunk_split_into_with(
+    bytes: &[u8],
+    count: usize,
+    level: SimdLevel,
+    out: &mut Vec<u32>,
+) -> io::Result<()> {
+    let (control, payload) = split_streams(bytes, count)?;
+    let start = out.len();
+    out.reserve(count.min(1 << 24));
+    let result = match simd::split_kernel(level) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `split_kernel` only selects the vector kernels after
+        // runtime feature detection said the ISA exists.
+        simd::SplitKernel::Avx2 => unsafe { decode_split_avx2(control, payload, count, out) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — SSSE3 was runtime-detected.
+        simd::SplitKernel::Ssse3 => unsafe { decode_split_ssse3(control, payload, count, out) },
+        simd::SplitKernel::Scalar => {
+            decode_split_scalar_from(control, payload, count, 0, 0, 0, out)
+        }
+    };
+    if result.is_err() {
+        out.truncate(start);
+    }
+    result
+}
+
+#[inline]
+fn load_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4-byte slice"))
+}
+
+/// The scalar split kernel, resumable at group boundary `i` (token
+/// index, multiple of 4) with payload cursor `p` and delta-chain state
+/// `prev` — the SIMD kernels hand their tails (and any group that
+/// fails the range check) to this function so every level reports the
+/// identical error.
+fn decode_split_scalar_from(
+    control: &[u8],
+    payload: &[u8],
+    count: usize,
+    mut i: usize,
+    mut p: usize,
+    mut prev: i64,
+    out: &mut Vec<u32>,
+) -> io::Result<()> {
+    debug_assert_eq!(i % 4, 0, "resume point must be a group boundary");
+    // Hot loop: full groups with 16 readable payload bytes do one
+    // masked little-endian u32 load per token — no per-byte
+    // continuation branches (the point of the split layout) — and one
+    // combined range check per group. `MAX_WORD` is an all-ones mask,
+    // so the OR of four in-range words stays in range and a negative
+    // word or a high bit in any lane trips the unsigned compare; the
+    // exact-error loop below redoes a tripped group token by token.
+    while i + 4 <= count && p + 16 <= payload.len() {
+        let c = control[i / 4];
+        let l0 = lane_len(c, 0);
+        let l1 = lane_len(c, 1);
+        let l2 = lane_len(c, 2);
+        let l3 = lane_len(c, 3);
+        let t0 = load_u32(payload, p) & TOKEN_MASK[l0 - 1];
+        let t1 = load_u32(payload, p + l0) & TOKEN_MASK[l1 - 1];
+        let t2 = load_u32(payload, p + l0 + l1) & TOKEN_MASK[l2 - 1];
+        let t3 = load_u32(payload, p + l0 + l1 + l2) & TOKEN_MASK[l3 - 1];
+        let w0 = prev + unzigzag(u64::from(t0) >> 1);
+        let w1 = w0 + unzigzag(u64::from(t1) >> 1);
+        let w2 = w1 + unzigzag(u64::from(t2) >> 1);
+        let w3 = w2 + unzigzag(u64::from(t3) >> 1);
+        if (w0 | w1 | w2 | w3) as u64 > MAX_WORD as u64 {
+            break;
+        }
+        out.extend_from_slice(&[
+            (w0 as u32) << 2 | (t0 & 1),
+            (w1 as u32) << 2 | (t1 & 1),
+            (w2 as u32) << 2 | (t2 & 1),
+            (w3 as u32) << 2 | (t3 & 1),
+        ]);
+        prev = w3;
+        p += l0 + l1 + l2 + l3;
+        i += 4;
+    }
+    // Tail: byte-assembled loads with explicit bounds checks.
+    while i < count {
+        let len = lane_len(control[i / 4], i % 4);
+        if p + len > payload.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "split payload truncated",
+            ));
+        }
+        let mut token = 0u32;
+        for (b, &byte) in payload[p..p + len].iter().enumerate() {
+            token |= u32::from(byte) << (8 * b);
+        }
+        prev = emit_token(out, prev, u64::from(token))?;
+        p += len;
+        i += 1;
+    }
+    if p != payload.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{} trailing bytes after the last address",
+                payload.len() - p
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// SSSE3 split kernel: one `pshufb` expands a group of four trimmed
+/// tokens into four `u32` lanes, then zigzag, prefix sum, and range
+/// check stay in-register. The running word (`prev`) is carried as a
+/// broadcast vector — no per-group extract back to a scalar register —
+/// and the range check is deferred: failures OR into a sticky mask and
+/// the column is redecoded by the scalar kernel from the start, which
+/// reproduces the exact error. The deferral is sound because the first
+/// lane whose true word leaves [0, `MAX_WORD`] is always flagged: with
+/// an in-range `prev`, every true lane value lies in (−2³¹, 2³¹ + 2³⁰),
+/// and no value in that window maps into [0, 2³⁰) modulo 2³² except
+/// the in-range values themselves.
+///
+/// # Safety
+///
+/// The caller must have verified SSSE3 is available on this CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "ssse3")]
+unsafe fn decode_split_ssse3(
+    control: &[u8],
+    payload: &[u8],
+    count: usize,
+    out: &mut Vec<u32>,
+) -> io::Result<()> {
+    use std::arch::x86_64::*;
+    let start = out.len();
+    out.reserve(count);
+    let dst = out.as_mut_ptr().add(start);
+    let one = _mm_set1_epi32(1);
+    let mut seen = _mm_setzero_si128();
+    let mut prevv = _mm_setzero_si128();
+    let mut i = 0usize;
+    let mut p = 0usize;
+    while i + 4 <= count && p + 16 <= payload.len() {
+        let c = control[i / 4] as usize;
+        let shuf = _mm_loadu_si128(SPLIT_SHUFFLE[c].as_ptr() as *const __m128i);
+        let raw = _mm_loadu_si128(payload.as_ptr().add(p) as *const __m128i);
+        let tok = _mm_shuffle_epi8(raw, shuf);
+        let store = _mm_and_si128(tok, one);
+        let zz = _mm_srli_epi32::<1>(tok);
+        // unzigzag: (zz >> 1) ^ -(zz & 1), per lane.
+        let delta = _mm_xor_si128(
+            _mm_srli_epi32::<1>(zz),
+            _mm_sub_epi32(_mm_setzero_si128(), _mm_and_si128(zz, one)),
+        );
+        // In-register prefix sum turns deltas into running words.
+        let sums = _mm_add_epi32(delta, _mm_slli_si128::<4>(delta));
+        let sums = _mm_add_epi32(sums, _mm_slli_si128::<8>(sums));
+        let words = _mm_add_epi32(prevv, sums);
+        // Range check, deferred: an in-range word has bits 31:30 clear
+        // (word ≤ 2³⁰ − 1) and an out-of-range or negative word sets at
+        // least one of them, so OR-accumulating the raw lanes and
+        // testing the top two bits after the loop catches every
+        // violation at one op per step.
+        seen = _mm_or_si128(seen, words);
+        let packed = _mm_or_si128(_mm_slli_epi32::<2>(words), store);
+        _mm_storeu_si128(dst.add(i) as *mut __m128i, packed);
+        // Advance the carried word by the group's delta total — the
+        // broadcast hangs off `sums`, keeping the loop-carried chain a
+        // single add.
+        prevv = _mm_add_epi32(prevv, _mm_shuffle_epi32::<0xff>(sums));
+        p += SPLIT_GROUP_BYTES[c] as usize;
+        i += 4;
+    }
+    let high = _mm_or_si128(seen, _mm_slli_epi32::<1>(seen));
+    if _mm_movemask_ps(_mm_castsi128_ps(high)) != 0 {
+        // SAFETY: `start` lanes were valid on entry; everything past
+        // them is discarded before the scalar rerun repopulates `out`.
+        out.set_len(start);
+        return decode_split_scalar_from(control, payload, count, 0, 0, 0, out);
+    }
+    // SAFETY: `reserve(count)` guaranteed capacity and the loop stored
+    // lanes `start..start + i` contiguously.
+    out.set_len(start + i);
+    let prev = i64::from(_mm_cvtsi128_si32(prevv));
+    decode_split_scalar_from(control, payload, count, i, p, prev, out)
+}
+
+/// AVX2 split kernel: two control bytes (eight tokens) per step. The
+/// two 16-byte payload loads land in one 256-bit register, the prefix
+/// sums run lane-locally, and the low half's running total is carried
+/// into the high half with one cross-lane permute. As in the SSSE3
+/// kernel, the running word stays a broadcast vector across iterations
+/// (one `vpermd` per step, no extract back to a scalar register) and
+/// the range check is a deferred sticky mask resolved after the loop —
+/// see [`decode_split_ssse3`] for why the deferral cannot miss the
+/// first out-of-range lane.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 is available on this CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn decode_split_avx2(
+    control: &[u8],
+    payload: &[u8],
+    count: usize,
+    out: &mut Vec<u32>,
+) -> io::Result<()> {
+    use std::arch::x86_64::*;
+    let start = out.len();
+    out.reserve(count);
+    let dst = out.as_mut_ptr().add(start);
+    let one = _mm256_set1_epi32(1);
+    let splat3 = _mm256_set1_epi32(3);
+    let splat7 = _mm256_set1_epi32(7);
+    let mut seen = _mm256_setzero_si256();
+    let mut prevv = _mm256_setzero_si256();
+    let mut i = 0usize;
+    let mut p = 0usize;
+    // One eight-token step. The control-byte reads are in bounds: the
+    // loop guards keep `i + 8 <= count`, so `i / 4 + 1` stays below
+    // `count.div_ceil(4) == control.len()`. The payload loads are in
+    // bounds under `p + 32 <= payload.len()`: the second 16-byte load
+    // starts at most 16 bytes past the first.
+    macro_rules! step8 {
+        () => {{
+            let c0 = *control.get_unchecked(i / 4) as usize;
+            let c1 = *control.get_unchecked(i / 4 + 1) as usize;
+            let g0 = SPLIT_GROUP_BYTES[c0] as usize;
+            let lo = _mm_loadu_si128(payload.as_ptr().add(p) as *const __m128i);
+            let hi = _mm_loadu_si128(payload.as_ptr().add(p + g0) as *const __m128i);
+            let raw = _mm256_set_m128i(hi, lo);
+            let shuf = _mm256_set_m128i(
+                _mm_loadu_si128(SPLIT_SHUFFLE[c1].as_ptr() as *const __m128i),
+                _mm_loadu_si128(SPLIT_SHUFFLE[c0].as_ptr() as *const __m128i),
+            );
+            let tok = _mm256_shuffle_epi8(raw, shuf);
+            let store = _mm256_and_si256(tok, one);
+            let zz = _mm256_srli_epi32::<1>(tok);
+            let delta = _mm256_xor_si256(
+                _mm256_srli_epi32::<1>(zz),
+                _mm256_sub_epi32(_mm256_setzero_si256(), _mm256_and_si256(zz, one)),
+            );
+            // Lane-local prefix sums (si256 byte shifts stay inside
+            // each 128-bit half)…
+            let sums = _mm256_add_epi32(delta, _mm256_slli_si256::<4>(delta));
+            let sums = _mm256_add_epi32(sums, _mm256_slli_si256::<8>(sums));
+            // …then carry the low half's lane-3 running total into the
+            // high-half lanes (the blend zeroes the low half).
+            let carry = _mm256_blend_epi32::<0b1111_0000>(
+                _mm256_setzero_si256(),
+                _mm256_permutevar8x32_epi32(sums, splat3),
+            );
+            let sums = _mm256_add_epi32(sums, carry);
+            let words = _mm256_add_epi32(prevv, sums);
+            // Range check, deferred: an in-range word has bits 31:30
+            // clear, so OR-accumulating the raw lanes and testing the
+            // top two bits after the loop catches every violation at
+            // one op per step.
+            seen = _mm256_or_si256(seen, words);
+            let packed = _mm256_or_si256(_mm256_slli_epi32::<2>(words), store);
+            _mm256_storeu_si256(dst.add(i) as *mut __m256i, packed);
+            // Advance the carried word by the step's delta total — the
+            // broadcast hangs off `sums`, keeping the loop-carried
+            // chain a single add.
+            prevv = _mm256_add_epi32(prevv, _mm256_permutevar8x32_epi32(sums, splat7));
+            p += g0 + SPLIT_GROUP_BYTES[c1] as usize;
+            i += 8;
+        }};
+    }
+    // Two steps per iteration keep more independent work in flight;
+    // `p + 64` bounds both steps (each consumes at most 32 payload
+    // bytes, so the second step's loads stay under `p + 64`).
+    while i + 16 <= count && p + 64 <= payload.len() {
+        step8!();
+        step8!();
+    }
+    while i + 8 <= count && p + 32 <= payload.len() {
+        step8!();
+    }
+    let high = _mm256_or_si256(seen, _mm256_slli_epi32::<1>(seen));
+    if _mm256_movemask_ps(_mm256_castsi256_ps(high)) != 0 {
+        // SAFETY: `start` lanes were valid on entry; everything past
+        // them is discarded before the scalar rerun repopulates `out`.
+        out.set_len(start);
+        return decode_split_scalar_from(control, payload, count, 0, 0, 0, out);
+    }
+    // SAFETY: `reserve(count)` guaranteed capacity and the loop stored
+    // lanes `start..start + i` contiguously.
+    out.set_len(start + i);
+    let prev = i64::from(_mm256_cvtsi256_si32(prevv));
+    decode_split_scalar_from(control, payload, count, i, p, prev, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +714,148 @@ mod tests {
         encode_addr_chunk(&[4, 8, 12], &mut bytes);
         bytes.pop();
         assert!(decode_addr_chunk(&bytes, 3).is_err());
+    }
+
+    /// Columns that exercise every token length, group-boundary
+    /// stragglers, and the empty case.
+    #[cfg(not(feature = "seeded-bugs"))]
+    fn split_cases() -> Vec<Vec<u32>> {
+        let mut cases = vec![
+            vec![],
+            vec![4],
+            vec![0, u32::MAX & !3 | 1, 1, u32::MAX & !3, 4, 8, 8 | 1, 0x1000],
+            (0..1024u32).map(|i| (i % 64) * 4).collect(),
+        ];
+        // Deterministically mixed token lengths across odd counts.
+        let mut x = 0x2545_f491u32;
+        for count in [3usize, 5, 63, 64, 65, 257] {
+            let mut addrs = Vec::with_capacity(count);
+            for _ in 0..count {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                // Vary delta magnitude: mostly small, sometimes huge.
+                let addr = match x % 4 {
+                    0 => (x % 251) * 4,
+                    1 => (x % 65_521) * 4 | 1,
+                    _ => x & !2,
+                };
+                addrs.push(addr);
+            }
+            cases.push(addrs);
+        }
+        cases
+    }
+
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[test]
+    fn split_round_trips_at_every_level() {
+        for addrs in split_cases() {
+            let mut bytes = Vec::new();
+            encode_addr_chunk_split(&addrs, &mut bytes);
+            let control = addrs.len().div_ceil(4);
+            assert!(bytes.len() >= control + addrs.len().min(1));
+            assert!(bytes.len() <= control + addrs.len() * MAX_SPLIT_BYTES_PER_ADDR);
+            for level in SimdLevel::available() {
+                let mut out = Vec::new();
+                decode_addr_chunk_split_into_with(&bytes, addrs.len(), level, &mut out)
+                    .unwrap_or_else(|e| panic!("{level:?} on {} addrs: {e}", addrs.len()));
+                assert_eq!(out, addrs, "{level:?} on {} addrs", addrs.len());
+            }
+        }
+    }
+
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[test]
+    fn split_and_varint_codecs_agree() {
+        for addrs in split_cases() {
+            let mut leb = Vec::new();
+            encode_addr_chunk(&addrs, &mut leb);
+            let mut split = Vec::new();
+            encode_addr_chunk_split(&addrs, &mut split);
+            assert_eq!(
+                decode_addr_chunk(&leb, addrs.len()).unwrap(),
+                decode_addr_chunk_split(&split, addrs.len()).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn split_truncated_control_is_eof() {
+        let err = decode_addr_chunk_split(&[], 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn split_truncated_payload_is_eof() {
+        let mut bytes = Vec::new();
+        encode_addr_chunk_split(&[4, 8, 0x4000_0000, 12, 16], &mut bytes);
+        bytes.pop();
+        let err = decode_addr_chunk_split(&bytes, 5).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[test]
+    fn split_trailing_payload_is_rejected() {
+        let mut bytes = Vec::new();
+        encode_addr_chunk_split(&[4, 8], &mut bytes);
+        bytes.push(0);
+        let err = decode_addr_chunk_split(&bytes, 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn split_non_canonical_padding_is_rejected() {
+        let mut bytes = Vec::new();
+        encode_addr_chunk_split(&[4, 8, 12], &mut bytes);
+        // Three addresses: lane 3 of the single control byte is unused
+        // padding and must be zero.
+        bytes[0] |= 0b11 << 6;
+        let err = decode_addr_chunk_split(&bytes, 3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn split_out_of_range_delta_errors_identically_at_every_level() {
+        // Hand-built column: four all-short groups walk words 0..15,
+        // then a fifth group of 4-byte max-positive deltas overflows
+        // the word space on its first lane. Enough leading groups that
+        // both vector kernels enter their wide loops first.
+        let token = (zigzag(MAX_WORD) << 1) as u32;
+        let mut bytes = vec![0u8, 0, 0, 0, 0xff];
+        bytes.push(0); // delta 0
+        bytes.extend_from_slice(&[4u8; 15]); // delta +1 each
+        for _ in 0..4 {
+            bytes.extend_from_slice(&token.to_le_bytes());
+        }
+        let errs: Vec<String> = SimdLevel::available()
+            .into_iter()
+            .map(|level| {
+                let mut out = Vec::new();
+                let err = decode_addr_chunk_split_into_with(&bytes, 20, level, &mut out)
+                    .expect_err("overflowing delta must fail");
+                assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{level:?}");
+                assert!(out.is_empty(), "{level:?} left partial output");
+                err.to_string()
+            })
+            .collect();
+        for pair in errs.windows(2) {
+            assert_eq!(pair[0], pair[1], "levels disagree on the error");
+        }
+    }
+
+    #[cfg(not(feature = "seeded-bugs"))]
+    #[test]
+    fn split_column_overhead_is_bounded_on_local_streams() {
+        let addrs: Vec<u32> = (0..8192u32).map(|i| (i % 64) * 4).collect();
+        let mut leb = Vec::new();
+        encode_addr_chunk(&addrs, &mut leb);
+        let mut split = Vec::new();
+        encode_addr_chunk_split(&addrs, &mut split);
+        // Small deltas: 1 payload byte + 1/4 control byte per address
+        // vs 1 full LEB byte — the split form trades ≤ 25% growth for
+        // branch-free decode, and must never exceed that bound.
+        assert!(split.len() <= leb.len() + addrs.len().div_ceil(4));
     }
 }

@@ -58,6 +58,29 @@ fn v21_header(accesses: u64, regions: u64, chunks: u64, chunk_accesses: u32) -> 
     bytes
 }
 
+/// The sample trace in the stream-split v2.2 format at a chunk size of
+/// two accesses (same shape as [`v21_bytes`]).
+fn v22_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    PackedTrace::from_trace(&sample_trace())
+        .write_v22_with(&mut bytes, 2)
+        .unwrap();
+    bytes
+}
+
+/// A raw v2.2 header with attacker-chosen counts, the correct codec id,
+/// and no body.
+fn v22_header(accesses: u64, regions: u64, chunks: u64, chunk_accesses: u32) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"FVLTRC22");
+    bytes.extend_from_slice(&accesses.to_le_bytes());
+    bytes.extend_from_slice(&regions.to_le_bytes());
+    bytes.extend_from_slice(&chunks.to_le_bytes());
+    bytes.extend_from_slice(&chunk_accesses.to_le_bytes());
+    bytes.extend_from_slice(&1u32.to_le_bytes()); // codec id: split
+    bytes
+}
+
 /// The mapped reader must reject `bytes` with a decode-shaped error.
 fn assert_mapped_rejected(bytes: &[u8], what: &str) {
     let err = MappedTrace::from_bytes(bytes.to_vec())
@@ -358,11 +381,114 @@ fn hostile_v21_chunk_index_entries_are_rejected() {
 }
 
 #[test]
+fn every_strict_prefix_of_a_v22_stream_is_rejected() {
+    let bytes = v22_bytes();
+    let full = MappedTrace::from_bytes(bytes.clone()).expect("full v2.2 stream ok");
+    assert_eq!(full.chunk_count(), 2);
+    let footer = full.chunk_count() as usize * 16 + 8;
+    let payload_end = bytes.len() - footer;
+    for len in 0..payload_end {
+        assert_rejected(&bytes[..len], &format!("v2.2 prefix of {len} bytes"));
+    }
+    for len in 0..bytes.len() {
+        assert_mapped_rejected(&bytes[..len], &format!("v2.2 prefix of {len} bytes"));
+    }
+    assert!(
+        PackedTrace::read_from(bytes.as_slice()).is_ok(),
+        "full stream ok"
+    );
+}
+
+#[test]
+fn hostile_v22_header_counts_fail_without_allocating() {
+    let bytes = v22_header(u64::from(u32::MAX) + 1, 0, 1, 1);
+    assert_rejected(&bytes, "v2.2 with accesses=u32::MAX+1");
+    assert_mapped_rejected(&bytes, "v2.2 with accesses=u32::MAX+1");
+
+    let bytes = v22_header(4, 0, u64::MAX, 2);
+    assert_rejected(&bytes, "v2.2 with chunk_count=u64::MAX");
+    assert_mapped_rejected(&bytes, "v2.2 with chunk_count=u64::MAX");
+
+    let bytes = v22_header(4, 0, 2, 0);
+    assert_rejected(&bytes, "v2.2 with chunk_accesses=0");
+    assert_mapped_rejected(&bytes, "v2.2 with chunk_accesses=0");
+
+    let bytes = v22_header(0, u64::MAX, 0, 2);
+    assert_rejected(&bytes, "v2.2 with region_count=u64::MAX");
+    assert_mapped_rejected(&bytes, "v2.2 with region_count=u64::MAX");
+}
+
+#[test]
+fn v22_codec_id_mismatch_is_rejected() {
+    // A v2.2 magic whose reserved word does not carry the split codec
+    // id is a header/codec disagreement, not a decodable file.
+    for bogus in [0u32, 7, u32::MAX] {
+        let mut bytes = v22_bytes();
+        bytes[36..40].copy_from_slice(&bogus.to_le_bytes());
+        assert_rejected(&bytes, &format!("v2.2 with codec id {bogus}"));
+        assert_mapped_rejected(&bytes, &format!("v2.2 with codec id {bogus}"));
+    }
+}
+
+#[test]
+fn v22_control_payload_stream_mismatches_are_rejected() {
+    // Chunk 0 of the sample v2.2 file holds two accesses: tokens 0x1001
+    // (two payload bytes) and 0x0 (one), so its address column is one
+    // control byte `0b01` at offset 48 (40-byte file header + 8-byte
+    // inline chunk header) followed by a three-byte payload stream.
+    let good = v22_bytes();
+    assert_eq!(good[48] & 0x0f, 0b01, "control byte moved — update test");
+
+    // Inflating lane 0's length code makes the control stream claim
+    // more payload than the chunk carries: strict under-run.
+    let mut bytes = good.clone();
+    bytes[48] = 0b11;
+    assert_rejected(&bytes, "v2.2 control over-claims payload");
+    let err = MappedTrace::from_bytes(bytes).unwrap().to_packed();
+    assert!(
+        err.is_err(),
+        "mapped decode accepted an over-claiming control stream"
+    );
+
+    // Shrinking it leaves payload bytes no control code accounts for:
+    // the decoder must flag the orphaned trailing bytes.
+    let mut bytes = good.clone();
+    bytes[48] = 0b00;
+    assert_rejected(&bytes, "v2.2 control under-claims payload");
+    let err = MappedTrace::from_bytes(bytes).unwrap().to_packed();
+    assert!(
+        err.is_err(),
+        "mapped decode accepted orphaned payload bytes"
+    );
+
+    // Unused high lanes of the last control byte must be zero: a
+    // non-canonical encoding is rejected before any token decodes.
+    let mut bytes = good.clone();
+    bytes[48] |= 0xf0;
+    assert_rejected(&bytes, "v2.2 non-canonical control padding");
+    let err = MappedTrace::from_bytes(bytes).unwrap().to_packed();
+    assert!(err.is_err(), "mapped decode accepted non-canonical padding");
+
+    // An inline addr_bytes below the structural floor (control bytes +
+    // one payload byte per address) cannot describe any valid column
+    // and must be rejected before the splitter allocates.
+    let mut bytes = good.clone();
+    bytes[44..48].copy_from_slice(&2u32.to_le_bytes());
+    assert_rejected(&bytes, "v2.2 with addr_bytes below the split floor");
+    assert_mapped_rejected(&bytes, "v2.2 with addr_bytes below the split floor");
+}
+
+#[test]
 fn trailing_garbage_after_a_complete_trace_is_ignored() {
     // The formats are length-prefixed: a decoder consumes exactly the
     // declared records and must not choke on what follows (e.g. a trace
     // embedded in a larger container).
-    for (mut bytes, accesses) in [(v1_bytes(), 4u64), (v2_bytes(), 4u64), (v21_bytes(), 4u64)] {
+    for (mut bytes, accesses) in [
+        (v1_bytes(), 4u64),
+        (v2_bytes(), 4u64),
+        (v21_bytes(), 4u64),
+        (v22_bytes(), 4u64),
+    ] {
         bytes.extend_from_slice(b"GARBAGE AFTER THE TRACE \xff\xfe\xfd");
         let trace = Trace::read_from(bytes.as_slice()).unwrap();
         assert_eq!(trace.accesses(), accesses);
@@ -372,7 +498,8 @@ fn trailing_garbage_after_a_complete_trace_is_ignored() {
     // The mapped reader is the exception by design: its footer lives at
     // the end of the file, so trailing garbage shifts the index out from
     // under it and must be rejected, not silently misparsed.
-    let mut bytes = v21_bytes();
-    bytes.extend_from_slice(b"GARBAGE AFTER THE TRACE \xff\xfe\xfd");
-    assert_mapped_rejected(&bytes, "v2.1 with trailing garbage");
+    for (mut bytes, tag) in [(v21_bytes(), "v2.1"), (v22_bytes(), "v2.2")] {
+        bytes.extend_from_slice(b"GARBAGE AFTER THE TRACE \xff\xfe\xfd");
+        assert_mapped_rejected(&bytes, &format!("{tag} with trailing garbage"));
+    }
 }
