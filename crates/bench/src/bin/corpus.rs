@@ -5,7 +5,14 @@
 //!            [--codec v21|v22]
 //! corpus sweep <dir> [--budget-bytes N] [--in-ram] [--inline-decode]
 //!              [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]
+//! corpus sim <file> [--size N] [--line N] [--assoc N] [--write back|through]
+//!            [--policy P] [--remote ADDR]
 //! ```
+//!
+//! `sim` replays one trace file (any FVLTRC format) against one cache
+//! configuration and prints four counter lines; with `--remote ADDR`
+//! the file is uploaded to an `fvl-serve` daemon and simulated there,
+//! with byte-identical stdout (CI diffs the two modes).
 //!
 //! `gen` writes a directory of deterministic synthetic chunk-indexed
 //! trace files — v2.1 varint columns by default, v2.2 stream-split
@@ -30,6 +37,7 @@ use fvl_bench::corpus::{
 };
 use fvl_bench::engine::{CellId, ClassStats, Completed, Engine};
 use fvl_bench::metrics::{self, RunInfo};
+use fvl_bench::remote;
 use fvl_mem::{AddrCodec, CHUNK_ACCESSES};
 use fvl_obs::Json;
 use fvl_profile::TOWER_LEVELS;
@@ -67,7 +75,12 @@ fn usage() -> ExitCode {
          --inline-decode turns off the decode-ahead pipeline (A/B lane; stdout\n\
          \x20     must be bit-identical to the pipelined default)\n\
          --metrics FILE writes the versioned JSON export; --metrics-timing adds\n\
-         \x20     the scheduling-dependent corpus/residency block"
+         \x20     the scheduling-dependent corpus/residency block\n\
+         \x20      corpus sim <file> [--size N] [--line N] [--assoc N]\n\
+         \x20                [--write back|through] [--policy P] [--remote ADDR]\n\
+         sim replays one trace file against one cache configuration (defaults\n\
+         \x20     1024B/16B/1-way write-back LRU); --remote runs it on an\n\
+         \x20     fvl-serve daemon with byte-identical stdout"
     );
     ExitCode::FAILURE
 }
@@ -305,6 +318,92 @@ fn main() -> ExitCode {
     match command.as_str() {
         "gen" => gen(dir, iter),
         "sweep" => sweep(dir, iter),
+        "sim" => sim(dir, iter),
         _ => usage(),
     }
+}
+
+/// `corpus sim <file>`: one trace file, one cache configuration, four
+/// counter lines on stdout. With `--remote` the trace is uploaded to
+/// an `fvl-serve` daemon and simulated there; the daemon runs the same
+/// `fvl_bench::remote::simulate_packed` code this binary runs locally,
+/// so the stdout bytes are identical either way — CI diffs them.
+fn sim(file: PathBuf, mut iter: std::vec::IntoIter<String>) -> ExitCode {
+    let mut config = String::new();
+    let mut addr: Option<String> = None;
+    while let Some(arg) = iter.next() {
+        let key = match arg.as_str() {
+            "--size" => "size",
+            "--line" => "line",
+            "--assoc" => "assoc",
+            "--write" => "write",
+            "--policy" => "policy",
+            "--remote" => {
+                match iter.next() {
+                    Some(a) => addr = Some(a),
+                    None => return usage(),
+                }
+                continue;
+            }
+            _ => return usage(),
+        };
+        match iter.next() {
+            Some(v) => config.push_str(&format!("{key}={v}\n")),
+            None => return usage(),
+        }
+    }
+    let bytes = match std::fs::read(&file) {
+        Ok(bytes) => bytes,
+        Err(err) => {
+            eprintln!("error: cannot read {}: {err}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let body = match addr {
+        None => {
+            let trace = match remote::parse_trace_bytes(&bytes) {
+                Ok(trace) => trace,
+                Err(err) => {
+                    eprintln!("error: {}: not a readable trace: {err}", file.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match remote::simulate_packed(&trace, &config) {
+                Ok(body) => body,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Some(addr) => {
+            let spec = remote::SessionSpec::smoke(
+                &std::env::var("FVL_TENANT").unwrap_or_else(|_| "cli".to_string()),
+            );
+            let mut client =
+                match remote::RemoteClient::connect(&addr, &spec, remote::DEFAULT_TIMEOUT) {
+                    Ok(client) => client,
+                    Err(err) => {
+                        eprintln!("error: cannot open session on {addr}: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            let outcome = client
+                .upload_trace(&bytes)
+                .and_then(|_| client.simulate(&config));
+            let kv = match outcome {
+                Ok(kv) => kv,
+                Err(err) => {
+                    eprintln!("error: remote simulation failed: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let _ = client.bye();
+            kv.iter()
+                .map(|(k, v)| format!("{k}={v}\n"))
+                .collect::<String>()
+        }
+    };
+    print!("{body}");
+    ExitCode::SUCCESS
 }

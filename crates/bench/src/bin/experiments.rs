@@ -4,9 +4,19 @@
 //! experiments <name>... [--quick|--train|--smoke] [--seed N] [--jobs N|--serial]
 //!             [--no-trace-cache] [--legacy-trace] [--simd LEVEL]
 //!             [--metrics FILE] [--metrics-csv FILE] [--metrics-timing]
+//!             [--remote ADDR]
 //! experiments all [--smoke]
 //! experiments list
 //! ```
+//!
+//! With `--remote ADDR` (`host:port` or `unix:PATH`) the binary runs
+//! the same experiment list as a thin client of an `fvl-serve` daemon:
+//! one session, one job per experiment, report bytes streamed straight
+//! to stdout. Stdout and the plain `--metrics` export are byte-
+//! identical to the local run with the same (input, seed, smoke)
+//! knobs — CI diffs them. Engine knobs (`--jobs`, `--no-trace-cache`,
+//! `--legacy-trace`, `--simd`) do not apply remotely (the daemon owns
+//! its engine) and are ignored with a note on stderr.
 //!
 //! Reports go to stdout; timing, engine-throughput and trace-store
 //! lines go to stderr, so stdout is bit-identical for any `--jobs`
@@ -20,6 +30,7 @@
 use fvl_bench::engine::Engine;
 use fvl_bench::experiments;
 use fvl_bench::metrics::{self, RunInfo};
+use fvl_bench::remote;
 use fvl_bench::ExperimentContext;
 use fvl_mem::{SimdLevel, SimdPolicy, TraceReprKind};
 use fvl_workloads::InputSize;
@@ -43,7 +54,9 @@ fn usage() -> ExitCode {
          \x20             (FVL_SIMD sets the same toggle; unavailable levels fall back to unrolled)\n\
          --metrics FILE writes a versioned JSON metrics export (deterministic across --jobs)\n\
          --metrics-csv FILE writes the per-cell log as CSV\n\
-         --metrics-timing adds wall-clock/throughput/cache-counter fields to the JSON export",
+         --metrics-timing adds wall-clock/throughput/cache-counter fields to the JSON export\n\
+         --remote ADDR runs the jobs on an fvl-serve daemon (host:port or unix:PATH);\n\
+         \x20             stdout and plain --metrics stay byte-identical to the local run",
         experiments::all()
             .iter()
             .map(|(n, _)| *n)
@@ -74,6 +87,7 @@ fn main() -> ExitCode {
         .unwrap_or_default();
     // Likewise FVL_SIMD picks the replay kernel; --simd overrides it.
     let mut simd_policy = SimdPolicy::from_env();
+    let mut remote: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -108,6 +122,10 @@ fn main() -> ExitCode {
                 Some(policy) => simd_policy = policy,
                 None => return usage(),
             },
+            "--remote" => match iter.next() {
+                Some(addr) => remote = Some(addr),
+                None => return usage(),
+            },
             "list" => {
                 for (name, _) in experiments::all() {
                     println!("{name}");
@@ -137,6 +155,25 @@ fn main() -> ExitCode {
         }
         picked
     };
+
+    if let Some(addr) = remote {
+        if jobs.is_some() || !trace_cache || repr == TraceReprKind::Legacy {
+            eprintln!("note: engine knobs (--jobs/--no-trace-cache/--legacy-trace) are daemon-side; ignored with --remote");
+        }
+        if metrics_timing {
+            eprintln!("note: --metrics-timing is local-only; the daemon exports plain metrics");
+        }
+        let selected: Vec<&'static str> = selected.iter().map(|&(n, _)| n).collect();
+        return run_remote(
+            &addr,
+            &selected,
+            input,
+            seed,
+            smoke,
+            metrics_json.as_deref(),
+            metrics_csv.as_deref(),
+        );
+    }
 
     // Pin the replay kernel before the first replay; the selection is
     // process-wide and first-wins.
@@ -233,5 +270,76 @@ fn main() -> ExitCode {
         }
         eprintln!("metrics: wrote {path}");
     }
+    ExitCode::SUCCESS
+}
+
+/// Thin-client mode: the same experiment list as one daemon session,
+/// one job per experiment, report bytes streamed verbatim to stdout.
+/// The header is printed locally (the client knows the knobs), so the
+/// full stdout matches the local run byte for byte.
+#[allow(clippy::too_many_arguments)]
+fn run_remote(
+    addr: &str,
+    names: &[&'static str],
+    input: InputSize,
+    seed: u64,
+    smoke: bool,
+    metrics_json: Option<&str>,
+    metrics_csv: Option<&str>,
+) -> ExitCode {
+    let input_label = match input {
+        InputSize::Test => "test",
+        InputSize::Train => "train",
+        InputSize::Ref => "reference",
+    };
+    let spec = remote::SessionSpec {
+        tenant: std::env::var("FVL_TENANT").unwrap_or_else(|_| "cli".to_string()),
+        input: input_label.to_string(),
+        seed,
+        smoke,
+    };
+    let mut client = match remote::RemoteClient::connect(addr, &spec, remote::DEFAULT_TIMEOUT) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("error: cannot open session on {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# FVC reproduction experiments ({input_label} inputs{}, seed {seed})\n",
+        if smoke { ", smoke" } else { "" },
+    );
+    let stdout = std::io::stdout();
+    for name in names {
+        let start = Instant::now();
+        match client.run_experiment(name, stdout.lock()) {
+            Ok(summary) => eprintln!(
+                "{name} completed in {:.1?} (remote, {} refs)",
+                start.elapsed(),
+                summary.references,
+            ),
+            Err(err) => {
+                eprintln!("error: remote job {name} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for (path, format) in [(metrics_json, "json"), (metrics_csv, "csv")] {
+        let Some(path) = path else { continue };
+        match client.metrics(format) {
+            Ok(body) => {
+                if let Err(err) = std::fs::write(path, body) {
+                    eprintln!("error: cannot write metrics file {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("metrics: wrote {path}");
+            }
+            Err(err) => {
+                eprintln!("error: remote metrics export failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let _ = client.bye();
     ExitCode::SUCCESS
 }

@@ -103,11 +103,70 @@ impl fmt::Debug for WorkloadData {
     }
 }
 
+/// The execution substrate a batch of experiments runs on: the engine
+/// that schedules simulation cells and the [`TraceStore`] that makes
+/// each distinct workload capture happen exactly once.
+///
+/// A core is the unit of *sharing*. The CLI builds one core per
+/// process; the `fvl-serve` daemon builds one **store-sharing** core
+/// per client session (fresh serial engine, so per-session cell
+/// records stay deterministic, but one shared store, so two tenants
+/// requesting the same `(workload, input, seed, refs)` key share a
+/// single capture). [`ExperimentContext::session`] turns a core into a
+/// fully configured context.
+#[derive(Clone, Debug)]
+pub struct EngineCore {
+    /// The cell scheduler.
+    engine: Arc<Engine>,
+    /// Capture-once memoization.
+    store: Arc<TraceStore>,
+}
+
+impl Default for EngineCore {
+    fn default() -> Self {
+        EngineCore::serial()
+    }
+}
+
+impl EngineCore {
+    /// A core from explicit parts.
+    pub fn new(engine: Arc<Engine>, store: Arc<TraceStore>) -> Self {
+        EngineCore { engine, store }
+    }
+
+    /// A serial engine with a fresh store — the default substrate.
+    pub fn serial() -> Self {
+        EngineCore {
+            engine: Arc::new(Engine::serial()),
+            store: Arc::new(TraceStore::new()),
+        }
+    }
+
+    /// A fresh serial engine sharing `store` — one per daemon session,
+    /// so sessions dedup captures across tenants while keeping their
+    /// own deterministic cell-record logs.
+    pub fn session_on(store: Arc<TraceStore>) -> Self {
+        EngineCore {
+            engine: Arc::new(Engine::serial()),
+            store,
+        }
+    }
+
+    /// The cell scheduler.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The capture-once store.
+    pub fn store(&self) -> &Arc<TraceStore> {
+        &self.store
+    }
+}
+
 /// Shared configuration for a batch of experiments: input size, the
 /// base seed (experiments that compare inputs derive further seeds),
-/// the smoke-mode reference budget, the engine that schedules every
-/// experiment's simulation cells, and the [`TraceStore`] that makes
-/// each distinct workload capture happen exactly once per batch.
+/// the smoke-mode reference budget, and the [`EngineCore`] supplying
+/// the cell scheduler and the capture-once [`TraceStore`].
 #[derive(Clone, Debug)]
 pub struct ExperimentContext {
     /// Problem size used for every workload.
@@ -120,10 +179,8 @@ pub struct ExperimentContext {
     /// Storage layout captures are kept in (packed by default; the
     /// `--legacy-trace` flag flips it for A/B runs).
     pub repr: TraceReprKind,
-    /// The cell scheduler shared by all experiments of the batch.
-    engine: Arc<Engine>,
-    /// Capture-once memoization shared by all experiments of the batch.
-    store: Arc<TraceStore>,
+    /// The execution substrate (engine + store) for this batch.
+    core: EngineCore,
 }
 
 impl Default for ExperimentContext {
@@ -133,8 +190,7 @@ impl Default for ExperimentContext {
             seed: 1,
             max_refs: None,
             repr: TraceReprKind::default(),
-            engine: Arc::new(Engine::serial()),
-            store: Arc::new(TraceStore::new()),
+            core: EngineCore::serial(),
         }
     }
 }
@@ -159,9 +215,32 @@ impl ExperimentContext {
         }
     }
 
+    /// A context bound to an existing substrate — the session-scoped
+    /// constructor the daemon uses (and the CLI, after flag parsing).
+    /// Starts from [`ExperimentContext::default`] knobs; chain the
+    /// `with_*` builders for the rest.
+    pub fn session(core: EngineCore) -> Self {
+        ExperimentContext {
+            core,
+            ..Self::default()
+        }
+    }
+
+    /// The substrate this context runs on.
+    pub fn core(&self) -> &EngineCore {
+        &self.core
+    }
+
     /// Replaces the engine (e.g. with a parallel one).
     pub fn with_engine(mut self, engine: Arc<Engine>) -> Self {
-        self.engine = engine;
+        self.core.engine = engine;
+        self
+    }
+
+    /// Replaces the capture-once store (e.g. with one shared across
+    /// sessions by the daemon).
+    pub fn with_store(mut self, store: Arc<TraceStore>) -> Self {
+        self.core.store = store;
         self
     }
 
@@ -196,7 +275,7 @@ impl ExperimentContext {
     /// fresh [`TraceStore::disabled`], reproducing the historical
     /// capture-per-experiment behavior (`--no-trace-cache`).
     pub fn with_trace_cache(mut self, enabled: bool) -> Self {
-        self.store = Arc::new(if enabled {
+        self.core.store = Arc::new(if enabled {
             TraceStore::new()
         } else {
             TraceStore::disabled()
@@ -206,12 +285,12 @@ impl ExperimentContext {
 
     /// The engine scheduling this batch's cells.
     pub fn engine(&self) -> &Engine {
-        &self.engine
+        self.core.engine()
     }
 
     /// The capture-once store shared by this batch's experiments.
     pub fn store(&self) -> &TraceStore {
-        &self.store
+        self.core.store()
     }
 
     /// Runs one simulation cell per item through the engine, returning
@@ -222,7 +301,7 @@ impl ExperimentContext {
         R: Send,
         F: Fn(T) -> Completed<R> + Sync,
     {
-        self.engine.cells(items, f)
+        self.core.engine.cells(items, f)
     }
 
     /// Captures one workload by name, sharing the result through the
@@ -246,7 +325,7 @@ impl ExperimentContext {
     /// Panics if the name is unknown.
     pub fn capture_with(&self, name: &str, input: InputSize, seed: u64) -> Arc<WorkloadData> {
         let key = TraceKey::new(name, input, seed, self.max_refs);
-        self.store.get_or_capture(key, || {
+        self.core.store.get_or_capture(key, || {
             let w = by_name(name, input, seed).unwrap_or_else(|| panic!("unknown workload {name}"));
             WorkloadData::capture_limited_as(w, self.max_refs, self.repr)
         })
@@ -276,7 +355,7 @@ impl ExperimentContext {
                 })
             })
             .collect();
-        self.engine.run_jobs(jobs)
+        self.core.engine.run_jobs(jobs)
     }
 
     /// The paper's six frequent-value benchmarks, in its order.

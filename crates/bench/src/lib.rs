@@ -28,11 +28,12 @@ pub mod data;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;
+pub mod remote;
 pub mod store;
 pub mod sweep;
 pub mod table;
 
-pub use data::{ExperimentContext, WorkloadData};
+pub use data::{EngineCore, ExperimentContext, WorkloadData};
 pub use engine::Engine;
 pub use store::{TraceKey, TraceStore};
 pub use table::Table;

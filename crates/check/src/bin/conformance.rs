@@ -7,16 +7,20 @@
 //! `target/conformance/repro-<index>.fvltrc` so CI can upload it as an
 //! artifact and a developer can replay it locally.
 //!
-//! Usage: `conformance [--policy <lru|random|rrip|pinned>] [cases] [accesses-per-trace]`
+//! Usage: `conformance [--policy <lru|random|rrip|pinned>] [--serve] [cases] [accesses-per-trace]`
 //!
 //! With `--policy`, only the cache differential runs, scoped to that
 //! replacement kind over the per-policy geometry pair — the shape the
-//! CI policy matrix uses so each job's verdict names one policy.
+//! CI policy matrix uses so each job's verdict names one policy. With
+//! `--serve`, only the serve differential runs (frame-codec byte
+//! round-trips plus loopback daemon sessions diffed against in-process
+//! execution), over a smaller default corpus since every case spins a
+//! daemon.
 
 use fvl_cache::ReplacementKind;
 use fvl_check::{
-    run_boundary_corpus, run_corpus, run_policy_corpus, CorpusReport, DEFAULT_CASES,
-    DEFAULT_TRACE_ACCESSES,
+    run_boundary_corpus, run_corpus, run_policy_corpus, run_serve_corpus, CorpusReport,
+    DEFAULT_CASES, DEFAULT_TRACE_ACCESSES, SERVE_CASES,
 };
 use std::fs;
 use std::path::Path;
@@ -25,11 +29,14 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut positional = Vec::new();
     let mut policy: Option<ReplacementKind> = None;
+    let mut serve = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--policy" {
             let name = args.next().expect("--policy needs a policy name");
             policy = Some(ReplacementKind::parse(&name).unwrap_or_else(|e| panic!("{e}")));
+        } else if arg == "--serve" {
+            serve = true;
         } else {
             positional.push(arg);
         }
@@ -38,7 +45,7 @@ fn main() -> ExitCode {
     let cases: usize = positional
         .next()
         .map(|a| a.parse().expect("cases must be a number"))
-        .unwrap_or(DEFAULT_CASES);
+        .unwrap_or(if serve { SERVE_CASES } else { DEFAULT_CASES });
     let accesses: u64 = positional
         .next()
         .map(|a| a.parse().expect("accesses must be a number"))
@@ -48,6 +55,10 @@ fn main() -> ExitCode {
         Some(kind) => {
             println!("conformance: {cases} corpus traces x {accesses} accesses, policy {kind}");
             run_policy_corpus(kind, cases, accesses)
+        }
+        None if serve => {
+            println!("conformance: {cases} serve traces x {accesses} accesses (loopback daemon)");
+            run_serve_corpus(cases, accesses)
         }
         None => full_report(cases, accesses),
     };

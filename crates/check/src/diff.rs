@@ -391,6 +391,117 @@ pub fn diff_corpus(trace: &Trace) -> Option<String> {
     None
 }
 
+/// Diffs the `fvl-serve` wire path against in-process execution.
+///
+/// Two legs. The **codec leg** writes representative frames — the
+/// session hello, the trace's own packed bytes as a `Trace` payload,
+/// and a simulation request — and reads each back through the serve
+/// frame decoder, byte-comparing against the payload that was written.
+/// The oracle is the written buffer itself, so no decode is trusted on
+/// either side. The **end-to-end leg** spawns a loopback daemon,
+/// uploads the packed trace over the socket, requests one simulation
+/// per [`GEOMETRIES`] cell, and requires the daemon's counters to
+/// equal, key for key, what the shared in-process simulator computes
+/// from the same bytes.
+pub fn diff_serve(trace: &Trace) -> Option<String> {
+    use fvl_bench::remote::{self, RemoteClient, SessionSpec};
+    use fvl_mem::frame::{self, FrameKind};
+    use fvl_serve::{Daemon, ServeConfig};
+    use std::time::Duration;
+
+    let packed = PackedTrace::from_trace(trace);
+    let mut trace_bytes = Vec::new();
+    packed
+        .write_to(&mut trace_bytes)
+        .expect("in-memory write cannot fail");
+
+    // Codec leg: every frame must read back byte for byte. Runs first
+    // so a codec divergence is reported without waiting on sockets.
+    let representative = [
+        (
+            FrameKind::Hello,
+            0u32,
+            b"tenant=check\nsmoke=true\n".to_vec(),
+        ),
+        (FrameKind::Trace, 1, trace_bytes.clone()),
+        (FrameKind::Sim, 2, b"size=1024\nline=16\nassoc=1\n".to_vec()),
+    ];
+    for (kind, seq, payload) in representative {
+        let mut wire = Vec::new();
+        frame::write_frame(&mut wire, kind, seq, &payload).expect("in-memory write cannot fail");
+        let got = match frame::read_frame(wire.as_slice()) {
+            Ok(got) => got,
+            Err(e) => {
+                return Some(format!("frame codec failed to read back {kind:?}: {e}"));
+            }
+        };
+        if got.kind != kind || got.seq != seq {
+            return Some(format!(
+                "frame codec header diverged for {kind:?}: got {:?} seq {}",
+                got.kind, got.seq
+            ));
+        }
+        if got.payload != payload {
+            return Some(format!(
+                "frame codec round-trip diverged for {kind:?}: {} payload bytes back \
+                 from {} written",
+                got.payload.len(),
+                payload.len()
+            ));
+        }
+    }
+
+    // End-to-end leg: loopback daemon vs the in-process simulator the
+    // daemon itself wraps — the transport is the only variable.
+    let config = ServeConfig {
+        read_timeout: Duration::from_secs(5),
+        drain_grace: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    let daemon = match Daemon::builder("127.0.0.1:0")
+        .config(config)
+        .log(Box::new(std::io::sink()))
+        .spawn()
+    {
+        Ok(daemon) => daemon,
+        Err(e) => return Some(format!("loopback daemon failed to start: {e}")),
+    };
+    let spec = SessionSpec::smoke("check");
+    let result = (|| {
+        let mut client = RemoteClient::connect(daemon.local_addr(), &spec, Duration::from_secs(5))
+            .map_err(|e| format!("session handshake failed: {e}"))?;
+        let uploaded = client
+            .upload_trace(&trace_bytes)
+            .map_err(|e| format!("trace upload failed: {e}"))?;
+        if uploaded != trace.accesses() {
+            return Err(format!(
+                "daemon counted {uploaded} uploaded accesses, trace has {}",
+                trace.accesses()
+            ));
+        }
+        for &(size, line, assoc) in &GEOMETRIES {
+            let config = format!("size={size}\nline={line}\nassoc={assoc}\n");
+            let local = remote::simulate_packed(&packed, &config)
+                .map_err(|e| format!("in-process simulation refused the config: {e}"))?;
+            let expected = frame::parse_kv(local.as_bytes());
+            let got = client.simulate(&config).map_err(|e| {
+                format!("remote simulation of {size}B/{line}B/{assoc}-way failed: {e}")
+            })?;
+            if got != expected {
+                return Err(format!(
+                    "remote simulation of {size}B/{line}B/{assoc}-way diverged: \
+                     daemon {got:?} vs in-process {expected:?}"
+                ));
+            }
+        }
+        client
+            .bye()
+            .map_err(|e| format!("session close failed: {e}"))
+    })();
+    daemon.shutdown();
+    result.err()
+}
+
 fn oracle_stats(
     trace: &Trace,
     size: u64,

@@ -27,8 +27,11 @@
 //!
 //! The `conformance` binary runs the fixed-seed corpus and writes a
 //! shrunk repro trace to `target/conformance/repro.fvltrc` on failure;
+//! with `--serve` it instead runs the serve corpus ([`run_serve_corpus`]),
+//! diffing the `fvl-serve` wire path — frame-codec byte round-trips and
+//! loopback daemon sessions — against in-process execution.
 //! `tests/mutation_smoke.rs` (behind the `mutation` feature) proves the
-//! net has teeth by catching five deliberately seeded simulator bugs.
+//! net has teeth by catching seven deliberately seeded simulator bugs.
 //!
 //! # Example
 //!
@@ -59,7 +62,8 @@ pub use oracle_encode::LinearScanEncoder;
 pub use oracle_replay::{scalar_replay, DigestSink};
 pub use rng::SplitMix64;
 pub use runner::{
-    run_boundary_corpus, run_corpus, run_policy_corpus, CaseFailure, CorpusReport,
-    BOUNDARY_ACCESS_COUNTS, DEFAULT_CASES, DEFAULT_TRACE_ACCESSES, POLICY_GEOMETRIES,
+    run_boundary_corpus, run_corpus, run_policy_corpus, run_serve_corpus, CaseFailure,
+    CorpusReport, BOUNDARY_ACCESS_COUNTS, DEFAULT_CASES, DEFAULT_TRACE_ACCESSES, POLICY_GEOMETRIES,
+    SERVE_CASES,
 };
 pub use shrink::{normalize_events, shrink};

@@ -1,6 +1,6 @@
 //! Corpus execution: generate, check, shrink, report.
 
-use crate::diff::{check_trace, diff_cache_with, trace_fails};
+use crate::diff::{check_trace, diff_cache_with, diff_serve, trace_fails};
 use crate::gen::{case_params, generate, Pattern};
 use crate::shrink::shrink;
 use fvl_cache::ReplacementKind;
@@ -18,6 +18,11 @@ pub const DEFAULT_TRACE_ACCESSES: u64 = 600;
 /// store chunk boundary (8192 packed accesses at 8 bytes each)
 /// minus/at/plus one.
 pub const BOUNDARY_ACCESS_COUNTS: [u64; 8] = [0, 1, 63, 64, 65, 8191, 8192, 8193];
+
+/// Default case count for the serve corpus: each case round-trips its
+/// trace through a freshly spawned loopback daemon, so the tier runs
+/// fewer, not smaller, traces than the main corpus.
+pub const SERVE_CASES: usize = 12;
 
 /// The two set-associative shapes the per-policy CI matrix leg sweeps:
 /// the shallowest and deepest associative zoo geometries (2-way and
@@ -95,6 +100,30 @@ pub fn run_policy_corpus(kind: ReplacementKind, cases: usize, accesses: u64) -> 
             let shrunk = shrink(&trace, &mut |t: &Trace| {
                 diff_cache_with(t, &POLICY_GEOMETRIES, kind).is_some()
             });
+            failures.push(CaseFailure {
+                index,
+                seed,
+                pattern,
+                failures: vec![message],
+                shrunk,
+            });
+        }
+    }
+    CorpusReport { cases, failures }
+}
+
+/// Runs `cases` fixed-seed corpus traces through the serve
+/// differential alone: the frame-codec byte round-trip plus a loopback
+/// daemon session whose simulation counters must match the in-process
+/// simulator. Failing traces are shrunk against the same predicate so
+/// the repro stays attributable to the wire path.
+pub fn run_serve_corpus(cases: usize, accesses: u64) -> CorpusReport {
+    let mut failures = Vec::new();
+    for index in 0..cases {
+        let (seed, pattern) = case_params(index);
+        let trace = generate(seed, pattern, accesses);
+        if let Some(message) = diff_serve(&trace) {
+            let shrunk = shrink(&trace, &mut |t: &Trace| diff_serve(t).is_some());
             failures.push(CaseFailure {
                 index,
                 seed,

@@ -1,6 +1,6 @@
 //! Mutation smoke test: prove the differential net has teeth.
 //!
-//! Compiled only under the `mutation` feature, which turns on six
+//! Compiled only under the `mutation` feature, which turns on seven
 //! deliberately seeded bugs in the optimized crates:
 //!
 //! 1. an off-by-one set-index mask in `fvl-cache`'s geometry (the top
@@ -21,7 +21,12 @@
 //!    instead of 1), which desynchronizes any chunk whose first group
 //!    holds four single-byte tokens — at every SIMD level, since the
 //!    scalar tail and the const shuffle tables share the one mutated
-//!    length authority.
+//!    length authority, and
+//! 7. a frame-length off-by-one in `fvl-mem`'s serve frame codec
+//!    (`read_frame` shortens every declared payload length by one), so
+//!    each non-empty frame read back over the wire loses its final
+//!    byte and leaves a stray byte in the stream that desynchronizes
+//!    every later header.
 //!
 //! Each test below isolates one bug with a trace (and, for the
 //! cache-level bugs, a geometry/policy scope) constructed so the others
@@ -205,6 +210,51 @@ fn split_control_table_bug_is_caught() {
         .unwrap();
     assert_eq!(resident.addrs(), packed.addrs());
     assert_eq!(resident.values(), packed.values());
+}
+
+/// Bug 7 — frame-length off-by-one in the serve codec. `diff_serve`'s
+/// codec leg writes a frame and reads it back against the written
+/// buffer as oracle: the mutant returns one payload byte short, a
+/// divergence no other seeded bug can produce (the frame codec is the
+/// only mutated code `diff_serve`'s codec leg touches, and it runs
+/// before any socket is opened). The trace keeps every other mutation
+/// inert: two loads (dirty-bit bug inert) at 0x190 and 0x300, whose
+/// sets 25 and 48 stay distinct under both the correct and the
+/// truncated index mask in every zoo geometry with nothing evicted
+/// (mask and victim bugs inert); the v2.1 address tokens are the
+/// two-byte varints `[0x90, 0x03]` and `[0xf0, 0x02]`, final bytes
+/// well clear of `0x7f` (continuation bug inert); two-byte tokens make
+/// the v2.2 control byte non-zero (split-table bug inert); and the
+/// swapped-kind decode mutates both sides of the replay digests
+/// identically.
+#[test]
+fn frame_length_bug_is_caught() {
+    diff::silence_panics();
+    let trace = Trace::from_events(vec![
+        TraceEvent::Access(Access::load(0x190, 0)),
+        TraceEvent::Access(Access::load(0x300, 0)),
+    ]);
+    let divergence = diff::diff_serve(&trace);
+    assert!(
+        divergence.is_some(),
+        "frame-length off-by-one went undetected"
+    );
+    assert!(
+        divergence.unwrap().contains("frame codec"),
+        "divergence not attributed to the frame codec"
+    );
+    // Attribution: the cache differential never touches the frame
+    // codec and stays clean on this trace...
+    assert_eq!(diff::diff_cache(&trace), None);
+    // ...and both chunked containers round-trip through the
+    // out-of-core differential cleanly, so none of the other six
+    // mutations fires here — the diff_serve failure is attributable to
+    // the serve frame codec alone.
+    let caught = match catch_unwind(AssertUnwindSafe(|| diff::diff_corpus(&trace))) {
+        Ok(result) => result,
+        Err(_) => Some("diff_corpus panicked".to_string()),
+    };
+    assert_eq!(caught, None);
 }
 
 /// End to end: a small corpus run must go red, and every failure must

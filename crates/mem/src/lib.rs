@@ -54,6 +54,7 @@
 mod access;
 mod alloc;
 mod bus;
+pub mod frame;
 mod layout;
 mod live;
 mod mapped;

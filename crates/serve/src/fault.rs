@@ -1,0 +1,137 @@
+//! Deterministic fault injection on the daemon's *response* frames.
+//!
+//! The plan is parsed once (from the `FVL_SERVE_FAULT` environment
+//! variable or a builder knob) and indexed by a daemon-lifetime
+//! response-frame counter, so a test that starts a fresh daemon with
+//! `drop:3` always loses exactly the third response frame the daemon
+//! ever sends — no randomness, no wall clock, the same discipline as
+//! the seeded corpora in `fvl-check`.
+//!
+//! Three fault kinds, each exercising one client defence:
+//!
+//! * `drop:N` — the Nth response frame is not sent but its sequence
+//!   number is consumed. A mid-stream drop surfaces as a sequence gap
+//!   at the client; a final-frame drop surfaces as a read timeout.
+//! * `dup:N` — the Nth response frame is sent twice with the same
+//!   sequence number; clients must suppress the duplicate.
+//! * `delay:N` — the Nth response frame is held back and sent *after*
+//!   the following frame on the same connection (a one-slot reorder);
+//!   clients see a sequence gap and retry.
+//!
+//! Several clauses may be comma-separated (`drop:3,dup:7`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What to do to one response frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Don't send the frame (sequence number still consumed).
+    Drop,
+    /// Send the frame twice.
+    Dup,
+    /// Swap the frame with the next one on the same connection.
+    Delay,
+}
+
+/// One parsed clause: apply `kind` to the `nth` (1-based) response
+/// frame the daemon sends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultClause {
+    /// The fault to apply.
+    pub kind: FaultKind,
+    /// 1-based daemon-lifetime response-frame index.
+    pub nth: u64,
+}
+
+/// The full fault plan plus the daemon-lifetime response counter.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    clauses: Vec<FaultClause>,
+    sent: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan that never faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Parses `spec` (`kind:N[,kind:N...]`). Returns `None` for any
+    /// malformed clause — a daemon must not start with a half-read
+    /// fault plan.
+    pub fn parse(spec: &str) -> Option<FaultPlan> {
+        let mut clauses = Vec::new();
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (kind, nth) = clause.split_once(':')?;
+            let kind = match kind {
+                "drop" => FaultKind::Drop,
+                "dup" => FaultKind::Dup,
+                "delay" => FaultKind::Delay,
+                _ => return None,
+            };
+            let nth: u64 = nth.parse().ok()?;
+            if nth == 0 {
+                return None;
+            }
+            clauses.push(FaultClause { kind, nth });
+        }
+        Some(FaultPlan {
+            clauses,
+            sent: AtomicU64::new(0),
+        })
+    }
+
+    /// Reads the plan from `FVL_SERVE_FAULT`; empty/absent/malformed
+    /// values yield the no-fault plan (a daemon never refuses to start
+    /// over a typo'd test knob — it logs and runs clean instead).
+    pub fn from_env() -> FaultPlan {
+        match std::env::var("FVL_SERVE_FAULT") {
+            Ok(spec) => FaultPlan::parse(&spec).unwrap_or_default(),
+            Err(_) => FaultPlan::default(),
+        }
+    }
+
+    /// Whether any clause is armed.
+    pub fn is_armed(&self) -> bool {
+        !self.clauses.is_empty()
+    }
+
+    /// Accounts one about-to-be-sent response frame and returns the
+    /// fault to apply to it, if any. Exactly one counter increment per
+    /// logical frame (a duplicated frame counts once).
+    pub fn next_action(&self) -> Option<FaultKind> {
+        let nth = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
+        self.clauses.iter().find(|c| c.nth == nth).map(|c| c.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_clause_specs() {
+        let plan = FaultPlan::parse("drop:3,dup:7, delay:2").unwrap();
+        assert!(plan.is_armed());
+        assert_eq!(plan.next_action(), None); // frame 1
+        assert_eq!(plan.next_action(), Some(FaultKind::Delay)); // 2
+        assert_eq!(plan.next_action(), Some(FaultKind::Drop)); // 3
+        assert_eq!(plan.next_action(), None); // 4
+        assert_eq!(plan.next_action(), None); // 5
+        assert_eq!(plan.next_action(), None); // 6
+        assert_eq!(plan.next_action(), Some(FaultKind::Dup)); // 7
+        assert_eq!(plan.next_action(), None); // 8
+    }
+
+    #[test]
+    fn malformed_specs_are_refused() {
+        for bad in ["drop", "drop:x", "truncate:3", "drop:0", "drop:3;dup:4"] {
+            assert!(FaultPlan::parse(bad).is_none(), "{bad} parsed");
+        }
+        assert!(!FaultPlan::parse("").unwrap().is_armed());
+    }
+}
